@@ -1,0 +1,116 @@
+// Uniform static adapters over every benchmarked structure.
+//
+// Each adapter provides:
+//   using Tree;
+//   static constexpr const char* kName;
+//   static bool insert(Tree&, Key, Key);
+//   static bool remove(Tree&, Key);
+//   static bool find(Tree&, Key);
+//   static std::size_t range(Tree&, Key lo, Key hi);  // atomic if the
+//                                                     // structure offers it
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/cow_tree.h"
+#include "baselines/epoch_bst.h"
+#include "bench/harness.h"
+#include "ds/chromatic.h"
+#include "ds/ellen_bst.h"
+
+namespace vcas::bench {
+
+struct VcasBstAdapter {
+  using Tree = ds::VcasBST<Key, Key>;
+  static constexpr const char* kName = "VcasBST";
+  static bool insert(Tree& t, Key k, Key v) { return t.insert(k, v); }
+  static bool remove(Tree& t, Key k) { return t.remove(k); }
+  static bool find(Tree& t, Key k) { return t.contains(k); }
+  static std::size_t range(Tree& t, Key lo, Key hi) {
+    return t.range(lo, hi).size();
+  }
+};
+
+struct VcasBstIndirectAdapter {
+  using Tree = ds::VcasBSTIndirect<Key, Key>;
+  static constexpr const char* kName = "VcasBST-indirect";
+  static bool insert(Tree& t, Key k, Key v) { return t.insert(k, v); }
+  static bool remove(Tree& t, Key k) { return t.remove(k); }
+  static bool find(Tree& t, Key k) { return t.contains(k); }
+  static std::size_t range(Tree& t, Key lo, Key hi) {
+    return t.range(lo, hi).size();
+  }
+};
+
+struct VcasCtAdapter {
+  using Tree = ds::VcasChromaticTree<Key, Key>;
+  static constexpr const char* kName = "VcasCT";
+  static bool insert(Tree& t, Key k, Key v) { return t.insert(k, v); }
+  static bool remove(Tree& t, Key k) { return t.remove(k); }
+  static bool find(Tree& t, Key k) { return t.contains(k); }
+  static std::size_t range(Tree& t, Key lo, Key hi) {
+    return t.range(lo, hi).size();
+  }
+};
+
+// Originals: point operations only; range() runs the non-atomic sequential
+// walk (used only where the paper compares against non-atomic queries).
+struct NbbstAdapter {
+  using Tree = ds::NBBST<Key, Key>;
+  static constexpr const char* kName = "NBBST(orig)";
+  static bool insert(Tree& t, Key k, Key v) { return t.insert(k, v); }
+  static bool remove(Tree& t, Key k) { return t.remove(k); }
+  static bool find(Tree& t, Key k) { return t.contains(k); }
+  static std::size_t range(Tree& t, Key lo, Key hi) {
+    return t.range_nonatomic(lo, hi).size();
+  }
+};
+
+struct CtAdapter {
+  using Tree = ds::ChromaticTree<Key, Key>;
+  static constexpr const char* kName = "CT(orig)";
+  static bool insert(Tree& t, Key k, Key v) { return t.insert(k, v); }
+  static bool remove(Tree& t, Key k) { return t.remove(k); }
+  static bool find(Tree& t, Key k) { return t.contains(k); }
+  static std::size_t range(Tree& t, Key lo, Key hi) {
+    return t.range_nonatomic(lo, hi).size();
+  }
+};
+
+struct EpochBstAdapter {
+  using Tree = baselines::EpochBST<Key, Key>;
+  static constexpr const char* kName = "EpochBST";
+  static bool insert(Tree& t, Key k, Key v) { return t.insert(k, v); }
+  static bool remove(Tree& t, Key k) { return t.remove(k); }
+  static bool find(Tree& t, Key k) { return t.contains(k); }
+  static std::size_t range(Tree& t, Key lo, Key hi) {
+    return t.range(lo, hi).size();
+  }
+};
+
+// KST stand-in: the double-collect validated range query mechanism on the
+// plain BST (see DESIGN.md substitutions).
+struct DoubleCollectAdapter {
+  using Tree = ds::NBBST<Key, Key>;
+  static constexpr const char* kName = "DC-BST(KST-like)";
+  static bool insert(Tree& t, Key k, Key v) { return t.insert(k, v); }
+  static bool remove(Tree& t, Key k) { return t.remove(k); }
+  static bool find(Tree& t, Key k) { return t.contains(k); }
+  static std::size_t range(Tree& t, Key lo, Key hi) {
+    return t.range_double_collect(lo, hi).size();
+  }
+};
+
+// SnapTree stand-in: lock-based lazy copy-on-write tree.
+struct CowTreeAdapter {
+  using Tree = baselines::CowTree<Key, Key>;
+  static constexpr const char* kName = "COW(SnapTree-like)";
+  static bool insert(Tree& t, Key k, Key v) { return t.insert(k, v); }
+  static bool remove(Tree& t, Key k) { return t.remove(k); }
+  static bool find(Tree& t, Key k) { return t.contains(k); }
+  static std::size_t range(Tree& t, Key lo, Key hi) {
+    return t.range(lo, hi).size();
+  }
+};
+
+}  // namespace vcas::bench

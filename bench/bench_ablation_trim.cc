@@ -1,0 +1,84 @@
+// Ablation: version-list trimming (the GC extension in versioned_cas.h).
+// A hot VersionedCAS object accumulates one VNode per successful vCAS; the
+// paper's C++ setup simply keeps them for the (short) run. This bench
+// quantifies both sides: memory growth without trimming, and the
+// throughput cost of trimming at different cadences.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "ebr/ebr.h"
+#include "util/timing.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+#include "vcas/versioned_cas.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+void run(int trim_every, int run_ms) {
+  vcas::Camera cam;
+  vcas::VersionedCAS<std::int64_t> obj(0, &cam);
+  vcas::util::Timer timer;
+  std::int64_t v = 0;
+  std::uint64_t trims = 0;
+  std::size_t detached = 0;
+  while (timer.elapsed_nanos() < static_cast<std::int64_t>(run_ms) * 1000000) {
+    for (int i = 0; i < 1024; ++i) {
+      obj.vCAS(v, v + 1);
+      ++v;
+      if (trim_every > 0 && v % trim_every == 0) {
+        vcas::ebr::Guard g;
+        detached += obj.trim(cam.min_active());
+        ++trims;
+      }
+    }
+  }
+  const double secs = timer.elapsed_seconds();
+  std::printf("trim_every=%-8d  %8.3f Mvcas/s   live versions %-9zu"
+              "  trims %-8llu detached %zu\n",
+              trim_every, static_cast<double>(v) / secs / 1e6,
+              obj.version_count(), static_cast<unsigned long long>(trims),
+              detached);
+  vcas::ebr::drain_for_tests();
+}
+
+void run_with_reader(int run_ms) {
+  // A long-lived announced snapshot pins history: trimming must retain
+  // every version the snapshot might read, so the list keeps growing
+  // behind the pin.
+  vcas::Camera cam;
+  vcas::VersionedCAS<std::int64_t> obj(0, &cam);
+  vcas::SnapshotGuard pin(cam);
+  vcas::util::Timer timer;
+  std::int64_t v = 0;
+  while (timer.elapsed_nanos() < static_cast<std::int64_t>(run_ms) * 1000000) {
+    for (int i = 0; i < 1024; ++i) {
+      obj.vCAS(v, v + 1);
+      ++v;
+      if (v % 4096 == 0) {
+        vcas::ebr::Guard g;
+        obj.trim(cam.min_active());
+      }
+    }
+  }
+  std::printf("pinned reader:     %8zu live versions after %lld vCASes "
+              "(pin blocks trimming; value at pin still readable: %lld)\n",
+              obj.version_count(), static_cast<long long>(v),
+              static_cast<long long>(obj.readSnapshot(pin.ts())));
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  std::printf("== Ablation: version-list trimming ==\n\n");
+  run(0, cfg.run_ms);      // never trim: unbounded history (paper default)
+  run(65536, cfg.run_ms);  // coarse cadence
+  run(4096, cfg.run_ms);
+  run(256, cfg.run_ms);    // aggressive cadence
+  std::printf("\n");
+  run_with_reader(cfg.run_ms);
+  vcas::ebr::drain_for_tests();
+  return 0;
+}

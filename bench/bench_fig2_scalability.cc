@@ -1,0 +1,93 @@
+// Figures 2a-2f: throughput scalability across thread counts for three
+// operation mixes (lookup-heavy, update-heavy, update-heavy + 1% range
+// queries of size 1024), at the small tree size and — with VCAS_LARGE=1 —
+// the large size standing in for the paper's 100M keys.
+#include <cstdio>
+
+#include "bench/adapters.h"
+#include "bench/harness.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+struct Mix {
+  const char* figure;
+  const char* label;
+  int ins, del, find, rq;
+  Key rq_size;
+};
+
+template <typename A>
+void run_structure(const Config& cfg, const Mix& mix, std::size_t size) {
+  const Key range = key_range_for(size, mix.ins == 0 ? 3 : mix.ins,
+                                  mix.del == 0 ? 2 : mix.del);
+  for (int threads : cfg.threads) {
+    double total = 0, upd = 0, rq = 0;
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      typename A::Tree tree;
+      prefill<A>(tree, size, range, 1000 + rep);
+      MixResult r = run_mix<A>(tree, threads, mix.ins, mix.del, mix.find,
+                               mix.rq, range, mix.rq_size, cfg.run_ms,
+                               777 + rep);
+      total += r.total_mops;
+      upd += r.update_mops;
+      rq += r.rq_per_sec;
+      vcas::ebr::drain_for_tests();
+    }
+    std::printf("%-4s %-28s %-20s n=%-8zu p=%-3d %8.3f Mops/s"
+                " (point %7.3f Mops/s, rq %9.0f /s)\n",
+                mix.figure, mix.label, A::kName, size, threads,
+                total / cfg.reps, upd / cfg.reps, rq / cfg.reps);
+  }
+}
+
+void run_all(const Config& cfg, const Mix& mix, std::size_t size) {
+  run_structure<VcasBstAdapter>(cfg, mix, size);
+  run_structure<VcasCtAdapter>(cfg, mix, size);
+  run_structure<EpochBstAdapter>(cfg, mix, size);
+  run_structure<DoubleCollectAdapter>(cfg, mix, size);
+  run_structure<CowTreeAdapter>(cfg, mix, size);
+  if (mix.rq == 0) {
+    // The originals support no atomic range query; they appear only in the
+    // rq-free mixes as the paper's non-snapshot reference points.
+    run_structure<NbbstAdapter>(cfg, mix, size);
+    run_structure<CtAdapter>(cfg, mix, size);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  std::printf("== Figure 2a-2f: scalability by workload and size ==\n");
+  std::printf("(paper: 72-core Xeon, 5s runs, sizes 100K/100M; here: %dms "
+              "runs, sizes %zu/%zu, see EXPERIMENTS.md)\n\n",
+              cfg.run_ms, cfg.size_small, cfg.size_large);
+
+  const Mix mixes_small[] = {
+      {"2a", "lookup-heavy 3i-2d-95f", 3, 2, 95, 0, 0},
+      {"2b", "update-heavy 30i-20d-50f", 30, 20, 50, 0, 0},
+      {"2c", "update+rq 30i-20d-49f-1rq", 30, 20, 49, 1, 1024},
+  };
+  const Mix mixes_large[] = {
+      {"2d", "lookup-heavy 3i-2d-95f", 3, 2, 95, 0, 0},
+      {"2e", "update-heavy 30i-20d-50f", 30, 20, 50, 0, 0},
+      {"2f", "update+rq 30i-20d-49f-1rq", 30, 20, 49, 1, 1024},
+  };
+
+  for (const Mix& m : mixes_small) {
+    run_all(cfg, m, cfg.size_small);
+    std::printf("\n");
+  }
+  if (cfg.large) {
+    for (const Mix& m : mixes_large) {
+      run_all(cfg, m, cfg.size_large);
+      std::printf("\n");
+    }
+  } else {
+    std::printf("(set VCAS_LARGE=1 for Figures 2d-2f at n=%zu)\n",
+                cfg.size_large);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figures 2g/2h: dedicated update threads vs dedicated range-query threads
+// over a 100K-key tree, sweeping the range-query size. The paper runs
+// 36+36 threads; here the split is scaled to the machine (half the largest
+// configured thread count each, minimum 1+1).
+//
+// Shapes to look for (paper Section 7):
+//  - DC-BST (KST mechanism) update throughput is fine, but its RQ
+//    throughput collapses once ranges are wide enough to keep seeing
+//    updates (restart storms).
+//  - COW (SnapTree mechanism) updates crater when RQs are frequent: every
+//    snapshot forces path copying.
+//  - VcasBST/VcasCT update throughput is stable across rqsize — version
+//    lists make queries read-only passengers.
+#include <cstdio>
+
+#include "bench/adapters.h"
+#include "bench/harness.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+template <typename A>
+void run_structure(const Config& cfg, int upd_threads, int rq_threads,
+                   std::size_t size, Key rq_size) {
+  const Key range = key_range_for(size, 50, 50);
+  double upd = 0, rq = 0;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    typename A::Tree tree;
+    prefill<A>(tree, size, range, 2000 + rep);
+    DedicatedResult r = run_dedicated<A>(tree, upd_threads, rq_threads, range,
+                                         rq_size, cfg.run_ms, 881 + rep);
+    upd += r.update_mops;
+    rq += r.rq_per_sec;
+    vcas::ebr::drain_for_tests();
+  }
+  std::printf("%-20s rqsize=%-6lld  updates %8.3f Mops/s   rqs %10.0f /s\n",
+              A::kName, static_cast<long long>(rq_size), upd / cfg.reps,
+              rq / cfg.reps);
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  int max_threads = 2;
+  for (int t : cfg.threads) max_threads = std::max(max_threads, t);
+  const int upd_threads = std::max(1, max_threads / 2);
+  const int rq_threads = std::max(1, max_threads / 2);
+
+  std::printf("== Figures 2g/2h: update and RQ throughput vs rqsize ==\n");
+  std::printf("(paper: 36 update + 36 RQ threads; here: %d + %d)\n\n",
+              upd_threads, rq_threads);
+
+  const Key sizes[] = {8, 64, 256, 1024, 8192, 65536};
+  for (Key rq_size : sizes) {
+    run_structure<VcasCtAdapter>(cfg, upd_threads, rq_threads,
+                                 cfg.size_small, rq_size);
+    run_structure<VcasBstAdapter>(cfg, upd_threads, rq_threads,
+                                  cfg.size_small, rq_size);
+    run_structure<DoubleCollectAdapter>(cfg, upd_threads, rq_threads,
+                                        cfg.size_small, rq_size);
+    run_structure<CowTreeAdapter>(cfg, upd_threads, rq_threads,
+                                  cfg.size_small, rq_size);
+    std::printf("\n");
+  }
+  return 0;
+}

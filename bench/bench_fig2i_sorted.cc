@@ -1,0 +1,73 @@
+// Figure 2i: insert-only sorted-key workload. Keys 0..n-1 are split into
+// 1024-key chunks on a global work queue; each thread grabs a chunk and
+// inserts its keys in order. Balanced trees (VcasCT/CT, and the paper's
+// KiWi/SnapTree) shine here; unbalanced trees degenerate toward lists.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/adapters.h"
+#include "bench/harness.h"
+#include "util/timing.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+template <typename A>
+void run_structure(const Config& cfg, std::size_t n, int threads) {
+  double mops_acc = 0;
+  std::size_t height = 0;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    typename A::Tree tree;
+    std::atomic<std::size_t> next_chunk{0};
+    constexpr std::size_t kChunk = 1024;
+    const std::size_t chunks = (n + kChunk - 1) / kChunk;
+    vcas::util::Timer timer;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::size_t c = next_chunk.fetch_add(1);
+          if (c >= chunks) return;
+          const Key lo = static_cast<Key>(c * kChunk);
+          const Key hi = static_cast<Key>(std::min(n, (c + 1) * kChunk));
+          for (Key k = lo; k < hi; ++k) A::insert(tree, k, k);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double secs = timer.elapsed_seconds();
+    mops_acc += static_cast<double>(n) / secs / 1e6;
+    if constexpr (requires { tree.height_unsynchronized(); }) {
+      height = tree.height_unsynchronized();
+    }
+    vcas::ebr::drain_for_tests();
+  }
+  std::printf("%-20s p=%-3d  %8.3f Minserts/s   final height %zu\n", A::kName,
+              threads, mops_acc / cfg.reps, height);
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  // Sorted inserts into an unbalanced tree are O(n^2); cap n so the bench
+  // finishes. Balanced structures also run the configured size.
+  const std::size_t n_unbalanced = std::min<std::size_t>(cfg.size_small, 20000);
+  const std::size_t n_balanced = cfg.size_small;
+
+  std::printf("== Figure 2i: sorted insert-only (1024-key chunks) ==\n\n");
+  for (int threads : cfg.threads) {
+    run_structure<VcasCtAdapter>(cfg, n_balanced, threads);
+    run_structure<CtAdapter>(cfg, n_balanced, threads);
+    run_structure<VcasBstAdapter>(cfg, n_unbalanced, threads);
+    run_structure<NbbstAdapter>(cfg, n_unbalanced, threads);
+    run_structure<CowTreeAdapter>(cfg, n_unbalanced, threads);
+    std::printf("(unbalanced trees capped at n=%zu; balanced at n=%zu)\n\n",
+                n_unbalanced, n_balanced);
+  }
+  return 0;
+}

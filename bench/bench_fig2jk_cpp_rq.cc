@@ -1,0 +1,67 @@
+// Figures 2j/2k: the paper's C++ head-to-head — VcasBST vs EpochBST with
+// dedicated update and range-query threads, sweeping rqsize over a
+// 100K-key tree.
+//
+// Paper result: VcasBST range queries are 4.7-6.3x faster than EpochBST
+// (EpochBST revisits limbo-list entries for every concurrent delete), and
+// VcasBST updates are >= 7% faster. The reproduction target is the
+// direction and rough magnitude of those ratios.
+#include <cstdio>
+
+#include "bench/adapters.h"
+#include "bench/harness.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+template <typename A>
+DedicatedResult measure(const Config& cfg, int upd_threads, int rq_threads,
+                        std::size_t size, Key rq_size) {
+  const Key range = key_range_for(size, 50, 50);
+  DedicatedResult acc;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    typename A::Tree tree;
+    prefill<A>(tree, size, range, 3000 + rep);
+    DedicatedResult r = run_dedicated<A>(tree, upd_threads, rq_threads, range,
+                                         rq_size, cfg.run_ms, 17 + rep);
+    acc.update_mops += r.update_mops;
+    acc.rq_per_sec += r.rq_per_sec;
+    vcas::ebr::drain_for_tests();
+  }
+  acc.update_mops /= cfg.reps;
+  acc.rq_per_sec /= cfg.reps;
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  int max_threads = 2;
+  for (int t : cfg.threads) max_threads = std::max(max_threads, t);
+  const int upd_threads = std::max(1, max_threads / 2);
+  const int rq_threads = std::max(1, max_threads / 2);
+
+  std::printf("== Figures 2j/2k [C++]: VcasBST vs EpochBST vs rqsize ==\n");
+  std::printf("(paper: 36+36 threads, 100K keys; here: %d+%d, %zu keys)\n\n",
+              upd_threads, rq_threads, cfg.size_small);
+  std::printf("%-8s | %-10s %-12s | %-10s %-12s | %-8s %-8s\n", "rqsize",
+              "Vcas updM", "Vcas rq/s", "Epoch updM", "Epoch rq/s",
+              "upd x", "rq x");
+
+  const Key sizes[] = {8, 64, 256, 1024, 8192, 65536};
+  for (Key rq_size : sizes) {
+    DedicatedResult v = measure<VcasBstAdapter>(cfg, upd_threads, rq_threads,
+                                                cfg.size_small, rq_size);
+    DedicatedResult e = measure<EpochBstAdapter>(cfg, upd_threads, rq_threads,
+                                                 cfg.size_small, rq_size);
+    std::printf("%-8lld | %10.3f %12.0f | %10.3f %12.0f | %8.2f %8.2f\n",
+                static_cast<long long>(rq_size), v.update_mops, v.rq_per_sec,
+                e.update_mops, e.rq_per_sec,
+                e.update_mops > 0 ? v.update_mops / e.update_mops : 0.0,
+                e.rq_per_sec > 0 ? v.rq_per_sec / e.rq_per_sec : 0.0);
+  }
+  std::printf("\n(paper reports rq x of 4.7-6.3 and upd x >= 1.07)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 2m: the headline overhead measurement — throughput of the
+// versioned trees normalized to their original (non-snapshot) builds,
+// across workloads, at the highest configured thread count. The paper
+// reports 2.7%-9.1% overhead (normalized throughput 0.909-0.973).
+//
+// Also includes the indirect (Algorithm 1, VNode-based) BST so the
+// Section 5 "avoiding indirection" optimization is visible in the same
+// table.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/adapters.h"
+#include "bench/harness.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+struct Mix {
+  const char* label;
+  int ins, del, find;
+};
+
+template <typename A>
+double measure(const Config& cfg, const Mix& mix, std::size_t size,
+               int threads) {
+  const Key range = key_range_for(size, std::max(mix.ins, 1), mix.del);
+  double mops = 0;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    typename A::Tree tree;
+    prefill<A>(tree, size, range, 4000 + rep);
+    MixResult r = run_mix<A>(tree, threads, mix.ins, mix.del, mix.find, 0,
+                             range, 0, cfg.run_ms, 51 + rep);
+    mops += r.total_mops;
+    vcas::ebr::drain_for_tests();
+  }
+  return mops / cfg.reps;
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  int threads = 1;
+  for (int t : cfg.threads) threads = std::max(threads, t);
+
+  std::printf("== Figure 2m: overhead of Vcas vs original, p=%d ==\n", threads);
+  std::printf("(normalized throughput; paper reports 0.909-0.973)\n\n");
+  std::printf("%-26s | %-10s %-10s %-6s | %-10s %-10s %-6s | %-10s %-6s\n",
+              "workload", "BST", "VcasBST", "ratio", "CT", "VcasCT", "ratio",
+              "VcasBSTind", "ratio");
+
+  const Mix mixes[] = {
+      {"3i-2d-95f (lookup-heavy)", 3, 2, 95},
+      {"30i-20d-50f (update-heavy)", 30, 20, 50},
+      {"50i-50d (update-only)", 50, 50, 0},
+      {"5i-5d-90f (read-mostly)", 5, 5, 90},
+  };
+  for (const Mix& mix : mixes) {
+    const double bst = measure<NbbstAdapter>(cfg, mix, cfg.size_small, threads);
+    const double vbst =
+        measure<VcasBstAdapter>(cfg, mix, cfg.size_small, threads);
+    const double vbst_ind =
+        measure<VcasBstIndirectAdapter>(cfg, mix, cfg.size_small, threads);
+    const double ct = measure<CtAdapter>(cfg, mix, cfg.size_small, threads);
+    const double vct = measure<VcasCtAdapter>(cfg, mix, cfg.size_small, threads);
+    std::printf("%-26s | %10.3f %10.3f %6.3f | %10.3f %10.3f %6.3f | %10.3f %6.3f\n",
+                mix.label, bst, vbst, bst > 0 ? vbst / bst : 0, ct, vct,
+                ct > 0 ? vct / ct : 0, vbst_ind,
+                bst > 0 ? vbst_ind / bst : 0);
+  }
+  return 0;
+}

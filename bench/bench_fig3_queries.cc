@@ -1,0 +1,181 @@
+// Figure 3 (and Table 2): throughput of the multi-point queries —
+// range256, succ1, succ128, findif128, multisearch4 — comparing atomic
+// snapshot queries on VcasCT against non-atomic sequential queries on the
+// original CT, with and without concurrent update threads.
+//
+// Paper result: all queries except succ1 are within 2.9%-12.8% of the
+// non-atomic baseline; succ1 pays 36.8%-41.4% because the takeSnapshot
+// counter bump dominates such a tiny query.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/adapters.h"
+#include "bench/harness.h"
+#include "util/padded.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+using VTree = vcas::ds::VcasChromaticTree<Key, Key>;
+using OTree = vcas::ds::ChromaticTree<Key, Key>;
+
+enum class QueryKind { kRange256, kSucc1, kSucc128, kFindif128, kMulti4 };
+
+const char* name_of(QueryKind q) {
+  switch (q) {
+    case QueryKind::kRange256: return "range256";
+    case QueryKind::kSucc1: return "succ1";
+    case QueryKind::kSucc128: return "succ128";
+    case QueryKind::kFindif128: return "findif128";
+    case QueryKind::kMulti4: return "multisearch4";
+  }
+  return "?";
+}
+
+// One query execution against either tree; Atomic selects the snapshot
+// (VcasCT) or sequential non-atomic (CT) implementation.
+template <typename Tree, bool Atomic>
+void run_query(Tree& tree, QueryKind q, Key range, vcas::util::Xoshiro256& rng) {
+  const Key k = 1 + static_cast<Key>(rng.next_in(static_cast<std::uint64_t>(range)));
+  switch (q) {
+    case QueryKind::kRange256:
+      if constexpr (Atomic) {
+        tree.range(k, k + 255);
+      } else {
+        tree.range_nonatomic(k, k + 255);
+      }
+      break;
+    case QueryKind::kSucc1:
+      if constexpr (Atomic) {
+        tree.succ(k, 1);
+      } else {
+        tree.succ_nonatomic(k, 1);
+      }
+      break;
+    case QueryKind::kSucc128:
+      if constexpr (Atomic) {
+        tree.succ(k, 128);
+      } else {
+        tree.succ_nonatomic(k, 128);
+      }
+      break;
+    case QueryKind::kFindif128: {
+      auto pred = [](const Key& key) { return key % 128 == 0; };
+      if constexpr (Atomic) {
+        tree.find_if(k, k + 4096, pred);
+      } else {
+        tree.find_if_nonatomic(k, k + 4096, pred);
+      }
+      break;
+    }
+    case QueryKind::kMulti4: {
+      std::vector<Key> keys = {
+          k, k + static_cast<Key>(rng.next_in(1000)),
+          k + static_cast<Key>(rng.next_in(1000)),
+          k + static_cast<Key>(rng.next_in(1000))};
+      if constexpr (Atomic) {
+        tree.multisearch(keys);
+      } else {
+        tree.multisearch_nonatomic(keys);
+      }
+      break;
+    }
+  }
+}
+
+template <typename Tree, bool Atomic>
+double measure(const Config& cfg, Tree& tree, QueryKind q, Key range,
+               int query_threads, int update_threads) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  vcas::util::Padded<std::uint64_t> counts[192];
+  std::vector<std::thread> workers;
+  for (int t = 0; t < query_threads; ++t) {
+    workers.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(99 + static_cast<std::uint64_t>(t));
+      std::uint64_t ops = 0;
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        run_query<Tree, Atomic>(tree, q, range, rng);
+        ++ops;
+      }
+      counts[t].value = ops;
+    });
+  }
+  for (int t = 0; t < update_threads; ++t) {
+    workers.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(7000 + static_cast<std::uint64_t>(t));
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key k =
+            1 + static_cast<Key>(rng.next_in(static_cast<std::uint64_t>(range)));
+        if (rng.next_in(2) == 0) {
+          tree.insert(k, k);
+        } else {
+          tree.remove(k);
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.run_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  std::uint64_t total = 0;
+  for (int t = 0; t < query_threads; ++t) total += counts[t].value;
+  return static_cast<double>(total) / (cfg.run_ms / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  int max_threads = 1;
+  for (int t : cfg.threads) max_threads = std::max(max_threads, t);
+  const int query_threads = std::max(1, max_threads / 2);
+
+  std::printf("== Figure 3: atomic (VcasCT) vs non-atomic (CT) queries ==\n");
+  std::printf("(paper: 36 query threads on 100M keys; here: %d threads on "
+              "%zu keys)\n\n",
+              query_threads, cfg.size_small);
+  std::printf("%-14s %-10s | %12s %12s %7s\n", "query", "updaters",
+              "VcasCT q/s", "CT q/s", "ratio");
+
+  const Key range = static_cast<Key>(cfg.size_small);
+  const QueryKind kinds[] = {QueryKind::kRange256, QueryKind::kSucc1,
+                             QueryKind::kSucc128, QueryKind::kFindif128,
+                             QueryKind::kMulti4};
+  for (int updaters : {0, std::max(1, max_threads / 2)}) {
+    for (QueryKind q : kinds) {
+      double atomic = 0, plain = 0;
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        {
+          VTree vt;
+          prefill<VcasCtAdapter>(vt, cfg.size_small, range, 5000 + rep);
+          atomic += measure<VTree, true>(cfg, vt, q, range, query_threads,
+                                         updaters);
+        }
+        {
+          OTree ot;
+          prefill<CtAdapter>(ot, cfg.size_small, range, 5000 + rep);
+          plain += measure<OTree, false>(cfg, ot, q, range, query_threads,
+                                         updaters);
+        }
+        vcas::ebr::drain_for_tests();
+      }
+      atomic /= cfg.reps;
+      plain /= cfg.reps;
+      std::printf("%-14s %-10d | %12.0f %12.0f %7.3f\n", name_of(q), updaters,
+                  atomic, plain, plain > 0 ? atomic / plain : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: ratio 0.872-0.971 for all queries except succ1 at "
+              "0.586-0.632)\n");
+  return 0;
+}

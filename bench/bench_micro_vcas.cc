@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) for the core vCAS operations and the
+// Section 5 indirection ablation at the object level.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "vcas/camera.h"
+#include "vcas/versioned_cas.h"
+#include "vcas/versioned_ptr.h"
+
+namespace {
+
+void BM_TakeSnapshot(benchmark::State& state) {
+  vcas::Camera cam;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam.takeSnapshot());
+  }
+}
+BENCHMARK(BM_TakeSnapshot);
+
+void BM_TakeSnapshotContended(benchmark::State& state) {
+  static vcas::Camera cam;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam.takeSnapshot());
+  }
+}
+BENCHMARK(BM_TakeSnapshotContended)->Threads(2)->Threads(4);
+
+void BM_VRead(benchmark::State& state) {
+  vcas::Camera cam;
+  vcas::VersionedCAS<std::int64_t> obj(42, &cam);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.vRead());
+  }
+}
+BENCHMARK(BM_VRead);
+
+void BM_VCas(benchmark::State& state) {
+  vcas::Camera cam;
+  vcas::VersionedCAS<std::int64_t> obj(0, &cam);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.vCAS(v, v + 1));
+    ++v;
+  }
+}
+BENCHMARK(BM_VCas);
+
+void BM_PlainCasBaseline(benchmark::State& state) {
+  std::atomic<std::int64_t> obj{0};
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.compare_exchange_strong(v, v + 1));
+    ++v;
+  }
+}
+BENCHMARK(BM_PlainCasBaseline);
+
+// Wait-free readSnapshot: cost scales with the number of versions stamped
+// after the handle (state.range(0)).
+void BM_ReadSnapshotByAge(benchmark::State& state) {
+  vcas::Camera cam;
+  vcas::VersionedCAS<std::int64_t> obj(0, &cam);
+  const vcas::Timestamp handle = cam.takeSnapshot();
+  std::int64_t v = 0;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    obj.vCAS(v, v + 1);
+    ++v;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.readSnapshot(handle));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReadSnapshotByAge)->Range(1, 1 << 12)->Complexity();
+
+// Indirection ablation: reading the current value through a VNode
+// (Algorithm 1) vs through the node itself (Figure 9).
+struct MicroNode : vcas::Versioned<MicroNode> {
+  std::int64_t payload = 7;
+};
+
+void BM_ReadIndirect(benchmark::State& state) {
+  vcas::Camera cam;
+  std::vector<MicroNode> nodes(3);
+  vcas::VersionedCAS<MicroNode*> obj(&nodes[0], &cam);
+  obj.vCAS(&nodes[0], &nodes[1]);
+  obj.vCAS(&nodes[1], &nodes[2]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.vRead()->payload);
+  }
+}
+BENCHMARK(BM_ReadIndirect);
+
+void BM_ReadDirect(benchmark::State& state) {
+  vcas::Camera cam;
+  std::vector<MicroNode> nodes(3);
+  vcas::VersionedPtr<MicroNode> obj(&nodes[0], &cam);
+  obj.vCAS(&nodes[0], &nodes[1]);
+  obj.vCAS(&nodes[1], &nodes[2]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.vRead()->payload);
+  }
+}
+BENCHMARK(BM_ReadDirect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Table 1 + Theorem 2: empirical validation of the complexity claims.
+//
+//  1. takeSnapshot / vRead / vCAS are O(1): latency independent of history
+//     length (number of versions already accumulated).
+//  2. readSnapshot(ts) costs O(#successful vCASes stamped after ts): the
+//     walk length grows linearly as the snapshot ages.
+//  3. Queue ith(i) is O(i + c): linear in i.
+//  4. BST range(s,e) is O(h + K(s,e) + c): linear in the result size.
+//
+// Each section prints the measured cost at geometrically spaced parameters
+// plus the fitted growth ratio between consecutive points (≈1.0 for O(1),
+// ≈2.0 for linear when the parameter doubles).
+#include <cstdio>
+#include <vector>
+
+#include "bench/adapters.h"
+#include "bench/harness.h"
+#include "ds/msqueue.h"
+#include "util/timing.h"
+#include "vcas/versioned_cas.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+double nanos_per_op(std::int64_t total_nanos, std::int64_t ops) {
+  return static_cast<double>(total_nanos) / static_cast<double>(ops);
+}
+
+void section_o1_ops() {
+  std::printf("-- O(1) claims: cost vs accumulated history --\n");
+  std::printf("%-12s %14s %14s %14s\n", "versions", "takeSnap ns", "vRead ns",
+              "vCAS ns");
+  for (std::int64_t versions : {1000, 10000, 100000, 1000000}) {
+    vcas::Camera cam;
+    vcas::VersionedCAS<std::int64_t> obj(0, &cam);
+    for (std::int64_t k = 1; k <= versions; ++k) obj.vCAS(k - 1, k);
+
+    constexpr std::int64_t kOps = 200000;
+    vcas::util::Timer t1;
+    for (std::int64_t i = 0; i < kOps; ++i) cam.takeSnapshot();
+    const double snap_ns = nanos_per_op(t1.elapsed_nanos(), kOps);
+
+    vcas::util::Timer t2;
+    std::int64_t sink = 0;
+    for (std::int64_t i = 0; i < kOps; ++i) sink += obj.vRead();
+    const double read_ns = nanos_per_op(t2.elapsed_nanos(), kOps);
+
+    vcas::util::Timer t3;
+    std::int64_t v = obj.vRead();
+    for (std::int64_t i = 0; i < kOps; ++i) {
+      obj.vCAS(v, v + 1);
+      ++v;
+    }
+    const double cas_ns = nanos_per_op(t3.elapsed_nanos(), kOps);
+
+    std::printf("%-12lld %14.1f %14.1f %14.1f%s\n",
+                static_cast<long long>(versions), snap_ns, read_ns, cas_ns,
+                sink == -1 ? "!" : "");
+  }
+  std::printf("(flat columns ==> constant time regardless of history)\n\n");
+}
+
+void section_read_snapshot() {
+  std::printf("-- readSnapshot cost vs snapshot age --\n");
+  std::printf("%-12s %14s %10s\n", "age (vCASes)", "ns/readSnap", "growth");
+  vcas::Camera cam;
+  vcas::VersionedCAS<std::int64_t> obj(0, &cam);
+  double prev = 0;
+  for (std::int64_t age : {256, 512, 1024, 2048, 4096}) {
+    const vcas::Timestamp handle = cam.takeSnapshot();
+    std::int64_t v = obj.vRead();
+    for (std::int64_t i = 0; i < age; ++i) {
+      obj.vCAS(v, v + 1);
+      ++v;
+    }
+    constexpr std::int64_t kOps = 20000;
+    vcas::util::Timer t;
+    std::int64_t sink = 0;
+    for (std::int64_t i = 0; i < kOps; ++i) sink += obj.readSnapshot(handle);
+    const double ns = nanos_per_op(t.elapsed_nanos(), kOps);
+    std::printf("%-12lld %14.1f %10.2f%s\n", static_cast<long long>(age), ns,
+                prev > 0 ? ns / prev : 0.0, sink == -1 ? "!" : "");
+    prev = ns;
+  }
+  std::printf("(growth ~2 when age doubles ==> linear in #vCASes after the "
+              "snapshot; Theorem 2)\n\n");
+}
+
+void section_queue_ith() {
+  std::printf("-- MS queue ith(i): O(i) --\n");
+  std::printf("%-12s %14s %10s\n", "i", "ns/ith", "growth");
+  vcas::ds::VcasMSQueue<std::int64_t> queue;
+  for (std::int64_t i = 0; i < 70000; ++i) queue.enqueue(i);
+  double prev = 0;
+  for (std::size_t i : {4096u, 8192u, 16384u, 32768u, 65536u}) {
+    constexpr int kOps = 200;
+    vcas::util::Timer t;
+    for (int rep = 0; rep < kOps; ++rep) queue.ith(i);
+    const double ns = nanos_per_op(t.elapsed_nanos(), kOps);
+    std::printf("%-12zu %14.0f %10.2f\n", i, ns, prev > 0 ? ns / prev : 0.0);
+    prev = ns;
+  }
+  std::printf("\n");
+}
+
+void section_bst_range() {
+  std::printf("-- VcasBST range(s,e): O(h + K + c) --\n");
+  std::printf("%-12s %14s %10s\n", "K(s,e)", "ns/range", "growth");
+  vcas::ds::VcasBST<Key, Key> tree;
+  prefill<VcasBstAdapter>(tree, 1 << 17, 1 << 18, 9);
+  double prev = 0;
+  for (Key width : {512, 1024, 2048, 4096, 8192}) {
+    constexpr int kOps = 400;
+    vcas::util::Timer t;
+    for (int rep = 0; rep < kOps; ++rep) {
+      tree.range(rep * 16 + 1, rep * 16 + width * 2);  // ~width keys hit
+    }
+    const double ns = nanos_per_op(t.elapsed_nanos(), kOps);
+    std::printf("%-12lld %14.0f %10.2f\n", static_cast<long long>(width), ns,
+                prev > 0 ? ns / prev : 0.0);
+    prev = ns;
+  }
+  std::printf("\n");
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 1 / Theorem 2: empirical complexity checks ==\n\n");
+  section_o1_ops();
+  section_read_snapshot();
+  section_queue_ith();
+  section_bst_range();
+  return 0;
+}

@@ -1,0 +1,227 @@
+// Shared benchmark harness: workload generation, timed multi-thread
+// drivers, and paper-style table printing.
+//
+// Environment knobs (all optional):
+//   VCAS_BENCH_MS    per-measurement wall time in ms        (default 300)
+//   VCAS_BENCH_REPS  repetitions averaged per cell          (default 3)
+//   VCAS_THREADS     comma list of thread counts            (default 1,2,4)
+//   VCAS_SIZE        "small" tree size in keys              (default 100000)
+//   VCAS_LARGE_SIZE  "large" tree size in keys              (default 1000000)
+//   VCAS_LARGE       run large-size experiments too if "1"  (default 0)
+//
+// The paper's testbed is a 72-core/144-thread 4-socket Xeon with 5-second
+// runs; this harness defaults are scaled for CI-class machines. Shapes
+// (who wins, crossovers), not absolute numbers, are the reproduction goal;
+// see EXPERIMENTS.md.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "util/barrier.h"
+#include "util/padded.h"
+#include "util/rng.h"
+#include "util/timing.h"
+
+namespace vcas::bench {
+
+using Key = std::int64_t;
+
+struct Config {
+  int run_ms = 300;
+  int reps = 3;
+  std::vector<int> threads = {1, 2, 4};
+  std::size_t size_small = 100000;
+  std::size_t size_large = 1000000;
+  bool large = false;
+};
+
+inline Config config_from_env() {
+  Config cfg;
+  if (const char* v = std::getenv("VCAS_BENCH_MS")) cfg.run_ms = std::atoi(v);
+  if (const char* v = std::getenv("VCAS_BENCH_REPS")) cfg.reps = std::atoi(v);
+  if (const char* v = std::getenv("VCAS_SIZE")) {
+    cfg.size_small = static_cast<std::size_t>(std::atoll(v));
+  }
+  if (const char* v = std::getenv("VCAS_LARGE_SIZE")) {
+    cfg.size_large = static_cast<std::size_t>(std::atoll(v));
+  }
+  if (const char* v = std::getenv("VCAS_LARGE")) cfg.large = std::atoi(v) != 0;
+  if (const char* v = std::getenv("VCAS_THREADS")) {
+    cfg.threads.clear();
+    std::string s(v);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      cfg.threads.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+      pos = comma + 1;
+    }
+  }
+  return cfg;
+}
+
+// The paper's key-range rule: with insert fraction i and delete fraction d
+// (percent), draw keys from [1, r] with r = n*(i+d)/i so the structure
+// hovers around n keys.
+inline Key key_range_for(std::size_t n, int ins_pct, int del_pct) {
+  if (ins_pct == 0) return static_cast<Key>(n);
+  return static_cast<Key>(n) * (ins_pct + del_pct) / ins_pct;
+}
+
+// Fill a tree with exactly n distinct keys drawn uniformly from [1, range].
+template <typename A>
+void prefill(typename A::Tree& tree, std::size_t n, Key range,
+             std::uint64_t seed = 12345) {
+  util::Xoshiro256 rng(seed);
+  std::size_t inserted = 0;
+  while (inserted < n) {
+    const Key k = 1 + static_cast<Key>(rng.next_in(
+                          static_cast<std::uint64_t>(range)));
+    if (A::insert(tree, k, k)) ++inserted;
+  }
+}
+
+struct MixResult {
+  double total_mops = 0;   // all operations / sec / 1e6
+  double update_mops = 0;  // inserts+deletes+finds per sec / 1e6
+  double rq_per_sec = 0;   // range queries per sec
+};
+
+// Timed mixed workload: each thread draws ops i.i.d. with the given percent
+// mix (ins + del + find + rq == 100) over uniform keys in [1, range].
+template <typename A>
+MixResult run_mix(typename A::Tree& tree, int threads, int ins_pct,
+                  int del_pct, int find_pct, int rq_pct, Key range,
+                  Key rq_size, int run_ms, std::uint64_t seed = 777) {
+  // rq is the residual bucket of the percentage dice below.
+  assert(ins_pct + del_pct + find_pct + rq_pct == 100);
+  (void)rq_pct;
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  util::Padded<std::uint64_t> point_ops[192];
+  util::Padded<std::uint64_t> rq_ops[192];
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      std::uint64_t points = 0;
+      std::uint64_t rqs = 0;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        const int dice = static_cast<int>(rng.next_in(100));
+        const Key k =
+            1 + static_cast<Key>(rng.next_in(static_cast<std::uint64_t>(range)));
+        if (dice < ins_pct) {
+          A::insert(tree, k, k);
+          ++points;
+        } else if (dice < ins_pct + del_pct) {
+          A::remove(tree, k);
+          ++points;
+        } else if (dice < ins_pct + del_pct + find_pct) {
+          A::find(tree, k);
+          ++points;
+        } else {
+          A::range(tree, k, k + rq_size - 1);
+          ++rqs;
+        }
+      }
+      point_ops[t].value = points;
+      rq_ops[t].value = rqs;
+    });
+  }
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  MixResult r;
+  const double secs = run_ms / 1000.0;
+  std::uint64_t points = 0, rqs = 0;
+  for (int t = 0; t < threads; ++t) {
+    points += point_ops[t].value;
+    rqs += rq_ops[t].value;
+  }
+  r.update_mops = static_cast<double>(points) / secs / 1e6;
+  r.rq_per_sec = static_cast<double>(rqs) / secs;
+  r.total_mops = static_cast<double>(points + rqs) / secs / 1e6;
+  return r;
+}
+
+// Dedicated-role workload (Figures 2g/2h/2j/2k): `upd_threads` run a 50/50
+// insert/delete mix while `rq_threads` run back-to-back range queries of
+// the given size. Returns update Mops/s and range queries/s separately.
+struct DedicatedResult {
+  double update_mops = 0;
+  double rq_per_sec = 0;
+};
+
+template <typename A>
+DedicatedResult run_dedicated(typename A::Tree& tree, int upd_threads,
+                              int rq_threads, Key range, Key rq_size,
+                              int run_ms, std::uint64_t seed = 991) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  util::Padded<std::uint64_t> upd_ops[192];
+  util::Padded<std::uint64_t> rq_ops[192];
+  std::vector<std::thread> workers;
+  for (int t = 0; t < upd_threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 104729);
+      std::uint64_t ops = 0;
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key k =
+            1 + static_cast<Key>(rng.next_in(static_cast<std::uint64_t>(range)));
+        if (rng.next_in(2) == 0) {
+          A::insert(tree, k, k);
+        } else {
+          A::remove(tree, k);
+        }
+        ++ops;
+      }
+      upd_ops[t].value = ops;
+    });
+  }
+  for (int t = 0; t < rq_threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(seed + 555 + static_cast<std::uint64_t>(t) * 7);
+      std::uint64_t ops = 0;
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key lo =
+            1 + static_cast<Key>(rng.next_in(static_cast<std::uint64_t>(range)));
+        A::range(tree, lo, lo + rq_size - 1);
+        ++ops;
+      }
+      rq_ops[t].value = ops;
+    });
+  }
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  DedicatedResult r;
+  const double secs = run_ms / 1000.0;
+  std::uint64_t upd = 0, rq = 0;
+  for (int t = 0; t < upd_threads; ++t) upd += upd_ops[t].value;
+  for (int t = 0; t < rq_threads; ++t) rq += rq_ops[t].value;
+  r.update_mops = static_cast<double>(upd) / secs / 1e6;
+  r.rq_per_sec = static_cast<double>(rq) / secs;
+  return r;
+}
+
+}  // namespace vcas::bench

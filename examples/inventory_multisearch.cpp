@@ -1,0 +1,77 @@
+// Inventory multi-search: the versioned Harris linked list (paper
+// Section 4 / Appendix F) as a small ordered inventory, plus VcasBST for
+// the same queries at tree scale.
+//
+// The invariant: a "bundle" is sold or restocked as a unit — SKUs
+// {b, b+100, b+200} are always inserted low-to-high and removed
+// high-to-low. An atomic multisearch can therefore never observe the top
+// SKU of a bundle without its base SKU; interleaved point lookups could.
+//
+// Build & run:  ./build/examples/inventory_multisearch
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "ds/ellen_bst.h"
+#include "ds/harris_list.h"
+#include "util/rng.h"
+
+int main() {
+  vcas::ds::VcasHarrisList<std::int64_t, std::int64_t> shelf;
+  vcas::ds::VcasBST<std::int64_t, std::int64_t> warehouse;
+
+  constexpr std::int64_t kBundles = 20;
+  std::atomic<bool> stop{false};
+
+  std::thread restocker([&] {
+    vcas::util::Xoshiro256 rng(9);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t b = static_cast<std::int64_t>(rng.next_in(kBundles));
+      if (rng.next_in(2) == 0) {
+        shelf.insert(b, 1);
+        shelf.insert(b + 100, 1);
+        shelf.insert(b + 200, 1);
+        warehouse.insert(b, 1);
+        warehouse.insert(b + 100, 1);
+        warehouse.insert(b + 200, 1);
+      } else {
+        shelf.remove(b + 200);
+        shelf.remove(b + 100);
+        shelf.remove(b);
+        warehouse.remove(b + 200);
+        warehouse.remove(b + 100);
+        warehouse.remove(b);
+      }
+    }
+  });
+
+  bool ok = true;
+  vcas::util::Xoshiro256 rng(10);
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t b = static_cast<std::int64_t>(rng.next_in(kBundles));
+    // Atomic multisearch on the list: top SKU present => base present.
+    auto list_hits = shelf.multisearch({b, b + 100, b + 200});
+    if (list_hits[2].has_value() && !list_hits[0].has_value()) ok = false;
+    // Same check against the tree.
+    auto tree_hits = warehouse.multisearch({b, b + 100, b + 200});
+    if (tree_hits[2].has_value() && !tree_hits[0].has_value()) ok = false;
+    // Range over a whole bundle: must be 0, 1, 2 or 3 SKUs, but if the
+    // +200 SKU is in the range result, the base must be too.
+    auto range = shelf.range(b, b + 200);
+    bool base = false, top = false;
+    for (auto& [k, v] : range) {
+      if (k == b) base = true;
+      if (k == b + 200) top = true;
+    }
+    if (top && !base) ok = false;
+  }
+  stop = true;
+  restocker.join();
+
+  std::printf("3000 atomic bundle checks against a concurrent restocker on "
+              "both the list and the tree: %s\n",
+              ok ? "no torn bundle ever observed"
+                 : "TORN BUNDLE OBSERVED — this is a bug");
+  vcas::ebr::drain_for_tests();
+  return ok ? 0 : 1;
+}

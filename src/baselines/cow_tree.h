@@ -1,0 +1,343 @@
+// CowTree: a lock-based external BST with lazy copy-on-write snapshots —
+// the behavioral analogue of Bronson et al.'s SnapTree [PPoPP 2010] used
+// by the paper's Java experiments.
+//
+// Mechanism (the one the paper's analysis attributes SnapTree's profile
+// to): updates normally mutate nodes in place under fine-grained
+// hand-over-hand locks, so update throughput is competitive when no
+// snapshot is outstanding. Taking a snapshot bumps a global snapshot epoch
+// and drains in-flight writers; every node created before that epoch
+// becomes frozen, and the next update through it must copy it (lazy
+// copy-on-write of the touched path). Frequent range queries therefore
+// force updates into persistent-tree behavior — the "no scalability with
+// range queries" effect in Figure 2 — while queries themselves read an
+// immutable subtree for free.
+//
+// Locking order is strictly top-down (root guard, then hand-over-hand node
+// locks), so writers cannot deadlock. Point reads are lock-free over the
+// atomic child pointers. Reclamation: EBR (readers and snapshots pin).
+//
+// Differences from the real SnapTree, documented in DESIGN.md: no AVL
+// rebalancing (uniform keys keep the external BST shallow in expectation)
+// and snapshot-drain instead of its optimistic epoch protocol.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ebr/ebr.h"
+
+namespace vcas::baselines {
+
+namespace detail {
+class Spinlock {
+ public:
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+}  // namespace detail
+
+template <typename K, typename V>
+class CowTree {
+  struct Node {
+    K key{};
+    V value{};
+    std::uint8_t inf = 0;  // 0 real, 1 = inf1, 2 = inf2
+    bool leaf = false;
+    std::uint64_t epoch = 0;  // creation snapshot epoch; frozen when stale
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+    detail::Spinlock lock;
+  };
+
+  static bool key_less_node(const K& k, const Node* n) {
+    return n->inf != 0 || k < n->key;
+  }
+
+ public:
+  CowTree() {
+    Node* leaf1 = make_leaf(K{}, V{}, 1, 0);
+    Node* leaf2 = make_leaf(K{}, V{}, 2, 0);
+    Node* root = new Node;
+    root->inf = 2;
+    root->left.store(leaf1, std::memory_order_relaxed);
+    root->right.store(leaf2, std::memory_order_relaxed);
+    root_.store(root, std::memory_order_relaxed);
+  }
+
+  CowTree(const CowTree&) = delete;
+  CowTree& operator=(const CowTree&) = delete;
+
+  ~CowTree() { free_rec(root_.load(std::memory_order_relaxed)); }
+
+  std::optional<V> find(const K& key) {
+    ebr::Guard g;
+    Node* node = root_.load(std::memory_order_seq_cst);
+    while (!node->leaf) {
+      node = key_less_node(key, node)
+                 ? node->left.load(std::memory_order_seq_cst)
+                 : node->right.load(std::memory_order_seq_cst);
+    }
+    if (node->inf == 0 && node->key == key) return node->value;
+    return std::nullopt;
+  }
+
+  bool contains(const K& key) { return find(key).has_value(); }
+
+  bool insert(const K& key, const V& value) {
+    ebr::Guard g;
+    WriterSession w = enter_writer();
+    Node* p = nullptr;    // cur's locked parent (null at the root)
+    Node* cur = w.root;   // locked, current-epoch internal
+    for (;;) {
+      const bool go_left = key_less_node(key, cur);
+      Node* child = (go_left ? cur->left : cur->right)
+                        .load(std::memory_order_seq_cst);
+      if (child->leaf) {
+        bool inserted = false;
+        if (!(child->inf == 0 && child->key == key)) {
+          Node* new_leaf = make_leaf(key, value, 0, w.epoch);
+          Node* ni = new Node;
+          ni->epoch = w.epoch;
+          if (child->inf != 0 || key < child->key) {
+            ni->key = child->key;
+            ni->inf = child->inf;
+            ni->left.store(new_leaf, std::memory_order_relaxed);
+            ni->right.store(child, std::memory_order_relaxed);
+          } else {
+            ni->key = key;
+            ni->left.store(child, std::memory_order_relaxed);
+            ni->right.store(new_leaf, std::memory_order_relaxed);
+          }
+          (go_left ? cur->left : cur->right)
+              .store(ni, std::memory_order_seq_cst);
+          inserted = true;
+        }
+        if (p != nullptr) p->lock.unlock();
+        cur->lock.unlock();
+        exit_writer();
+        return inserted;
+      }
+      child = ensure_current(cur, go_left, child, w.epoch);
+      if (p != nullptr) p->lock.unlock();
+      p = cur;
+      cur = child;
+    }
+  }
+
+  bool remove(const K& key) {
+    ebr::Guard g;
+    WriterSession w = enter_writer();
+    Node* p = nullptr;
+    Node* cur = w.root;
+    for (;;) {
+      const bool go_left = key_less_node(key, cur);
+      Node* child = (go_left ? cur->left : cur->right)
+                        .load(std::memory_order_seq_cst);
+      if (child->leaf) {
+        bool removed = false;
+        if (child->inf == 0 && child->key == key) {
+          // Splice cur out: its other child takes cur's place under p.
+          assert(p != nullptr && "real leaves always have a grandparent");
+          Node* sibling = (go_left ? cur->right : cur->left)
+                              .load(std::memory_order_seq_cst);
+          const bool cur_left =
+              p->left.load(std::memory_order_seq_cst) == cur;
+          (cur_left ? p->left : p->right)
+              .store(sibling, std::memory_order_seq_cst);
+          ebr::retire(cur);
+          ebr::retire(child);
+          removed = true;
+        }
+        if (p != nullptr) p->lock.unlock();
+        cur->lock.unlock();
+        exit_writer();
+        return removed;
+      }
+      child = ensure_current(cur, go_left, child, w.epoch);
+      if (p != nullptr) p->lock.unlock();
+      p = cur;
+      cur = child;
+    }
+  }
+
+  // Atomic range query via a lazy copy-on-write snapshot: bump the epoch,
+  // drain in-flight writers, then read an immutable subtree.
+  std::vector<std::pair<K, V>> range(const K& lo, const K& hi) {
+    ebr::Guard g;
+    Node* root;
+    {
+      root_guard_.lock();
+      snap_epoch_.fetch_add(1, std::memory_order_seq_cst);
+      while (writers_active_.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+      }
+      root = root_.load(std::memory_order_seq_cst);
+      root_guard_.unlock();
+    }
+    // root->epoch < the new snapshot epoch, so the whole reachable subtree
+    // is frozen: post-drain writers clone before touching any of it.
+    std::vector<std::pair<K, V>> out;
+    range_rec(root, lo, hi, out);
+    return out;
+  }
+
+  std::size_t size_snapshot() {
+    auto all = range(std::numeric_limits<K>::lowest(),
+                     std::numeric_limits<K>::max());
+    return all.size();
+  }
+
+  std::size_t size_unsynchronized() const {
+    return size_rec(root_.load(std::memory_order_relaxed));
+  }
+
+  std::vector<K> keys_unsynchronized() const {
+    std::vector<K> out;
+    keys_rec(root_.load(std::memory_order_relaxed), out);
+    return out;
+  }
+
+  std::size_t height_unsynchronized() const {
+    return height_rec(root_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct WriterSession {
+    Node* root;        // locked, current-epoch
+    std::uint64_t epoch;
+  };
+
+  // Register as a writer and return the locked, current-epoch root. The
+  // root guard serializes against snapshots: a writer that passes it is
+  // either drained by a later snapshot or sees that snapshot's epoch.
+  WriterSession enter_writer() {
+    root_guard_.lock();
+    writers_active_.fetch_add(1, std::memory_order_seq_cst);
+    const std::uint64_t epoch = snap_epoch_.load(std::memory_order_seq_cst);
+    Node* root = root_.load(std::memory_order_seq_cst);
+    root->lock.lock();
+    if (root->epoch < epoch) {
+      Node* clone = clone_locked(root, epoch);
+      root_.store(clone, std::memory_order_seq_cst);
+      ebr::retire(root);
+      root->lock.unlock();
+      root = clone;  // constructed holding its lock
+    }
+    root_guard_.unlock();
+    return WriterSession{root, epoch};
+  }
+
+  void exit_writer() {
+    writers_active_.fetch_sub(1, std::memory_order_release);
+  }
+
+  // Under cur's lock: return the child on `go_left`, copied first if it is
+  // frozen (internal nodes only; leaves are immutable and never mutated in
+  // place). The returned node is locked; `cur` stays locked.
+  Node* ensure_current(Node* cur, bool go_left, Node* child,
+                       std::uint64_t epoch) {
+    child->lock.lock();
+    if (child->epoch >= epoch) return child;
+    Node* clone = clone_locked(child, epoch);
+    (go_left ? cur->left : cur->right).store(clone, std::memory_order_seq_cst);
+    ebr::retire(child);
+    child->lock.unlock();
+    return clone;
+  }
+
+  // Copy of `src` (whose lock the caller holds, so its children are
+  // stable); the clone is returned LOCKED so the caller can hand it over.
+  Node* clone_locked(Node* src, std::uint64_t epoch) {
+    Node* n = new Node;
+    n->key = src->key;
+    n->value = src->value;
+    n->inf = src->inf;
+    n->leaf = src->leaf;
+    n->epoch = epoch;
+    n->left.store(src->left.load(std::memory_order_seq_cst),
+                  std::memory_order_relaxed);
+    n->right.store(src->right.load(std::memory_order_seq_cst),
+                   std::memory_order_relaxed);
+    n->lock.lock();
+    return n;
+  }
+
+  Node* make_leaf(const K& k, const V& v, std::uint8_t inf,
+                  std::uint64_t epoch) {
+    Node* n = new Node;
+    n->key = k;
+    n->value = v;
+    n->inf = inf;
+    n->leaf = true;
+    n->epoch = epoch;
+    return n;
+  }
+
+  void range_rec(const Node* node, const K& lo, const K& hi,
+                 std::vector<std::pair<K, V>>& out) const {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && !(hi < node->key)) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    if (key_less_node(lo, node)) {
+      range_rec(node->left.load(std::memory_order_seq_cst), lo, hi, out);
+    }
+    if (!key_less_node(hi, node)) {
+      range_rec(node->right.load(std::memory_order_seq_cst), lo, hi, out);
+    }
+  }
+
+  std::size_t height_rec(const Node* node) const {
+    if (node->leaf) return 0;
+    const std::size_t lh = height_rec(node->left.load(std::memory_order_relaxed));
+    const std::size_t rh = height_rec(node->right.load(std::memory_order_relaxed));
+    return 1 + (lh > rh ? lh : rh);
+  }
+
+  std::size_t size_rec(const Node* node) const {
+    if (node->leaf) return node->inf == 0 ? 1 : 0;
+    return size_rec(node->left.load(std::memory_order_relaxed)) +
+           size_rec(node->right.load(std::memory_order_relaxed));
+  }
+
+  void keys_rec(const Node* node, std::vector<K>& out) const {
+    if (node->leaf) {
+      if (node->inf == 0) out.push_back(node->key);
+      return;
+    }
+    keys_rec(node->left.load(std::memory_order_relaxed), out);
+    keys_rec(node->right.load(std::memory_order_relaxed), out);
+  }
+
+  void free_rec(Node* node) {
+    if (node == nullptr) return;
+    if (!node->leaf) {
+      free_rec(node->left.load(std::memory_order_relaxed));
+      free_rec(node->right.load(std::memory_order_relaxed));
+    }
+    delete node;
+  }
+
+  std::atomic<Node*> root_;
+  detail::Spinlock root_guard_;
+  std::atomic<std::uint64_t> snap_epoch_{1};
+  std::atomic<int> writers_active_{0};
+};
+
+}  // namespace vcas::baselines

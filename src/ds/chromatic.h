@@ -1,0 +1,1222 @@
+// Non-blocking chromatic tree (Brown, Ellen, Ruppert, PPoPP 2014) built on
+// the LLX/SCX primitives, in two flavors:
+//
+//   ChromaticTree<K,V>  — plain atomic child pointers (the paper's "CT").
+//   VcasChromaticTree<K,V> — versioned child pointers ("VcasCT"): the SCX
+//        update CAS becomes a vCAS, making the tree snapshottable. Every
+//        SCX installs a freshly allocated fragment, so the structure is
+//        recorded-once *by construction* (paper Section 6) and the
+//        indirection-free Figure 9 representation applies directly.
+//
+// Structure: leaf-oriented BST with a weight per node (relaxed red-black:
+// w==0 red, w==1 black, w>1 overweight). The invariant maintained *exactly*
+// at all times is: every root-to-leaf path over real nodes has the same
+// total weight. Two kinds of violations may exist temporarily and are
+// repaired by a cleanup pass after each update:
+//   - red-red: a w==0 node whose (real) parent has w==0,
+//   - overweight: a node with w > 1.
+// Every rebalancing transformation below preserves (a) the in-order key
+// sequence and (b) the weight sum along every path through the replaced
+// fragment; tests/chromatic_test.cc checks both properties globally after
+// randomized histories, which validates the transformation algebra without
+// transcribing the original paper's 22 case diagrams.
+//
+// LLX/SCX: each node carries an SCX-record pointer (info) and a marked bit.
+// LLX(r) returns a snapshot of r's mutable fields provided no SCX is in
+// progress on r; SCX(V, fld, old, new) freezes every node in V (CAS its
+// info from the LLX-observed record to the new record), marks the removed
+// nodes (all of V except the field owner V[0]), performs the single child
+// CAS that swings the fragment in, and commits. Any operation that finds a
+// node frozen helps the recorded SCX finish, which makes updates lock-free.
+//
+// Reclamation: EBR, with the same unique-winner discipline as ellen_bst.h:
+// the SCX initiator retires removed nodes; an SCX record is retired by the
+// freeze CAS that later replaces it in a live node's info field.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "ds/ellen_bst.h"  // detail::PlainPtr, detail::Empty
+#include "ebr/ebr.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+#include "vcas/versioned_ptr.h"
+
+namespace vcas::ds {
+
+template <typename K, typename V, bool UseVcas>
+class ChromaticTreeT {
+  struct Node;
+  using ChildPtr = std::conditional_t<UseVcas, VersionedPtr<Node>,
+                                      detail::PlainPtr<Node>>;
+  using NodeBase =
+      std::conditional_t<UseVcas, Versioned<Node>, detail::Empty>;
+
+  enum class ScxState : int { kInProgress = 0, kCommitted = 1, kAborted = 2 };
+
+  struct ScxRecord;
+
+  struct Node : NodeBase {
+    K key{};
+    V value{};
+    std::uint8_t inf = 0;  // 0 real, 1 = inf1, 2 = inf2 sentinel
+    bool leaf = false;
+    std::int32_t weight = 1;
+    std::atomic<ScxRecord*> info{nullptr};
+    std::atomic<bool> marked{false};
+    ChildPtr left;
+    ChildPtr right;
+  };
+
+  static constexpr int kMaxV = 6;
+
+  struct ScxRecord {
+    ScxState initial_state;
+    int n = 0;                       // |V|
+    Node* nodes[kMaxV] = {};         // V, field owner first
+    ScxRecord* infos[kMaxV] = {};    // LLX-observed records
+    ChildPtr* field = nullptr;       // mutable field of nodes[0]
+    Node* old_child = nullptr;
+    Node* new_child = nullptr;
+    std::atomic<ScxState> state;
+    std::atomic<bool> all_frozen{false};
+    // Aborted-but-published records join a per-tree garbage list freed at
+    // destruction: they may sit in the info words of several *live* nodes
+    // (the frozen prefix), so no single replacement event can own their
+    // reclamation. Committed records live in exactly one live word (V[0])
+    // and are EBR-retired when that word is replaced.
+    ScxRecord* next_garbage = nullptr;
+
+    explicit ScxRecord(ScxState s) : initial_state(s), state(s) {}
+  };
+
+ public:
+  ChromaticTreeT() : ChromaticTreeT(nullptr) {}
+
+  // Associate with an existing camera (paper Section 3); nullptr means a
+  // private camera. Shared cameras enable cross-structure atomic queries
+  // through the *_at variants.
+  explicit ChromaticTreeT(Camera* shared) : dummy_(ScxState::kAborted) {
+    if (shared == nullptr) {
+      owned_camera_ = std::make_unique<Camera>();
+      camera_ = owned_camera_.get();
+    } else {
+      camera_ = shared;
+    }
+    Node* leaf1 = make_leaf(K{}, V{}, 1, 1);
+    Node* leaf2 = make_leaf(K{}, V{}, 2, 1);
+    root_ = new Node;
+    root_->inf = 2;
+    root_->weight = 1;
+    root_->info.store(&dummy_, std::memory_order_relaxed);
+    root_->left.init(leaf1, camera_);
+    root_->right.init(leaf2, camera_);
+  }
+
+  ChromaticTreeT(const ChromaticTreeT&) = delete;
+  ChromaticTreeT& operator=(const ChromaticTreeT&) = delete;
+
+  ~ChromaticTreeT() {
+    std::unordered_set<ScxRecord*> records;
+    free_rec(root_, records);
+    // Records reachable from live words: committed ones never replaced on
+    // their V[0]. Aborted ones are owned by the garbage list below and must
+    // not be double-freed here.
+    for (ScxRecord* r : records) {
+      if (r != &dummy_ &&
+          r->state.load(std::memory_order_relaxed) == ScxState::kCommitted) {
+        delete r;
+      }
+    }
+    ScxRecord* g = garbage_.load(std::memory_order_relaxed);
+    while (g != nullptr) {
+      ScxRecord* next = g->next_garbage;
+      delete g;
+      g = next;
+    }
+  }
+
+  Camera& camera() { return *camera_; }
+
+  std::optional<V> find(const K& key) {
+    ebr::Guard g;
+    Node* node = root_;
+    while (!node->leaf) {
+      node = key_less_node(key, node) ? node->left.vRead()
+                                      : node->right.vRead();
+    }
+    if (node->inf == 0 && node->key == key) return node->value;
+    return std::nullopt;
+  }
+
+  bool contains(const K& key) { return find(key).has_value(); }
+
+  bool insert(const K& key, const V& value) {
+    ebr::Guard g;
+    for (;;) {
+      // Optimistic descent, then validate with LLX.
+      Node* p = root_;
+      Node* l = key_less_node(key, p) ? p->left.vRead() : p->right.vRead();
+      while (!l->leaf) {
+        p = l;
+        l = key_less_node(key, p) ? p->left.vRead() : p->right.vRead();
+      }
+      Llx rp = llx(p);
+      if (!rp.ok) continue;
+      const bool go_left = key_less_node(key, p);
+      if ((go_left ? rp.left : rp.right) != l) continue;  // stale descent
+      if (l->inf == 0 && l->key == key) return false;     // validated present
+      Llx rl = llx(l);
+      if (!rl.ok) continue;
+
+      // Fragment: internal with weight w(l)-1 (floor 0) and two weight-1
+      // leaves, preserving the path weight sum w(l) to both leaves. A red
+      // leaf (w==0) degenerates to an all-red fragment, fixed by cleanup.
+      const std::int32_t wl = l->weight;
+      const std::int32_t wi = wl >= 1 ? wl - 1 : 0;
+      const std::int32_t wleaf = wl >= 1 ? 1 : 0;
+      Node* new_leaf = make_leaf(key, value, 0, wleaf);
+      Node* old_copy = make_leaf(l->key, l->value, l->inf, wleaf);
+      Node* ni = new Node;
+      ni->weight = wi;
+      ni->info.store(&dummy_, std::memory_order_relaxed);
+      if (l->inf != 0 || key < l->key) {
+        ni->key = l->key;
+        ni->inf = l->inf;
+        ni->left.init(new_leaf, camera_);
+        ni->right.init(old_copy, camera_);
+      } else {
+        ni->key = key;
+        ni->left.init(old_copy, camera_);
+        ni->right.init(new_leaf, camera_);
+      }
+      Llx vs[2] = {rp, rl};
+      const K sibling_key = l->key;
+      if (scx(vs, 2, go_left ? &p->left : &p->right, l, ni)) {
+        cleanup(key);
+        // Inserting at a red leaf creates an all-red fragment: two red-red
+        // edges, and the one toward the copied leaf is off cleanup(key)'s
+        // path. A second targeted pass keeps the creator responsible for
+        // every violation it introduced (quiescent trees stay violation-
+        // free).
+        if (wl == 0) cleanup(sibling_key);
+        return true;
+      }
+      delete new_leaf;
+      delete old_copy;
+      delete ni;
+    }
+  }
+
+  bool remove(const K& key) {
+    ebr::Guard g;
+    for (;;) {
+      Node* gp = nullptr;
+      Node* p = root_;
+      Node* l = key_less_node(key, p) ? p->left.vRead() : p->right.vRead();
+      while (!l->leaf) {
+        gp = p;
+        p = l;
+        l = key_less_node(key, p) ? p->left.vRead() : p->right.vRead();
+      }
+      if (!(l->inf == 0 && l->key == key)) {
+        // Validate absence against a stable parent before reporting false.
+        Llx rp = llx(p);
+        if (!rp.ok) continue;
+        const bool go_left = key_less_node(key, p);
+        if ((go_left ? rp.left : rp.right) != l) continue;
+        return false;
+      }
+      assert(gp != nullptr && "real leaves always have a grandparent");
+      Llx rgp = llx(gp);
+      if (!rgp.ok) continue;
+      const bool gp_left = key_less_node(key, gp);
+      if ((gp_left ? rgp.left : rgp.right) != p) continue;
+      Llx rp = llx(p);
+      if (!rp.ok) continue;
+      const bool p_left = key_less_node(key, p);
+      if ((p_left ? rp.left : rp.right) != l) continue;
+      Node* s = p_left ? rp.right : rp.left;
+      Llx rs = llx(s);
+      if (!rs.ok) continue;
+      Llx rl = llx(l);
+      if (!rl.ok) continue;
+
+      // Promote a copy of the sibling carrying w(p)+w(s), preserving the
+      // path weight sum through the removed parent. Directly below a
+      // sentinel the weight resets to 1 (uniform shift over all real
+      // paths).
+      Node* sp = clone_node(s, rs);
+      sp->weight = gp->inf != 0 ? 1 : p->weight + s->weight;
+      Llx vs[4] = {rgp, rp, rs, rl};
+      if (scx(vs, 4, gp_left ? &gp->left : &gp->right, p, sp)) {
+        cleanup(key);
+        return true;
+      }
+      delete sp;
+    }
+  }
+
+  // --- snapshot queries (versioned flavor only) ----------------------------
+
+  std::vector<std::pair<K, V>> range(const K& lo, const K& hi)
+    requires UseVcas
+  {
+    SnapshotGuard snap(*camera_);
+    return range_at(snap.ts(), lo, hi);
+  }
+
+  // Handle-explicit variant for cross-structure snapshots (caller holds a
+  // SnapshotGuard on the shared camera, taken after this tree existed).
+  std::vector<std::pair<K, V>> range_at(Timestamp ts, const K& lo,
+                                        const K& hi)
+    requires UseVcas
+  {
+    std::vector<std::pair<K, V>> out;
+    range_rec(root_, lo, hi, ts, out);
+    return out;
+  }
+
+  std::vector<std::pair<K, V>> succ(const K& k, std::size_t count)
+    requires UseVcas
+  {
+    SnapshotGuard snap(*camera_);
+    std::vector<std::pair<K, V>> out;
+    succ_rec(root_, k, count, snap.ts(), out);
+    return out;
+  }
+
+  std::optional<std::pair<K, V>> find_if(
+      const K& lo, const K& hi, const std::function<bool(const K&)>& pred)
+    requires UseVcas
+  {
+    SnapshotGuard snap(*camera_);
+    return findif_rec(root_, lo, hi, pred, snap.ts());
+  }
+
+  std::vector<std::optional<V>> multisearch(const std::vector<K>& keys)
+    requires UseVcas
+  {
+    SnapshotGuard snap(*camera_);
+    std::vector<std::optional<V>> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      Node* node = root_;
+      while (!node->leaf) {
+        node = key_less_node(keys[i], node)
+                   ? node->left.readSnapshot(snap.ts())
+                   : node->right.readSnapshot(snap.ts());
+      }
+      if (node->inf == 0 && node->key == keys[i]) out[i] = node->value;
+    }
+    return out;
+  }
+
+  std::size_t size_snapshot()
+    requires UseVcas
+  {
+    SnapshotGuard snap(*camera_);
+    return size_rec(root_, snap.ts());
+  }
+
+  std::size_t height_snapshot()
+    requires UseVcas
+  {
+    SnapshotGuard snap(*camera_);
+    return height_rec(root_, snap.ts());
+  }
+
+  // --- non-atomic query counterparts (both flavors) ------------------------
+
+  std::vector<std::pair<K, V>> range_nonatomic(const K& lo, const K& hi) {
+    ebr::Guard g;
+    std::vector<std::pair<K, V>> out;
+    range_live_rec(root_, lo, hi, out);
+    return out;
+  }
+
+  std::vector<std::pair<K, V>> succ_nonatomic(const K& k, std::size_t count) {
+    ebr::Guard g;
+    std::vector<std::pair<K, V>> out;
+    succ_live_rec(root_, k, count, out);
+    return out;
+  }
+
+  std::optional<std::pair<K, V>> find_if_nonatomic(
+      const K& lo, const K& hi, const std::function<bool(const K&)>& pred) {
+    ebr::Guard g;
+    return findif_live_rec(root_, lo, hi, pred);
+  }
+
+  std::vector<std::optional<V>> multisearch_nonatomic(
+      const std::vector<K>& keys) {
+    std::vector<std::optional<V>> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) out[i] = find(keys[i]);
+    return out;
+  }
+
+  // --- quiescent introspection (tests, benches) ----------------------------
+
+  std::size_t size_unsynchronized() const { return size_live(root_); }
+  std::size_t height_unsynchronized() const { return height_live(root_); }
+
+  std::vector<K> keys_unsynchronized() const {
+    std::vector<K> out;
+    keys_live(root_, out);
+    return out;
+  }
+
+  // All real root-to-leaf weighted path sums (quiescent): the relaxed
+  // red-black safety invariant demands these are all equal at all times.
+  std::vector<std::int64_t> leaf_path_weights_unsynchronized() const {
+    std::vector<std::int64_t> out;
+    path_weights(root_, 0, out);
+    return out;
+  }
+
+  // Count of outstanding violations (quiescent): zero once cleanup has run
+  // to completion after single-threaded updates.
+  std::size_t violations_unsynchronized() const {
+    return violations_live(root_, nullptr);
+  }
+
+  // Human-readable description of each outstanding violation (debugging).
+  std::vector<std::string> dump_violations_unsynchronized() const {
+    std::vector<std::string> out;
+    dump_violations(root_, nullptr, 0, out);
+    return out;
+  }
+
+  struct RebalanceStats {
+    std::uint64_t blk = 0, rb1 = 0, rb2 = 0, push = 0, rotate = 0, root = 0;
+  };
+  RebalanceStats rebalance_stats() const {
+    return RebalanceStats{stat_blk_.load(std::memory_order_relaxed),
+                          stat_rb1_.load(std::memory_order_relaxed),
+                          stat_rb2_.load(std::memory_order_relaxed),
+                          stat_push_.load(std::memory_order_relaxed),
+                          stat_rotate_.load(std::memory_order_relaxed),
+                          stat_root_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct Llx {
+    bool ok = false;
+    Node* node = nullptr;
+    ScxRecord* info = nullptr;
+    Node* left = nullptr;
+    Node* right = nullptr;
+  };
+
+  static bool key_less_node(const K& k, const Node* n) {
+    return n->inf != 0 || k < n->key;
+  }
+
+  Node* make_leaf(const K& k, const V& v, std::uint8_t inf,
+                  std::int32_t weight) {
+    Node* n = new Node;
+    n->key = k;
+    n->value = v;
+    n->inf = inf;
+    n->leaf = true;
+    n->weight = weight;
+    n->info.store(&dummy_, std::memory_order_relaxed);
+    return n;
+  }
+
+  // Fresh copy of a node with children adopted from its LLX snapshot.
+  Node* clone_node(Node* src, const Llx& snap) {
+    Node* n = new Node;
+    n->key = src->key;
+    n->value = src->value;
+    n->inf = src->inf;
+    n->leaf = src->leaf;
+    n->weight = src->weight;
+    n->info.store(&dummy_, std::memory_order_relaxed);
+    if (!src->leaf) {
+      n->left.init(snap.left, camera_);
+      n->right.init(snap.right, camera_);
+    }
+    return n;
+  }
+
+  // --- LLX / SCX -----------------------------------------------------------
+
+  Llx llx(Node* r) {
+    const bool marked = r->marked.load(std::memory_order_seq_cst);
+    ScxRecord* rinfo = r->info.load(std::memory_order_seq_cst);
+    const ScxState state = rinfo->state.load(std::memory_order_seq_cst);
+    if (state == ScxState::kInProgress) {
+      help(rinfo);
+      return {};
+    }
+    if (marked) return {};  // finalized: caller retries from scratch
+    Llx result;
+    result.node = r;
+    result.info = rinfo;
+    if (!r->leaf) {
+      result.left = r->left.vRead();
+      result.right = r->right.vRead();
+    }
+    if (r->info.load(std::memory_order_seq_cst) == rinfo) {
+      result.ok = true;
+      return result;
+    }
+    return {};
+  }
+
+  // V[0] owns `field`; V[1..] are removed (marked + retired) on commit.
+  bool scx(const Llx* vs, int n, ChildPtr* field, Node* old_child,
+           Node* new_child) {
+    assert(n >= 1 && n <= kMaxV);
+    ScxRecord* op = new ScxRecord(ScxState::kInProgress);
+    op->n = n;
+      op->field = field;
+    op->old_child = old_child;
+    op->new_child = new_child;
+    for (int i = 0; i < n; ++i) {
+      op->nodes[i] = vs[i].node;
+      op->infos[i] = vs[i].info;
+    }
+    const HelpOutcome outcome = help_initial(op);
+    if (outcome == HelpOutcome::kCommitted) {
+      // Unique winner: retire removed nodes (V[1..]).
+      for (int i = 1; i < n; ++i) ebr::retire(op->nodes[i]);
+      return true;
+    }
+    if (outcome == HelpOutcome::kNeverPublished) {
+      delete op;
+    } else {
+      push_garbage(op);
+    }
+    return false;
+  }
+
+  enum class HelpOutcome { kCommitted, kAborted, kNeverPublished };
+
+  // Initiator's help: like help(), but reports whether op ever became
+  // visible so an unpublished record can be freed eagerly.
+  HelpOutcome help_initial(ScxRecord* op) {
+    for (int i = 0; i < op->n; ++i) {
+      Node* r = op->nodes[i];
+      ScxRecord* expected = op->infos[i];
+      if (!r->info.compare_exchange_strong(expected, op,
+                                           std::memory_order_seq_cst)) {
+        if (r->info.load(std::memory_order_seq_cst) != op) {
+          if (op->all_frozen.load(std::memory_order_seq_cst)) {
+            return HelpOutcome::kCommitted;
+          }
+          op->state.store(ScxState::kAborted, std::memory_order_seq_cst);
+          return i == 0 ? HelpOutcome::kNeverPublished
+                        : HelpOutcome::kAborted;
+        }
+      } else {
+        retire_replaced(r, op->infos[i]);
+      }
+    }
+    commit(op);
+    return HelpOutcome::kCommitted;
+  }
+
+  // Helper path (op discovered in some node's info field).
+  bool help(ScxRecord* op) {
+    for (int i = 0; i < op->n; ++i) {
+      Node* r = op->nodes[i];
+      ScxRecord* expected = op->infos[i];
+      if (!r->info.compare_exchange_strong(expected, op,
+                                           std::memory_order_seq_cst)) {
+        if (r->info.load(std::memory_order_seq_cst) != op) {
+          if (op->all_frozen.load(std::memory_order_seq_cst)) return true;
+          op->state.store(ScxState::kAborted, std::memory_order_seq_cst);
+          return false;
+        }
+      } else {
+        retire_replaced(r, op->infos[i]);
+      }
+    }
+    commit(op);
+    return true;
+  }
+
+  void commit(ScxRecord* op) {
+    op->all_frozen.store(true, std::memory_order_seq_cst);
+    for (int i = 1; i < op->n; ++i) {
+      op->nodes[i]->marked.store(true, std::memory_order_seq_cst);
+    }
+    // The single linearizing child CAS; idempotent across helpers.
+    op->field->vCAS(op->old_child, op->new_child);
+    op->state.store(ScxState::kCommitted, std::memory_order_seq_cst);
+  }
+
+  // A freshly replaced record can no longer be read by new LLXs *from this
+  // word*. Only a committed record replaced on its own V[0] is retired
+  // here: that is its single live word (the rest of its V is marked and
+  // dead), so the retire happens exactly once. Aborted records may occupy
+  // several live words and are reclaimed via the garbage list instead.
+  void retire_replaced(Node* r, ScxRecord* old) {
+    if (old == nullptr || old == &dummy_) return;
+    if (old->state.load(std::memory_order_seq_cst) == ScxState::kCommitted &&
+        old->nodes[0] == r) {
+      ebr::retire(old);
+    }
+  }
+
+  void push_garbage(ScxRecord* op) {
+    ScxRecord* head = garbage_.load(std::memory_order_relaxed);
+    do {
+      op->next_garbage = head;
+    } while (!garbage_.compare_exchange_weak(head, op,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+  }
+
+  // --- rebalancing ----------------------------------------------------------
+
+  // After an update, walk from the root toward `key` and repair the first
+  // violation found — checking both the on-path child and its sibling
+  // (the "frontier"), because several transformations deposit their
+  // residual violation on a sibling one step off the path. Repeat until a
+  // clean descent. The attempt cap bounds the walk under adversarial
+  // scheduling (the tree stays correct, merely less balanced; later
+  // operations continue the repair).
+  void cleanup(const K& key) {
+    constexpr int kMaxAttempts = 1024;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      Node* gp = nullptr;
+      Node* p = nullptr;
+      Node* node = root_;
+      bool fixed = false;
+      while (!node->leaf) {
+        const bool go_left = key_less_node(key, node);
+        Node* next = go_left ? node->left.vRead() : node->right.vRead();
+        Node* sib = go_left ? node->right.vRead() : node->left.vRead();
+        // Red-red first: the overweight fixes assume no red-red sits at
+        // (node, child) (their weight algebra needs w(parent) >= 1 in the
+        // rotate case).
+        if (node->inf == 0 && node->weight == 0 && next->weight == 0) {
+          fix_redred(gp, p, node, next);
+          fixed = true;
+          break;
+        }
+        if (node->inf == 0 && node->weight == 0 && sib->weight == 0) {
+          fix_redred(gp, p, node, sib);
+          fixed = true;
+          break;
+        }
+        if (next->weight > 1) {
+          fix_overweight(p, node, next);
+          fixed = true;
+          break;
+        }
+        if (sib->weight > 1) {
+          fix_overweight(p, node, sib);
+          fixed = true;
+          break;
+        }
+        gp = p;
+        p = node;
+        node = next;
+      }
+      if (!fixed) return;  // clean path: done
+    }
+  }
+
+  // Build a fresh internal node (children wired by the caller).
+  Node* make_internal(const K& key, std::uint8_t inf, std::int32_t weight) {
+    Node* n = new Node;
+    n->key = key;
+    n->inf = inf;
+    n->weight = weight;
+    n->info.store(&dummy_, std::memory_order_relaxed);
+    return n;
+  }
+
+  // Overweight at u; `parent` = u's parent, `grand` = parent's parent
+  // (freeze owner). Every branch strictly preserves path weight sums and
+  // leaves any residual violation either on the cleanup path or on the
+  // frontier (a child of a path node), where the next cleanup pass sees it.
+  void fix_overweight(Node* grand, Node* parent, Node* u) {
+    if (parent == root_ || parent->inf != 0) {
+      // u is the true root of the real tree: every real path passes
+      // through it, so resetting its weight to 1 shifts all sums uniformly.
+      Llx rp = llx(parent);
+      if (!rp.ok) return;
+      const bool left = rp.left == u;
+      if (!left && rp.right != u) return;  // stale
+      Llx ru = llx(u);
+      if (!ru.ok) return;
+      Node* nu = clone_node(u, ru);
+      nu->weight = 1;
+      Llx vs[2] = {rp, ru};
+      if (scx(vs, 2, left ? &parent->left : &parent->right, u, nu)) {
+        stat_root_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        delete nu;
+      }
+      return;
+    }
+    if (grand == nullptr) return;
+    Llx rg = llx(grand);
+    if (!rg.ok) return;
+    const bool g_left = rg.left == parent;
+    if (!g_left && rg.right != parent) return;
+    Llx rp = llx(parent);
+    if (!rp.ok) return;
+    const bool u_left = rp.left == u;
+    if (!u_left && rp.right != u) return;
+    Node* s = u_left ? rp.right : rp.left;
+    Llx rs = llx(s);
+    if (!rs.ok) return;
+
+    // A red leaf sibling of an overweight node would contradict the equal-
+    // path-sum invariant (its path would be lighter by w(u) >= 2 with
+    // nothing below to compensate).
+    assert(!(s->weight == 0 && s->leaf));
+
+    if (s->weight == 0 && !s->leaf) {
+      // Red sibling: rotate it up.  parent{u, s{A,B}} -> s'{p'{u,A}, B}
+      // (mirrored when u is right). s'.w = w(parent), p'.w = 0; u, A, B
+      // adopted. The overweight stays at u (now with sibling A, which in a
+      // violation-free neighborhood is non-red, enabling the next case);
+      // if A is red, the leftover (p', A) red-red is frontier-visible.
+      Node* np = make_internal(parent->key, parent->inf, 0);
+      Node* ns = make_internal(s->key, s->inf, parent->weight);
+      if (u_left) {
+        np->left.init(u, camera_);
+        np->right.init(rs.left, camera_);
+        ns->left.init(np, camera_);
+        ns->right.init(rs.right, camera_);
+      } else {
+        np->left.init(rs.right, camera_);
+        np->right.init(u, camera_);
+        ns->left.init(rs.left, camera_);
+        ns->right.init(np, camera_);
+      }
+      Llx vs[3] = {rg, rp, rs};
+      if (scx(vs, 3, g_left ? &grand->left : &grand->right, parent, ns)) {
+        stat_rotate_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        delete np;
+        delete ns;
+      }
+      return;
+    }
+
+    // Black sibling with a red child: classic RB delete-fixup rotations.
+    // They remove one unit of overweight and introduce no violation at all.
+    if (s->weight == 1 && !s->leaf) {
+      Node* outer = u_left ? rs.right : rs.left;   // nephew far from u
+      Node* inner = u_left ? rs.left : rs.right;   // nephew adjacent to u
+      if (outer->weight == 0) {
+        // parent{u, s{A, B=outer}} -> s'{p'{u-1, A}, B'} with s'.w =
+        // w(parent), p'.w = 1, B'.w = 1 (mirrored when u is right).
+        Llx ru = llx(u);  // freeze u to clone it
+        if (!ru.ok) return;
+        Llx rb = llx(outer);
+        if (!rb.ok) return;
+        Node* nu = clone_node(u, ru);
+        nu->weight = u->weight - 1;
+        Node* nb = clone_node(outer, rb);
+        nb->weight = 1;
+        Node* np = make_internal(parent->key, parent->inf, 1);
+        Node* ns = make_internal(s->key, s->inf, parent->weight);
+        if (u_left) {
+          np->left.init(nu, camera_);
+          np->right.init(rs.left, camera_);
+          ns->left.init(np, camera_);
+          ns->right.init(nb, camera_);
+        } else {
+          np->left.init(rs.right, camera_);
+          np->right.init(nu, camera_);
+          ns->left.init(nb, camera_);
+          ns->right.init(np, camera_);
+        }
+        Llx vs[5] = {rg, rp, rs, ru, rb};
+        if (scx(vs, 5, g_left ? &grand->left : &grand->right, parent, ns)) {
+          stat_rotate_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          delete nu;
+          delete nb;
+          delete np;
+          delete ns;
+        }
+        return;
+      }
+      if (inner->weight == 0 && !inner->leaf) {
+        // parent{u, s{A=inner{A1,A2}, B}} -> A'{p'{u-1, A1}, s'{A2, B}}
+        // with A'.w = w(parent), p'.w = s'.w = 1 (mirrored).
+        Llx ru = llx(u);
+        if (!ru.ok) return;
+        Llx ra = llx(inner);
+        if (!ra.ok) return;
+        Node* nu = clone_node(u, ru);
+        nu->weight = u->weight - 1;
+        Node* np = make_internal(parent->key, parent->inf, 1);
+        Node* ns = make_internal(s->key, s->inf, 1);
+        Node* na = make_internal(inner->key, inner->inf, parent->weight);
+        if (u_left) {
+          np->left.init(nu, camera_);
+          np->right.init(ra.left, camera_);
+          ns->left.init(ra.right, camera_);
+          ns->right.init(rs.right, camera_);
+          na->left.init(np, camera_);
+          na->right.init(ns, camera_);
+        } else {
+          ns->left.init(rs.left, camera_);
+          ns->right.init(ra.left, camera_);
+          np->left.init(ra.right, camera_);
+          np->right.init(nu, camera_);
+          na->left.init(ns, camera_);
+          na->right.init(np, camera_);
+        }
+        Llx vs[5] = {rg, rp, rs, ru, ra};
+        if (scx(vs, 5, g_left ? &grand->left : &grand->right, parent, na)) {
+          stat_rotate_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          delete nu;
+          delete np;
+          delete ns;
+          delete na;
+        }
+        return;
+      }
+      // red leaf nephew: falls through to push (a red leaf has no children
+      // to rotate; push keeps sums and any residual is frontier-visible).
+    }
+
+    // Push: parent{u, s} -> parent'{u-1, s-1} with parent'.w = w(parent)+1
+    // (or 1 directly below a sentinel). Creates a red sibling only when
+    // w(s) == 1; in a violation-free neighborhood s's children are then
+    // non-red, so no red-red appears.
+    Llx ru = llx(u);
+    if (!ru.ok) return;
+    Node* nu = clone_node(u, ru);
+    nu->weight = u->weight - 1;
+    Node* ns2 = clone_node(s, rs);
+    ns2->weight = s->weight >= 1 ? s->weight - 1 : 0;
+    Node* np2 = make_internal(parent->key, parent->inf,
+                              grand->inf != 0 ? 1 : parent->weight + 1);
+    if (u_left) {
+      np2->left.init(nu, camera_);
+      np2->right.init(ns2, camera_);
+    } else {
+      np2->left.init(ns2, camera_);
+      np2->right.init(nu, camera_);
+    }
+    Llx vs[4] = {rg, rp, ru, rs};
+    if (scx(vs, 4, g_left ? &grand->left : &grand->right, parent, np2)) {
+      stat_push_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      delete nu;
+      delete ns2;
+      delete np2;
+    }
+  }
+
+  // Red-red edge (p,u): both w==0, p real. grand = p's parent, great =
+  // grand's parent (freeze owner). Branches:
+  //   - p is the true root: recolor it to 1 (uniform shift).
+  //   - uncle red: blk recoloring; moves the violation up the path.
+  //   - uncle black, u outer, p's other child black: plain rb1 rotation.
+  //   - uncle black, u outer, p's other child red: recolored rb1 (fixes
+  //     both red-red edges under p; possible new red at (great, p')).
+  //   - uncle black, u inner: recolored rb2 (robust to all child colors).
+  void fix_redred(Node* great, Node* grand, Node* p, Node* u) {
+    if (grand == nullptr) return;  // p is the root: cannot happen (w checks)
+    if (grand->inf != 0 || grand == root_) {
+      Llx rg = llx(grand);
+      if (!rg.ok) return;
+      const bool left = rg.left == p;
+      if (!left && rg.right != p) return;
+      Llx rp = llx(p);
+      if (!rp.ok) return;
+      Node* np = clone_node(p, rp);
+      np->weight = 1;
+      Llx vs[2] = {rg, rp};
+      if (scx(vs, 2, left ? &grand->left : &grand->right, p, np)) {
+        stat_root_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        delete np;
+      }
+      return;
+    }
+    if (great == nullptr) return;
+    Llx rgg = llx(great);
+    if (!rgg.ok) return;
+    const bool gg_left = rgg.left == grand;
+    if (!gg_left && rgg.right != grand) return;
+    Llx rg = llx(grand);
+    if (!rg.ok) return;
+    const bool p_left = rg.left == p;
+    if (!p_left && rg.right != p) return;
+    Node* c = p_left ? rg.right : rg.left;  // uncle
+    Llx rp = llx(p);
+    if (!rp.ok) return;
+    const bool u_left = rp.left == u;
+    if (!u_left && rp.right != u) return;
+    // The cleanup pass fixes the topmost violation first, so (grand, p) is
+    // not red-red and grand's weight (immutable per node) is >= 1.
+    assert(grand->weight >= 1);
+
+    if (c->weight == 0) {
+      // blk: grand{p, c} -> grand'{p'(1), c'(1)} with grand'.w =
+      // w(grand)-1 (or 1 below a sentinel). Fixes every red-red under
+      // grand; may move one up to (great, grand').
+      Llx rc = llx(c);
+      if (!rc.ok) return;
+      Node* np = clone_node(p, rp);
+      np->weight = 1;
+      Node* nc = clone_node(c, rc);
+      nc->weight = 1;
+      Node* ng = make_internal(grand->key, grand->inf,
+                               great->inf != 0 ? 1 : grand->weight - 1);
+      if (p_left) {
+        ng->left.init(np, camera_);
+        ng->right.init(nc, camera_);
+      } else {
+        ng->left.init(nc, camera_);
+        ng->right.init(np, camera_);
+      }
+      Llx vs[4] = {rgg, rg, rp, rc};
+      if (scx(vs, 4, gg_left ? &great->left : &great->right, grand, ng)) {
+        stat_blk_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        delete np;
+        delete nc;
+        delete ng;
+      }
+      return;
+    }
+
+    if (u_left == p_left) {
+      Node* three = u_left ? rp.right : rp.left;  // p's other child
+      if (three->weight != 0) {
+        // rb1: grand{p{u,3}, c} -> p'{u, grand'{3, c}} (mirrored) with
+        // p'.w = w(grand) >= 1, grand'.w = 0; u, 3, c adopted. No new
+        // violation anywhere.
+        Node* ng = make_internal(grand->key, grand->inf, 0);
+        Node* np = make_internal(p->key, p->inf, grand->weight);
+        if (p_left) {
+          ng->left.init(rp.right, camera_);
+          ng->right.init(c, camera_);
+          np->left.init(u, camera_);
+          np->right.init(ng, camera_);
+        } else {
+          ng->left.init(c, camera_);
+          ng->right.init(rp.left, camera_);
+          np->left.init(ng, camera_);
+          np->right.init(u, camera_);
+        }
+        Llx vs[3] = {rgg, rg, rp};
+        if (scx(vs, 3, gg_left ? &great->left : &great->right, grand, np)) {
+          stat_rb1_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          delete ng;
+          delete np;
+        }
+        return;
+      }
+      // Recolored rb1 (3 is red, so (p,3) is a second red-red):
+      // grand{p{u,3}, c} -> p'{u'(1), grand'(1){3, c}} with p'.w =
+      // w(grand)-1. Fixes both edges; possible new red at (great, p').
+      Llx ru = llx(u);
+      if (!ru.ok) return;
+      Node* nu = clone_node(u, ru);
+      nu->weight = 1;
+      Node* ng = make_internal(grand->key, grand->inf, 1);
+      Node* np = make_internal(p->key, p->inf, grand->weight - 1);
+      if (p_left) {
+        ng->left.init(rp.right, camera_);
+        ng->right.init(c, camera_);
+        np->left.init(nu, camera_);
+        np->right.init(ng, camera_);
+      } else {
+        ng->left.init(c, camera_);
+        ng->right.init(rp.left, camera_);
+        np->left.init(ng, camera_);
+        np->right.init(nu, camera_);
+      }
+      Llx vs[4] = {rgg, rg, rp, ru};
+      if (scx(vs, 4, gg_left ? &great->left : &great->right, grand, np)) {
+        stat_rb1_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        delete nu;
+        delete ng;
+        delete np;
+      }
+      return;
+    }
+
+    // Recolored rb2 (u inner): grand{p{1, u{2,3}}, c} ->
+    // u'{p'(1){1,2}, grand'(1){3,c}} with u'.w = w(grand)-1 (mirrored).
+    // Robust to the colors of 1, 2, 3, c; possible new red at (great, u').
+    Llx ru = llx(u);
+    if (!ru.ok) return;
+    Node* np = make_internal(p->key, p->inf, 1);
+    Node* ng = make_internal(grand->key, grand->inf, 1);
+    Node* nu = make_internal(u->key, u->inf, grand->weight - 1);
+    if (p_left) {
+      np->left.init(rp.left, camera_);
+      np->right.init(ru.left, camera_);
+      ng->left.init(ru.right, camera_);
+      ng->right.init(c, camera_);
+      nu->left.init(np, camera_);
+      nu->right.init(ng, camera_);
+    } else {
+      ng->left.init(c, camera_);
+      ng->right.init(ru.left, camera_);
+      np->left.init(ru.right, camera_);
+      np->right.init(rp.right, camera_);
+      nu->left.init(ng, camera_);
+      nu->right.init(np, camera_);
+    }
+    Llx vs[4] = {rgg, rg, rp, ru};
+    if (scx(vs, 4, gg_left ? &great->left : &great->right, grand, nu)) {
+      stat_rb2_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      delete np;
+      delete ng;
+      delete nu;
+    }
+  }
+
+  // --- query recursions -----------------------------------------------------
+
+  void range_rec(Node* node, const K& lo, const K& hi, Timestamp ts,
+                 std::vector<std::pair<K, V>>& out)
+    requires UseVcas
+  {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && !(hi < node->key)) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    if (key_less_node(lo, node)) {
+      range_rec(node->left.readSnapshot(ts), lo, hi, ts, out);
+    }
+    if (!key_less_node(hi, node)) {
+      range_rec(node->right.readSnapshot(ts), lo, hi, ts, out);
+    }
+  }
+
+  void succ_rec(Node* node, const K& k, std::size_t count, Timestamp ts,
+                std::vector<std::pair<K, V>>& out)
+    requires UseVcas
+  {
+    if (out.size() >= count) return;
+    if (node->leaf) {
+      if (node->inf == 0 && k < node->key) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    if (key_less_node(k, node)) {
+      succ_rec(node->left.readSnapshot(ts), k, count, ts, out);
+      if (out.size() < count) {
+        succ_rec(node->right.readSnapshot(ts), k, count, ts, out);
+      }
+    } else {
+      succ_rec(node->right.readSnapshot(ts), k, count, ts, out);
+    }
+  }
+
+  std::optional<std::pair<K, V>> findif_rec(
+      Node* node, const K& lo, const K& hi,
+      const std::function<bool(const K&)>& pred, Timestamp ts)
+    requires UseVcas
+  {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && node->key < hi &&
+          pred(node->key)) {
+        return std::make_pair(node->key, node->value);
+      }
+      return std::nullopt;
+    }
+    if (key_less_node(lo, node)) {
+      auto r = findif_rec(node->left.readSnapshot(ts), lo, hi, pred, ts);
+      if (r.has_value()) return r;
+    }
+    if (node->inf == 0 && node->key < hi) {
+      return findif_rec(node->right.readSnapshot(ts), lo, hi, pred, ts);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size_rec(Node* node, Timestamp ts)
+    requires UseVcas
+  {
+    if (node->leaf) return node->inf == 0 ? 1 : 0;
+    return size_rec(node->left.readSnapshot(ts), ts) +
+           size_rec(node->right.readSnapshot(ts), ts);
+  }
+
+  std::size_t height_rec(Node* node, Timestamp ts)
+    requires UseVcas
+  {
+    if (node->leaf) return 0;
+    const std::size_t lh = height_rec(node->left.readSnapshot(ts), ts);
+    const std::size_t rh = height_rec(node->right.readSnapshot(ts), ts);
+    return 1 + (lh > rh ? lh : rh);
+  }
+
+  void range_live_rec(Node* node, const K& lo, const K& hi,
+                      std::vector<std::pair<K, V>>& out) {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && !(hi < node->key)) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    if (key_less_node(lo, node)) range_live_rec(node->left.vRead(), lo, hi, out);
+    if (!key_less_node(hi, node)) {
+      range_live_rec(node->right.vRead(), lo, hi, out);
+    }
+  }
+
+  void succ_live_rec(Node* node, const K& k, std::size_t count,
+                     std::vector<std::pair<K, V>>& out) {
+    if (out.size() >= count) return;
+    if (node->leaf) {
+      if (node->inf == 0 && k < node->key) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    if (key_less_node(k, node)) {
+      succ_live_rec(node->left.vRead(), k, count, out);
+      if (out.size() < count) succ_live_rec(node->right.vRead(), k, count, out);
+    } else {
+      succ_live_rec(node->right.vRead(), k, count, out);
+    }
+  }
+
+  std::optional<std::pair<K, V>> findif_live_rec(
+      Node* node, const K& lo, const K& hi,
+      const std::function<bool(const K&)>& pred) {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && node->key < hi &&
+          pred(node->key)) {
+        return std::make_pair(node->key, node->value);
+      }
+      return std::nullopt;
+    }
+    if (key_less_node(lo, node)) {
+      auto r = findif_live_rec(node->left.vRead(), lo, hi, pred);
+      if (r.has_value()) return r;
+    }
+    if (node->inf == 0 && node->key < hi) {
+      return findif_live_rec(node->right.vRead(), lo, hi, pred);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size_live(const Node* node) const {
+    if (node->leaf) return node->inf == 0 ? 1 : 0;
+    return size_live(node->left.read_unsynchronized()) +
+           size_live(node->right.read_unsynchronized());
+  }
+
+  std::size_t height_live(const Node* node) const {
+    if (node->leaf) return 0;
+    const std::size_t lh = height_live(node->left.read_unsynchronized());
+    const std::size_t rh = height_live(node->right.read_unsynchronized());
+    return 1 + (lh > rh ? lh : rh);
+  }
+
+  void keys_live(const Node* node, std::vector<K>& out) const {
+    if (node->leaf) {
+      if (node->inf == 0) out.push_back(node->key);
+      return;
+    }
+    keys_live(node->left.read_unsynchronized(), out);
+    keys_live(node->right.read_unsynchronized(), out);
+  }
+
+  void path_weights(const Node* node, std::int64_t acc,
+                    std::vector<std::int64_t>& out) const {
+    acc += node->weight;
+    if (node->leaf) {
+      if (node->inf == 0) out.push_back(acc);
+      return;
+    }
+    path_weights(node->left.read_unsynchronized(), acc, out);
+    path_weights(node->right.read_unsynchronized(), acc, out);
+  }
+
+  void dump_violations(const Node* node, const Node* parent, int depth,
+                       std::vector<std::string>& out) const {
+    auto describe = [&](const char* kind) {
+      std::string s = std::string(kind) + " depth=" + std::to_string(depth) +
+                      " w=" + std::to_string(node->weight) +
+                      " leaf=" + (node->leaf ? "y" : "n") +
+                      " inf=" + std::to_string(static_cast<int>(node->inf));
+      if (node->inf == 0) s += " key=" + std::to_string(node->key);
+      if (parent != nullptr) {
+        s += " | parent w=" + std::to_string(parent->weight) +
+             " inf=" + std::to_string(static_cast<int>(parent->inf));
+        if (parent->inf == 0) s += " key=" + std::to_string(parent->key);
+      }
+      out.push_back(s);
+    };
+    if (node->weight > 1) describe("overweight");
+    if (parent != nullptr && parent->inf == 0 && parent->weight == 0 &&
+        node->weight == 0) {
+      describe("red-red");
+    }
+    if (!node->leaf) {
+      dump_violations(node->left.read_unsynchronized(), node, depth + 1, out);
+      dump_violations(node->right.read_unsynchronized(), node, depth + 1, out);
+    }
+  }
+
+  std::size_t violations_live(const Node* node, const Node* parent) const {
+    std::size_t v = 0;
+    if (node->weight > 1) ++v;
+    if (parent != nullptr && parent->inf == 0 && parent->weight == 0 &&
+        node->weight == 0) {
+      ++v;
+    }
+    if (!node->leaf) {
+      v += violations_live(node->left.read_unsynchronized(), node);
+      v += violations_live(node->right.read_unsynchronized(), node);
+    }
+    return v;
+  }
+
+  void free_rec(Node* node, std::unordered_set<ScxRecord*>& records) {
+    if (node == nullptr) return;
+    ScxRecord* r = node->info.load(std::memory_order_relaxed);
+    if (r != nullptr) records.insert(r);
+    if (!node->leaf) {
+      free_rec(node->left.read_unsynchronized(), records);
+      free_rec(node->right.read_unsynchronized(), records);
+    }
+    delete node;
+  }
+
+  std::unique_ptr<Camera> owned_camera_;
+  Camera* camera_;
+  ScxRecord dummy_;
+  Node* root_;
+  std::atomic<ScxRecord*> garbage_{nullptr};
+
+  std::atomic<std::uint64_t> stat_blk_{0}, stat_rb1_{0}, stat_rb2_{0},
+      stat_push_{0}, stat_rotate_{0}, stat_root_{0};
+};
+
+template <typename K, typename V = K>
+using ChromaticTree = ChromaticTreeT<K, V, false>;
+
+template <typename K, typename V = K>
+using VcasChromaticTree = ChromaticTreeT<K, V, true>;
+
+}  // namespace vcas::ds

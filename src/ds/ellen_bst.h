@@ -1,0 +1,826 @@
+// Non-blocking binary search tree of Ellen, Fatourou, Ruppert and van
+// Breugel (PODC 2010), in three build flavors sharing one implementation:
+//
+//   NBBST<K,V>           — the original: plain atomic child pointers.
+//   VcasBST<K,V>         — the paper's snapshottable version (Sections
+//                          4-6): child pointers are VersionedPtr (the
+//                          indirection-free Figure 9 form), and delete
+//                          restores the *recorded-once* property by
+//                          freezing and copying the promoted sibling
+//                          instead of re-installing an existing node.
+//   VcasBSTIndirect<K,V> — Algorithm 1 as-is: child pointers are
+//                          VersionedCAS<Node*> with separate VNode lists.
+//                          No structural changes needed (recorded-once is
+//                          not required), at the price of one extra cache
+//                          miss per child access — the Section 5 ablation.
+//
+// Structure: leaf-oriented (external) BST. Internal nodes route searches;
+// leaves hold the keys. Sentinels: root key is inf2, root->right is
+// Leaf(inf2), root->left starts as Leaf(inf1); every real key is smaller
+// than both, so real leaves always have a non-null grandparent.
+//
+// Synchronization: "lock-free locks". Each internal node has an update word
+// = (Info*, state) packed in one CAS-able word. Inserts IFLAG the parent;
+// deletes DFLAG the grandparent then MARK the parent (permanent). Any
+// operation that finds a node non-CLEAN helps the recorded operation finish
+// before retrying, which makes the whole structure lock-free. Updates
+// linearize at the child CAS that splices the fragment in or out.
+//
+// The versioned flavor adds a COPY state: help_marked freezes the promoted
+// sibling (so its children cannot change), installs a *fresh copy* of it,
+// and retires the original. Appendix G's argument covers the copy sharing
+// version fields with nodes that remain version-list members elsewhere.
+//
+// Reclamation: EBR. Nodes and Info records are retired by unique winners
+// (the successful child-CAS or the flag CAS that overwrites a CLEAN word),
+// so nothing is retired twice; snapshot queries hold an ebr::Guard for
+// their full lifetime, which keeps every version they can reach alive
+// (a query's handle is at least its pin time, so any node it can reach was
+// unlinked — and therefore retired — after it pinned).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+#include "vcas/versioned_cas.h"
+#include "vcas/versioned_ptr.h"
+
+namespace vcas::ds {
+
+// Which versioning scheme backs the tree's child pointers.
+enum class VcasMode {
+  kPlain,     // original NBBST: plain atomic child pointers, no snapshots
+  kDirect,    // Figure 9: version fields inside the nodes (recorded-once;
+              // delete must copy the promoted sibling)
+  kIndirect,  // Algorithm 1: separate VNode version lists (no structural
+              // changes needed — the unmodified Ellen delete is legal)
+};
+
+namespace detail {
+
+struct Empty {};
+
+// Plain-atomic child pointer with the VersionedPtr interface, so all BST
+// flavors compile from identical update-path code.
+template <typename Node>
+class PlainPtr {
+ public:
+  PlainPtr() = default;
+  void init(Node* n, Camera*) { p_.store(n, std::memory_order_relaxed); }
+  Node* vRead() { return p_.load(std::memory_order_seq_cst); }
+  Node* read_unsynchronized() const {
+    return p_.load(std::memory_order_relaxed);
+  }
+  bool vCAS(Node* old_v, Node* new_v) {
+    return p_.compare_exchange_strong(old_v, new_v,
+                                      std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<Node*> p_{nullptr};
+};
+
+// VersionedCAS<Node*>-backed child pointer (Algorithm 1, with one level of
+// indirection through VNodes). Lazily constructed because tree nodes wire
+// their links after allocation; leaves never init theirs.
+template <typename Node>
+class IndirectPtr {
+ public:
+  IndirectPtr() = default;
+  ~IndirectPtr() {
+    if (initialized_) vc().~VersionedCAS<Node*>();
+  }
+  IndirectPtr(const IndirectPtr&) = delete;
+  IndirectPtr& operator=(const IndirectPtr&) = delete;
+
+  void init(Node* n, Camera* cam) {
+    new (&storage_) VersionedCAS<Node*>(n, cam);
+    initialized_ = true;
+  }
+  Node* vRead() { return vc().vRead(); }
+  Node* read_unsynchronized() const { return vc().read_unsynchronized(); }
+  bool vCAS(Node* old_v, Node* new_v) { return vc().vCAS(old_v, new_v); }
+  Node* readSnapshot(Timestamp ts) { return vc().readSnapshot(ts); }
+  std::size_t version_count() const { return vc().version_count(); }
+
+ private:
+  VersionedCAS<Node*>& vc() {
+    return *reinterpret_cast<VersionedCAS<Node*>*>(&storage_);
+  }
+  const VersionedCAS<Node*>& vc() const {
+    return *reinterpret_cast<const VersionedCAS<Node*>*>(&storage_);
+  }
+  alignas(VersionedCAS<Node*>) unsigned char storage_[sizeof(
+      VersionedCAS<Node*>)];
+  bool initialized_ = false;
+};
+
+}  // namespace detail
+
+template <typename K, typename V, VcasMode Mode>
+class EllenBST {
+  static constexpr bool kVersioned = Mode != VcasMode::kPlain;
+  static constexpr bool kDirect = Mode == VcasMode::kDirect;
+
+  struct Node;
+  using ChildPtr = std::conditional_t<
+      Mode == VcasMode::kDirect, VersionedPtr<Node>,
+      std::conditional_t<Mode == VcasMode::kIndirect,
+                         detail::IndirectPtr<Node>, detail::PlainPtr<Node>>>;
+  using NodeBase =
+      std::conditional_t<kDirect, Versioned<Node>, detail::Empty>;
+
+  // update-word states, packed into the low 3 bits of an Info pointer.
+  enum State : std::uintptr_t {
+    kClean = 0,
+    kIFlag = 1,
+    kDFlag = 2,
+    kMark = 3,   // parent of a deleted leaf; permanent
+    kCopy = 4,   // versioned flavor only: sibling frozen for copying
+  };
+  static constexpr std::uintptr_t kStateMask = 7;
+
+  struct Info;  // fwd
+
+  static std::uintptr_t pack(Info* info, State s) {
+    return reinterpret_cast<std::uintptr_t>(info) | s;
+  }
+  static State state_of(std::uintptr_t u) {
+    return static_cast<State>(u & kStateMask);
+  }
+  static Info* info_of(std::uintptr_t u) {
+    return reinterpret_cast<Info*>(u & ~kStateMask);
+  }
+
+  struct Node : NodeBase {
+    K key{};
+    V value{};
+    std::uint8_t inf = 0;  // 0 = real key, 1 = inf1, 2 = inf2 sentinel
+    bool leaf = false;
+    std::atomic<std::uintptr_t> update{kClean};
+    ChildPtr left;
+    ChildPtr right;
+  };
+
+  // One record type for both operations keeps help() simple.
+  struct Info {
+    bool is_insert;
+    Node* gp = nullptr;          // delete only
+    Node* p = nullptr;           // insert: flagged parent; delete: marked node
+    Node* l = nullptr;           // the leaf being replaced / removed
+    Node* new_internal = nullptr;  // insert only
+    std::uintptr_t pupdate = 0;  // delete only: p's update word at search
+  };
+
+  // (a.inf, a.key) < (b.inf, b.key) with inf dominant; real keys sort below
+  // both sentinels so searches for real keys never fall off the right edge.
+  static bool node_less(const Node* a, const Node* b) {
+    if (a->inf != b->inf) return a->inf < b->inf;
+    if (a->inf != 0) return false;  // equal sentinels
+    return a->key < b->key;
+  }
+  static bool key_less_node(const K& k, const Node* n) {
+    return n->inf != 0 || k < n->key;
+  }
+
+ public:
+  EllenBST() : EllenBST(nullptr) {}
+
+  // Associate with an existing camera (paper Section 3); nullptr means a
+  // private camera. Shared cameras enable cross-structure atomic queries
+  // through the *_at variants.
+  explicit EllenBST(Camera* shared) {
+    if (shared == nullptr) {
+      owned_camera_ = std::make_unique<Camera>();
+      camera_ = owned_camera_.get();
+    } else {
+      camera_ = shared;
+    }
+    Node* leaf1 = make_leaf(K{}, V{}, 1);
+    Node* leaf2 = make_leaf(K{}, V{}, 2);
+    root_ = new Node;
+    root_->inf = 2;
+    root_->left.init(leaf1, camera_);
+    root_->right.init(leaf2, camera_);
+  }
+
+  EllenBST(const EllenBST&) = delete;
+  EllenBST& operator=(const EllenBST&) = delete;
+
+  ~EllenBST() {
+    std::unordered_set<Info*> infos;
+    free_rec(root_, infos);
+    for (Info* info : infos) delete info;
+  }
+
+  Camera& camera() { return *camera_; }
+
+  // Wait-free single descent; linearizes while the reached leaf was on the
+  // search path (Ellen et al., Lemma on Search).
+  std::optional<V> find(const K& key) {
+    ebr::Guard g;
+    Node* l = descend(key);
+    if (l->inf == 0 && l->key == key) return l->value;
+    return std::nullopt;
+  }
+
+  bool contains(const K& key) { return find(key).has_value(); }
+
+  bool insert(const K& key, const V& value) {
+    ebr::Guard g;
+    for (;;) {
+      SearchResult s = search(key);
+      if (s.l->inf == 0 && s.l->key == key) return false;
+      if (state_of(s.pupdate) != kClean) {
+        help(s.pupdate);
+        continue;
+      }
+      // Fragment: new internal with a fresh copy of l and the new leaf,
+      // ordered by key. Copying l (rather than reusing it) keeps every
+      // installed node freshly allocated.
+      Node* new_leaf = make_leaf(key, value, 0);
+      Node* old_copy = make_leaf(s.l->key, s.l->value, s.l->inf);
+      Node* ni = new Node;
+      if (s.l->inf != 0 || key < s.l->key) {
+        ni->key = s.l->key;
+        ni->inf = s.l->inf;
+        ni->left.init(new_leaf, camera_);
+        ni->right.init(old_copy, camera_);
+      } else {
+        ni->key = key;
+        ni->left.init(old_copy, camera_);
+        ni->right.init(new_leaf, camera_);
+      }
+      Info* op = new Info;
+      op->is_insert = true;
+      op->p = s.p;
+      op->l = s.l;
+      op->new_internal = ni;
+      std::uintptr_t expected = s.pupdate;
+      if (s.p->update.compare_exchange_strong(expected, pack(op, kIFlag),
+                                              std::memory_order_seq_cst)) {
+        retire_replaced(s.pupdate);
+        help_insert(op);
+        return true;
+      }
+      // Lost the flag: nothing was published; discard and help the winner.
+      delete new_leaf;
+      delete old_copy;
+      delete ni;
+      delete op;
+      help(s.p->update.load(std::memory_order_seq_cst));
+    }
+  }
+
+  bool remove(const K& key) {
+    ebr::Guard g;
+    for (;;) {
+      SearchResult s = search(key);
+      if (!(s.l->inf == 0 && s.l->key == key)) return false;
+      if (state_of(s.gpupdate) != kClean) {
+        help(s.gpupdate);
+        continue;
+      }
+      if (state_of(s.pupdate) != kClean) {
+        help(s.pupdate);
+        continue;
+      }
+      assert(s.gp != nullptr && "real leaves always have a grandparent");
+      Info* op = new Info;
+      op->is_insert = false;
+      op->gp = s.gp;
+      op->p = s.p;
+      op->l = s.l;
+      op->pupdate = s.pupdate;
+      std::uintptr_t expected = s.gpupdate;
+      if (s.gp->update.compare_exchange_strong(expected, pack(op, kDFlag),
+                                               std::memory_order_seq_cst)) {
+        retire_replaced(s.gpupdate);
+        if (help_delete(op)) return true;
+        // Backtracked: op stays reachable from gp's CLEAN word until the
+        // next flag retires it; loop and retry.
+      } else {
+        delete op;
+        help(s.gp->update.load(std::memory_order_seq_cst));
+      }
+    }
+  }
+
+  // --- snapshot queries (versioned flavor only) ----------------------------
+
+  // All (key, value) with key in [lo, hi], atomic at the snapshot.
+  std::vector<std::pair<K, V>> range(const K& lo, const K& hi)
+    requires (Mode != VcasMode::kPlain)
+  {
+    SnapshotGuard snap(*camera_);
+    return range_at(snap.ts(), lo, hi);
+  }
+
+  // Handle-explicit variant for cross-structure snapshots (caller holds a
+  // SnapshotGuard on the shared camera, taken after this tree existed).
+  std::vector<std::pair<K, V>> range_at(Timestamp ts, const K& lo,
+                                        const K& hi)
+    requires (Mode != VcasMode::kPlain)
+  {
+    std::vector<std::pair<K, V>> out;
+    range_rec(root_, lo, hi, ts, out);
+    return out;
+  }
+
+  // First `count` pairs with key strictly greater than k, ascending.
+  std::vector<std::pair<K, V>> succ(const K& k, std::size_t count)
+    requires (Mode != VcasMode::kPlain)
+  {
+    SnapshotGuard snap(*camera_);
+    std::vector<std::pair<K, V>> out;
+    succ_rec(root_, k, count, snap.ts(), out);
+    return out;
+  }
+
+  // First pair in [lo, hi) whose key satisfies pred (in key order).
+  std::optional<std::pair<K, V>> find_if(
+      const K& lo, const K& hi, const std::function<bool(const K&)>& pred)
+    requires (Mode != VcasMode::kPlain)
+  {
+    SnapshotGuard snap(*camera_);
+    return findif_rec(root_, lo, hi, pred, snap.ts());
+  }
+
+  // Values for each queried key (nullopt if absent), all from one snapshot.
+  std::vector<std::optional<V>> multisearch(const std::vector<K>& keys)
+    requires (Mode != VcasMode::kPlain)
+  {
+    SnapshotGuard snap(*camera_);
+    std::vector<std::optional<V>> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      Node* node = root_;
+      while (!node->leaf) {
+        node = key_less_node(keys[i], node)
+                   ? node->left.readSnapshot(snap.ts())
+                   : node->right.readSnapshot(snap.ts());
+      }
+      if (node->inf == 0 && node->key == keys[i]) out[i] = node->value;
+    }
+    return out;
+  }
+
+  // Height of the snapshot tree (a structural query: Table 1 row 3).
+  std::size_t height_snapshot()
+    requires (Mode != VcasMode::kPlain)
+  {
+    SnapshotGuard snap(*camera_);
+    return height_rec(root_, snap.ts());
+  }
+
+  // Number of real keys at the snapshot.
+  std::size_t size_snapshot()
+    requires (Mode != VcasMode::kPlain)
+  {
+    SnapshotGuard snap(*camera_);
+    return size_rec(root_, snap.ts());
+  }
+
+  // --- non-atomic counterparts (both flavors; Figure 3's baseline) --------
+  // These run the sequential algorithm on the live tree with no snapshot;
+  // they are linearizable only in the absence of concurrent updates.
+
+  std::vector<std::pair<K, V>> range_nonatomic(const K& lo, const K& hi) {
+    ebr::Guard g;
+    std::vector<std::pair<K, V>> out;
+    range_live_rec(root_, lo, hi, out);
+    return out;
+  }
+
+  std::vector<std::pair<K, V>> succ_nonatomic(const K& k, std::size_t count) {
+    ebr::Guard g;
+    std::vector<std::pair<K, V>> out;
+    succ_live_rec(root_, k, count, out);
+    return out;
+  }
+
+  std::optional<std::pair<K, V>> find_if_nonatomic(
+      const K& lo, const K& hi, const std::function<bool(const K&)>& pred) {
+    ebr::Guard g;
+    return findif_live_rec(root_, lo, hi, pred);
+  }
+
+  std::vector<std::optional<V>> multisearch_nonatomic(
+      const std::vector<K>& keys) {
+    std::vector<std::optional<V>> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) out[i] = find(keys[i]);
+    return out;
+  }
+
+  // Double-collect range query (the mechanism behind KST's obstruction-free
+  // range queries [Brown & Avni 2012]): collect the live range twice and
+  // accept only when both collects agree; restart otherwise. Fast when the
+  // range is quiet, but starves — and falls back to a non-atomic answer —
+  // when updates keep hitting the range (the paper's Figure 2g explanation
+  // for KST's collapse at large rqsize).
+  std::vector<std::pair<K, V>> range_double_collect(const K& lo, const K& hi,
+                                                    int max_retries = 64) {
+    ebr::Guard g;
+    std::vector<std::pair<K, V>> prev;
+    range_live_rec(root_, lo, hi, prev);
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+      std::vector<std::pair<K, V>> cur;
+      range_live_rec(root_, lo, hi, cur);
+      if (cur == prev) return cur;
+      prev = std::move(cur);
+    }
+    return prev;  // obstruction-free fallback: last collect, not validated
+  }
+
+  // Structural stats on the live tree (quiescent use).
+  std::size_t size_unsynchronized() const { return size_live_rec(root_); }
+  std::size_t height_unsynchronized() const { return height_live_rec(root_); }
+
+  // Validation helper: in-order real keys of the live tree (quiescent use).
+  std::vector<K> keys_unsynchronized() const {
+    std::vector<K> out;
+    keys_live_rec(root_, out);
+    return out;
+  }
+
+ private:
+  struct SearchResult {
+    Node* gp = nullptr;
+    Node* p = nullptr;
+    Node* l = nullptr;
+    std::uintptr_t pupdate = kClean;
+    std::uintptr_t gpupdate = kClean;
+  };
+
+  static Node* make_leaf(const K& k, const V& v, std::uint8_t inf) {
+    Node* n = new Node;
+    n->key = k;
+    n->value = v;
+    n->inf = inf;
+    n->leaf = true;
+    return n;
+  }
+
+  Node* descend(const K& key) {
+    Node* node = root_;
+    while (!node->leaf) {
+      node = key_less_node(key, node) ? node->left.vRead()
+                                      : node->right.vRead();
+    }
+    return node;
+  }
+
+  // Ellen et al. Search: single descent recording parent/grandparent and
+  // their update words (update read *before* following the child, so a
+  // successful flag CAS on that word certifies the child is unchanged).
+  SearchResult search(const K& key) {
+    SearchResult r;
+    r.l = root_;
+    while (!r.l->leaf) {
+      r.gp = r.p;
+      r.p = r.l;
+      r.gpupdate = r.pupdate;
+      r.pupdate = r.p->update.load(std::memory_order_seq_cst);
+      r.l = key_less_node(key, r.p) ? r.p->left.vRead() : r.p->right.vRead();
+    }
+    return r;
+  }
+
+  void help(std::uintptr_t u) {
+    switch (state_of(u)) {
+      case kIFlag:
+        help_insert(info_of(u));
+        break;
+      case kDFlag:
+        help_delete(info_of(u));
+        break;
+      case kMark:
+      case kCopy:
+        help_marked(info_of(u));
+        break;
+      case kClean:
+        break;
+    }
+  }
+
+  // A CLEAN|op word that was just overwritten by a successful flag CAS can
+  // no longer be read by new threads; retire its Info.
+  void retire_replaced(std::uintptr_t old_word) {
+    Info* old = info_of(old_word);
+    if (old != nullptr) ebr::retire(old);
+  }
+
+  void help_insert(Info* op) {
+    // ichild CAS: splice the fragment in over the old leaf. Exactly one
+    // helper succeeds and owns retiring the replaced leaf.
+    if (cas_child(op->p, op->l, op->new_internal)) {
+      ebr::retire(op->l);
+    }
+    // iunflag (same Info stays in the word; no retire).
+    std::uintptr_t expected = pack(op, kIFlag);
+    op->p->update.compare_exchange_strong(expected, pack(op, kClean),
+                                          std::memory_order_seq_cst);
+  }
+
+  bool help_delete(Info* op) {
+    // mark CAS on p. Success (or finding our own mark) lets the delete
+    // proceed; any other value means a competing operation won p and we
+    // must backtrack.
+    std::uintptr_t expected = op->pupdate;
+    const std::uintptr_t marked = pack(op, kMark);
+    if (op->p->update.compare_exchange_strong(expected, marked,
+                                              std::memory_order_seq_cst)) {
+      retire_replaced(op->pupdate);
+      help_marked(op);
+      return true;
+    }
+    if (op->p->update.load(std::memory_order_seq_cst) == marked) {
+      help_marked(op);  // another helper marked for us
+      return true;
+    }
+    help(op->p->update.load(std::memory_order_seq_cst));
+    // backtrack CAS: unflag gp so the delete can retry from scratch.
+    std::uintptr_t flagged = pack(op, kDFlag);
+    op->gp->update.compare_exchange_strong(flagged, pack(op, kClean),
+                                           std::memory_order_seq_cst);
+    return false;
+  }
+
+  // p is marked: splice p (and the removed leaf) out by installing p's
+  // other child at gp. Original flavor installs the sibling itself; the
+  // versioned flavor freezes the sibling, installs a fresh copy (keeping
+  // the structure recorded-once) and retires the original sibling too.
+  void help_marked(Info* op) {
+    // p is frozen by its permanent mark, so this read is stable.
+    Node* other = (op->p->right.vRead() == op->l) ? op->p->left.vRead()
+                                                  : op->p->right.vRead();
+    if constexpr (!kDirect) {
+      // Plain and indirect flavors install the existing sibling: with
+      // VNode-based versioning the sibling is just the vCAS's new value
+      // and recorded-once is not required (Algorithm 1 is fully general).
+      if (cas_child(op->gp, op->p, other)) {
+        ebr::retire(op->p);
+        ebr::retire(op->l);
+      }
+    } else {
+      // Freeze an internal sibling so its children cannot change while we
+      // copy. Leaves are immutable; no freeze needed.
+      if (!other->leaf) {
+        for (;;) {
+          std::uintptr_t u = other->update.load(std::memory_order_seq_cst);
+          if (state_of(u) == kCopy) {
+            // Only our op can copy-freeze p's child (one mark winner per
+            // p), so this is our freeze.
+            assert(info_of(u) == op);
+            break;
+          }
+          if (state_of(u) == kClean) {
+            std::uintptr_t expected = u;
+            if (other->update.compare_exchange_strong(
+                    expected, pack(op, kCopy), std::memory_order_seq_cst)) {
+              retire_replaced(u);
+              break;
+            }
+            continue;
+          }
+          help(u);  // finish the operation pinning the sibling, then retry
+        }
+      }
+      Node* copy = clone_frozen(other);
+      if (cas_child(op->gp, op->p, copy)) {
+        ebr::retire(op->p);
+        ebr::retire(op->l);
+        ebr::retire(other);
+      } else {
+        delete copy;  // never published
+      }
+    }
+    // dunflag.
+    std::uintptr_t flagged = pack(op, kDFlag);
+    op->gp->update.compare_exchange_strong(flagged, pack(op, kClean),
+                                           std::memory_order_seq_cst);
+  }
+
+  // Fresh copy of a frozen (or leaf) node. Children are read after the
+  // freeze, so they are final; the copy starts CLEAN with pristine version
+  // fields. Its child pointers adopt the frozen children as initial values
+  // (the Appendix G shared-initial-value case).
+  Node* clone_frozen(Node* other)
+    requires (Mode == VcasMode::kDirect)
+  {
+    Node* copy = new Node;
+    copy->key = other->key;
+    copy->value = other->value;
+    copy->inf = other->inf;
+    copy->leaf = other->leaf;
+    if (!other->leaf) {
+      copy->left.init(other->left.vRead(), camera_);
+      copy->right.init(other->right.vRead(), camera_);
+    }
+    return copy;
+  }
+
+  // Direction chosen by key order (valid because the BST property places
+  // every descendant strictly by comparison with the parent key).
+  bool cas_child(Node* parent, Node* old_node, Node* new_node) {
+    if (node_less(new_node, parent)) {
+      return parent->left.vCAS(old_node, new_node);
+    }
+    return parent->right.vCAS(old_node, new_node);
+  }
+
+  // --- snapshot query recursions -------------------------------------------
+
+  void range_rec(Node* node, const K& lo, const K& hi, Timestamp ts,
+                 std::vector<std::pair<K, V>>& out)
+    requires (Mode != VcasMode::kPlain)
+  {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && !(hi < node->key)) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    // Left subtree holds keys < node->key; right holds keys >= node->key.
+    if (key_less_node(lo, node)) {
+      range_rec(node->left.readSnapshot(ts), lo, hi, ts, out);
+    }
+    if (!key_less_node(hi, node)) {
+      range_rec(node->right.readSnapshot(ts), lo, hi, ts, out);
+    }
+  }
+
+  void succ_rec(Node* node, const K& k, std::size_t count, Timestamp ts,
+                std::vector<std::pair<K, V>>& out)
+    requires (Mode != VcasMode::kPlain)
+  {
+    if (out.size() >= count) return;
+    if (node->leaf) {
+      if (node->inf == 0 && k < node->key) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    if (key_less_node(k, node)) {
+      succ_rec(node->left.readSnapshot(ts), k, count, ts, out);
+      if (out.size() < count) {
+        succ_rec(node->right.readSnapshot(ts), k, count, ts, out);
+      }
+    } else {
+      succ_rec(node->right.readSnapshot(ts), k, count, ts, out);
+    }
+  }
+
+  std::optional<std::pair<K, V>> findif_rec(
+      Node* node, const K& lo, const K& hi,
+      const std::function<bool(const K&)>& pred, Timestamp ts)
+    requires (Mode != VcasMode::kPlain)
+  {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && node->key < hi &&
+          pred(node->key)) {
+        return std::make_pair(node->key, node->value);
+      }
+      return std::nullopt;
+    }
+    if (key_less_node(lo, node)) {
+      auto r = findif_rec(node->left.readSnapshot(ts), lo, hi, pred, ts);
+      if (r.has_value()) return r;
+    }
+    // Right subtree keys are >= node->key; with a half-open [lo, hi) it can
+    // only contribute when node->key < hi (sentinel keys never are).
+    if (node->inf == 0 && node->key < hi) {
+      return findif_rec(node->right.readSnapshot(ts), lo, hi, pred, ts);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t height_rec(Node* node, Timestamp ts)
+    requires (Mode != VcasMode::kPlain)
+  {
+    if (node->leaf) return 0;
+    const std::size_t lh = height_rec(node->left.readSnapshot(ts), ts);
+    const std::size_t rh = height_rec(node->right.readSnapshot(ts), ts);
+    return 1 + (lh > rh ? lh : rh);
+  }
+
+  std::size_t size_rec(Node* node, Timestamp ts)
+    requires (Mode != VcasMode::kPlain)
+  {
+    if (node->leaf) return node->inf == 0 ? 1 : 0;
+    return size_rec(node->left.readSnapshot(ts), ts) +
+           size_rec(node->right.readSnapshot(ts), ts);
+  }
+
+  // --- live-tree (non-atomic) recursions -----------------------------------
+
+  void range_live_rec(Node* node, const K& lo, const K& hi,
+                      std::vector<std::pair<K, V>>& out) {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && !(hi < node->key)) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    if (key_less_node(lo, node)) range_live_rec(node->left.vRead(), lo, hi, out);
+    if (!key_less_node(hi, node)) {
+      range_live_rec(node->right.vRead(), lo, hi, out);
+    }
+  }
+
+  void succ_live_rec(Node* node, const K& k, std::size_t count,
+                     std::vector<std::pair<K, V>>& out) {
+    if (out.size() >= count) return;
+    if (node->leaf) {
+      if (node->inf == 0 && k < node->key) {
+        out.emplace_back(node->key, node->value);
+      }
+      return;
+    }
+    if (key_less_node(k, node)) {
+      succ_live_rec(node->left.vRead(), k, count, out);
+      if (out.size() < count) succ_live_rec(node->right.vRead(), k, count, out);
+    } else {
+      succ_live_rec(node->right.vRead(), k, count, out);
+    }
+  }
+
+  std::optional<std::pair<K, V>> findif_live_rec(
+      Node* node, const K& lo, const K& hi,
+      const std::function<bool(const K&)>& pred) {
+    if (node->leaf) {
+      if (node->inf == 0 && !(node->key < lo) && node->key < hi &&
+          pred(node->key)) {
+        return std::make_pair(node->key, node->value);
+      }
+      return std::nullopt;
+    }
+    if (key_less_node(lo, node)) {
+      auto r = findif_live_rec(node->left.vRead(), lo, hi, pred);
+      if (r.has_value()) return r;
+    }
+    if (node->inf == 0 && node->key < hi) {
+      return findif_live_rec(node->right.vRead(), lo, hi, pred);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size_live_rec(const Node* node) const {
+    if (node->leaf) return node->inf == 0 ? 1 : 0;
+    return size_live_rec(node->left.read_unsynchronized()) +
+           size_live_rec(node->right.read_unsynchronized());
+  }
+
+  std::size_t height_live_rec(const Node* node) const {
+    if (node->leaf) return 0;
+    const std::size_t lh = height_live_rec(node->left.read_unsynchronized());
+    const std::size_t rh = height_live_rec(node->right.read_unsynchronized());
+    return 1 + (lh > rh ? lh : rh);
+  }
+
+  void keys_live_rec(const Node* node, std::vector<K>& out) const {
+    if (node->leaf) {
+      if (node->inf == 0) out.push_back(node->key);
+      return;
+    }
+    keys_live_rec(node->left.read_unsynchronized(), out);
+    keys_live_rec(node->right.read_unsynchronized(), out);
+  }
+
+  void free_rec(Node* node, std::unordered_set<Info*>& infos) {
+    if (node == nullptr) return;
+    if (!node->leaf) {
+      free_rec(node->left.read_unsynchronized(), infos);
+      free_rec(node->right.read_unsynchronized(), infos);
+      Info* info = info_of(node->update.load(std::memory_order_relaxed));
+      if (info != nullptr) infos.insert(info);
+    }
+    delete node;
+  }
+
+  std::unique_ptr<Camera> owned_camera_;
+  Camera* camera_;
+  Node* root_;
+};
+
+template <typename K, typename V = K>
+using NBBST = EllenBST<K, V, VcasMode::kPlain>;
+
+template <typename K, typename V = K>
+using VcasBST = EllenBST<K, V, VcasMode::kDirect>;
+
+// The un-optimized Algorithm 1 build: one extra pointer chase per child
+// access. Exists for the Section 5 indirection ablation.
+template <typename K, typename V = K>
+using VcasBSTIndirect = EllenBST<K, V, VcasMode::kIndirect>;
+
+}  // namespace vcas::ds

@@ -1,0 +1,255 @@
+// Versioned Harris sorted linked list (paper Section 4 "Sorted Linked
+// List", Appendix F).
+//
+// Harris's ordered-set list marks a node's next pointer (low bit) before
+// splicing the node out; deletes linearize at the marking CAS. The mutable
+// state is exactly the next pointers (mark included), so versioning them —
+// every CAS becomes a vCAS on a VersionedCAS<Node*> whose value carries the
+// mark bit — makes the list snapshottable.
+//
+// Snapshot queries walk the list through readSnapshot and skip nodes whose
+// *snapshot* next pointer is marked (Appendix F getNext): those were
+// logically deleted at the snapshot's linearization point.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "util/marked_ptr.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+#include "vcas/versioned_cas.h"
+
+namespace vcas::ds {
+
+using util::is_marked;
+using util::with_mark;
+using util::without_mark;
+
+template <typename K, typename V = K>
+class VcasHarrisList {
+  struct Node {
+    K key;
+    V val;
+    VersionedCAS<Node*> next;
+    Node(K k, V v, Node* succ, Camera* cam)
+        : key(std::move(k)), val(std::move(v)), next(succ, cam) {}
+  };
+
+ public:
+  VcasHarrisList() : VcasHarrisList(nullptr) {}
+
+  // Associate with an existing camera (paper Section 3); nullptr means a
+  // private camera. Shared cameras enable cross-structure atomic queries
+  // through the *_at variants.
+  explicit VcasHarrisList(Camera* shared) {
+    if (shared == nullptr) {
+      owned_camera_ = std::make_unique<Camera>();
+      camera_ = owned_camera_.get();
+    } else {
+      camera_ = shared;
+    }
+    tail_ = new Node(K{}, V{}, nullptr, camera_);
+    head_ = new Node(K{}, V{}, tail_, camera_);
+  }
+
+  VcasHarrisList(const VcasHarrisList&) = delete;
+  VcasHarrisList& operator=(const VcasHarrisList&) = delete;
+
+  ~VcasHarrisList() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = without_mark(node->next.vRead());
+      delete node;
+      node = next;
+    }
+  }
+
+  // Inserts (key, val); returns false if the key is already present.
+  bool insert(const K& key, const V& val) {
+    ebr::Guard g;
+    for (;;) {
+      auto [left, right] = search(key);
+      if (right != tail_ && right->key == key) return false;
+      Node* node = new Node(key, val, right, camera_);
+      if (left->next.vCAS(right, node)) return true;
+      delete node;  // link lost a race; fresh node next round
+    }
+  }
+
+  // Removes key; returns false if absent. Linearizes at the marking vCAS.
+  bool remove(const K& key) {
+    ebr::Guard g;
+    for (;;) {
+      auto [left, right] = search(key);
+      if (right == tail_ || right->key != key) return false;
+      Node* right_next = right->next.vRead();
+      if (!is_marked(right_next)) {
+        if (right->next.vCAS(right_next, with_mark(right_next))) {
+          // Attempt eager physical removal; on failure a later search
+          // cleans up (and retires the node).
+          if (left->next.vCAS(right, right_next)) ebr::retire(right);
+          return true;
+        }
+      }
+    }
+  }
+
+  // Membership in the current state (no snapshot), same cost as original.
+  bool contains(const K& key) {
+    ebr::Guard g;
+    Node* node = without_mark(head_->next.vRead());
+    while (node != tail_ && node->key < key) {
+      node = without_mark(node->next.vRead());
+    }
+    return node != tail_ && node->key == key &&
+           !is_marked(node->next.vRead());
+  }
+
+  std::optional<V> find(const K& key) {
+    ebr::Guard g;
+    Node* node = without_mark(head_->next.vRead());
+    while (node != tail_ && node->key < key) {
+      node = without_mark(node->next.vRead());
+    }
+    if (node != tail_ && node->key == key && !is_marked(node->next.vRead())) {
+      return node->val;
+    }
+    return std::nullopt;
+  }
+
+  Camera& camera() { return *camera_; }
+
+  // --- snapshot queries (Appendix F) ---------------------------------------
+
+  // All (key, value) pairs with key in [lo, hi] at a single instant.
+  std::vector<std::pair<K, V>> range(const K& lo, const K& hi) {
+    SnapshotGuard snap(*camera_);
+    return range_at(snap.ts(), lo, hi);
+  }
+
+  // Handle-explicit variant for cross-structure snapshots (caller holds a
+  // SnapshotGuard on the shared camera).
+  std::vector<std::pair<K, V>> range_at(Timestamp ts, const K& lo,
+                                        const K& hi) {
+    std::vector<std::pair<K, V>> out;
+    Node* node = get_next_snapshot(head_, ts);
+    while (node != tail_ && node->key < lo) {
+      node = get_next_snapshot(node, ts);
+    }
+    while (node != tail_ && !(hi < node->key)) {
+      out.emplace_back(node->key, node->val);
+      node = get_next_snapshot(node, ts);
+    }
+    return out;
+  }
+
+  // Presence (value or nullopt) for each requested key, all judged against
+  // one snapshot. Keys are answered in one ordered pass.
+  std::vector<std::optional<V>> multisearch(std::vector<K> keys) {
+    std::vector<std::size_t> order(keys.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+
+    SnapshotGuard snap(*camera_);
+    std::vector<std::optional<V>> out(keys.size());
+    Node* node = get_next_snapshot(head_, snap.ts());
+    for (std::size_t idx : order) {
+      const K& k = keys[idx];
+      while (node != tail_ && node->key < k) {
+        node = get_next_snapshot(node, snap.ts());
+      }
+      if (node != tail_ && node->key == k) out[idx] = node->val;
+    }
+    return out;
+  }
+
+  // The i-th smallest key (0-based) at a single instant.
+  std::optional<std::pair<K, V>> ith(std::size_t i) {
+    SnapshotGuard snap(*camera_);
+    Node* node = get_next_snapshot(head_, snap.ts());
+    for (std::size_t pos = 0; node != tail_; ++pos) {
+      if (pos == i) return std::make_pair(node->key, node->val);
+      node = get_next_snapshot(node, snap.ts());
+    }
+    return std::nullopt;
+  }
+
+  // Number of keys at a single instant.
+  std::size_t size_snapshot() {
+    SnapshotGuard snap(*camera_);
+    std::size_t n = 0;
+    for (Node* node = get_next_snapshot(head_, snap.ts()); node != tail_;
+         node = get_next_snapshot(node, snap.ts())) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  // Harris search: returns adjacent unmarked (left, right) with
+  // left->key < key <= right->key; physically removes marked chains it
+  // passes (retiring unlinked nodes).
+  std::pair<Node*, Node*> search(const K& key) {
+    for (;;) {
+      Node* left = head_;
+      Node* left_next = head_->next.vRead();
+      Node* right = nullptr;
+      // Phase 1: locate left (last unmarked node before key) and right.
+      {
+        Node* t = head_;
+        Node* t_next = head_->next.vRead();
+        do {
+          if (!is_marked(t_next)) {
+            left = t;
+            left_next = t_next;
+          }
+          t = without_mark(t_next);
+          if (t == tail_) break;
+          t_next = t->next.vRead();
+        } while (is_marked(t_next) || t->key < key);
+        right = t;
+      }
+      // Phase 2: already adjacent?
+      if (left_next == right) {
+        if (right != tail_ && is_marked(right->next.vRead())) continue;
+        return {left, right};
+      }
+      // Phase 3: unlink the marked chain between left and right.
+      if (left->next.vCAS(left_next, right)) {
+        // Retire every node in the detached chain (all marked).
+        Node* n = left_next;
+        while (n != right) {
+          Node* nx = without_mark(n->next.vRead());
+          ebr::retire(n);
+          n = nx;
+        }
+        if (right != tail_ && is_marked(right->next.vRead())) continue;
+        return {left, right};
+      }
+    }
+  }
+
+  // Appendix F, Figure 8, against a snapshot: next node that was unmarked
+  // (not logically deleted) at the snapshot's linearization point.
+  Node* get_next_snapshot(Node* node, Timestamp ts) {
+    Node* n = without_mark(node->next.readSnapshot(ts));
+    while (n != tail_ && is_marked(n->next.readSnapshot(ts))) {
+      n = without_mark(n->next.readSnapshot(ts));
+    }
+    return n;
+  }
+
+  std::unique_ptr<Camera> owned_camera_;
+  Camera* camera_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace vcas::ds

@@ -1,0 +1,180 @@
+// Versioned Michael–Scott queue (paper Section 4 "FIFO Queue", Appendix E).
+//
+// The mutable state of an MS queue is Head, Tail and every node's next
+// pointer. Replacing each with a VersionedCAS bound to one camera makes the
+// whole queue snapshottable: takeSnapshot is O(1) and a query can then
+// reconstruct any part of the queue state it needs while enqueues/dequeues
+// proceed concurrently.
+//
+// Linearization (Appendix E): enqueue at the Tail swing, dequeue at the
+// Head swing; Head never passes Tail because dequeue helps a lagging Tail
+// first. Queries walk Head..Tail under one handle, so the abstract state
+// they observe is the queue at the handle's linearization point.
+//
+// Each next pointer receives exactly one successful vCAS (null -> node), so
+// readSnapshot on a next pointer inspects at most two versions; queries
+// cost their sequential cost plus the number of concurrent dequeues
+// (Table 1, row 1).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+#include "vcas/versioned_cas.h"
+
+namespace vcas::ds {
+
+template <typename V>
+class VcasMSQueue {
+  struct Node {
+    V val;
+    VersionedCAS<Node*> next;
+    Node(V v, Node* succ, Camera* cam) : val(std::move(v)), next(succ, cam) {}
+  };
+
+ public:
+  VcasMSQueue() : VcasMSQueue(nullptr) {}
+
+  // Associate with an existing camera (paper Section 3: many structures
+  // may share one camera, enabling cross-structure atomic snapshots via
+  // the *_at query variants). Pass nullptr to own a private camera.
+  explicit VcasMSQueue(Camera* shared) {
+    if (shared == nullptr) {
+      owned_camera_ = std::make_unique<Camera>();
+      camera_ = owned_camera_.get();
+    } else {
+      camera_ = shared;
+    }
+    Node* dummy = new Node(V{}, nullptr, camera_);
+    head_ = new VersionedCAS<Node*>(dummy, camera_);
+    tail_ = new VersionedCAS<Node*>(dummy, camera_);
+  }
+
+  VcasMSQueue(const VcasMSQueue&) = delete;
+  VcasMSQueue& operator=(const VcasMSQueue&) = delete;
+
+  ~VcasMSQueue() {
+    Node* node = head_->vRead();
+    while (node != nullptr) {
+      Node* next = node->next.vRead();
+      delete node;
+      node = next;
+    }
+    delete head_;
+    delete tail_;
+  }
+
+  void enqueue(V v) {
+    ebr::Guard g;
+    Node* node = new Node(std::move(v), nullptr, camera_);
+    for (;;) {
+      Node* last = tail_->vRead();
+      Node* next = last->next.vRead();
+      if (last != tail_->vRead()) continue;  // tail moved under us; reread
+      if (next == nullptr) {
+        if (last->next.vCAS(nullptr, node)) {
+          tail_->vCAS(last, node);  // ok to fail: someone helped
+          return;
+        }
+      } else {
+        tail_->vCAS(last, next);  // help a lagging tail
+      }
+    }
+  }
+
+  std::optional<V> dequeue() {
+    ebr::Guard g;
+    for (;;) {
+      Node* first = head_->vRead();
+      Node* last = tail_->vRead();
+      Node* next = first->next.vRead();
+      if (first != head_->vRead()) continue;
+      if (first == last) {
+        if (next == nullptr) return std::nullopt;  // empty
+        tail_->vCAS(last, next);  // tail lags behind a completed link
+      } else {
+        V v = next->val;
+        if (head_->vCAS(first, next)) {
+          ebr::retire(first);  // old dummy; next becomes the new dummy
+          return v;
+        }
+      }
+    }
+  }
+
+  Camera& camera() { return *camera_; }
+
+  // --- snapshot queries (Appendix E, Figure 4) ----------------------------
+
+  // Values at both ends of the queue at a single instant, or nullopt pair
+  // if the queue was empty at the snapshot.
+  std::pair<std::optional<V>, std::optional<V>> peek_end_points() {
+    SnapshotGuard snap(*camera_);
+    Node* h = head_->readSnapshot(snap.ts());
+    Node* t = tail_->readSnapshot(snap.ts());
+    if (h == t) return {std::nullopt, std::nullopt};
+    Node* first = h->next.readSnapshot(snap.ts());
+    return {first->val, t->val};
+  }
+
+  // The whole queue contents, oldest first, at a single instant.
+  std::vector<V> scan() {
+    SnapshotGuard snap(*camera_);
+    return scan_at(snap.ts());
+  }
+
+  // Handle-explicit variant for cross-structure snapshots: the caller
+  // holds a SnapshotGuard on the (shared) camera and passes its handle, so
+  // several structures can be read at the same instant. Precondition: the
+  // guard is live and was taken after this queue was constructed.
+  std::vector<V> scan_at(Timestamp ts) {
+    std::vector<V> result;
+    Node* q = head_->readSnapshot(ts);
+    Node* last = tail_->readSnapshot(ts);
+    while (q != last) {
+      q = q->next.readSnapshot(ts);
+      result.push_back(q->val);
+    }
+    return result;
+  }
+
+  // The i-th element from the head (0-based) at a single instant. Cost
+  // O(i + #concurrent dequeues): Table 1.
+  std::optional<V> ith(std::size_t i) {
+    SnapshotGuard snap(*camera_);
+    Node* q = head_->readSnapshot(snap.ts());
+    Node* last = tail_->readSnapshot(snap.ts());
+    for (std::size_t steps = 0; q != last; ++steps) {
+      q = q->next.readSnapshot(snap.ts());
+      if (steps == i) return q->val;
+    }
+    return std::nullopt;
+  }
+
+  // Number of elements at a single instant.
+  std::size_t size_snapshot() {
+    SnapshotGuard snap(*camera_);
+    std::size_t n = 0;
+    Node* q = head_->readSnapshot(snap.ts());
+    Node* last = tail_->readSnapshot(snap.ts());
+    while (q != last) {
+      q = q->next.readSnapshot(snap.ts());
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::unique_ptr<Camera> owned_camera_;
+  Camera* camera_;
+  VersionedCAS<Node*>* head_;
+  VersionedCAS<Node*>* tail_;
+};
+
+}  // namespace vcas::ds

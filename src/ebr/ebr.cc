@@ -1,0 +1,181 @@
+#include "ebr/ebr.h"
+
+#include <mutex>
+#include <vector>
+
+#include "util/padded.h"
+#include "util/threading.h"
+
+namespace vcas::ebr {
+namespace {
+
+using util::kMaxThreads;
+using util::Padded;
+
+constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+// Scan (and possibly advance the epoch) after this many retires per thread.
+// Low enough to bound limbo-bag growth, high enough to amortize the
+// O(kMaxThreads) reservation scan.
+constexpr int kScanThreshold = 128;
+
+struct Retired {
+  void* ptr;
+  void (*deleter)(void*);
+  std::uint64_t epoch;
+};
+
+struct ThreadState {
+  std::atomic<std::uint64_t> reservation{kQuiescent};
+  int nesting = 0;
+  int retire_count = 0;
+  std::vector<Retired> limbo;
+};
+
+std::atomic<std::uint64_t> g_epoch{0};
+std::atomic<std::uint64_t> g_freed{0};
+std::atomic<std::int64_t> g_pending{0};
+Padded<ThreadState> g_threads[kMaxThreads];
+
+// Bags abandoned by exited threads; adopted under lock during scans.
+std::mutex g_orphan_mu;
+std::vector<Retired> g_orphans;
+
+ThreadState& self() { return g_threads[util::thread_slot()].value; }
+
+// Smallest epoch any pinned thread may still be reading in.
+std::uint64_t min_reservation() {
+  std::uint64_t min = g_epoch.load(std::memory_order_acquire);
+  for (int i = 0; i < kMaxThreads; ++i) {
+    const std::uint64_t r =
+        g_threads[i].value.reservation.load(std::memory_order_acquire);
+    if (r < min) min = r;
+  }
+  return min;
+}
+
+void try_advance() {
+  const std::uint64_t e = g_epoch.load(std::memory_order_acquire);
+  for (int i = 0; i < kMaxThreads; ++i) {
+    const std::uint64_t r =
+        g_threads[i].value.reservation.load(std::memory_order_acquire);
+    if (r != kQuiescent && r != e) return;  // a thread lags; cannot advance
+  }
+  std::uint64_t expected = e;
+  g_epoch.compare_exchange_strong(expected, e + 1, std::memory_order_acq_rel);
+}
+
+// Free every entry of `bag` retired at least two epochs before any live
+// reservation; keep the rest.
+std::size_t sweep(std::vector<Retired>& bag, std::uint64_t safe_before) {
+  std::size_t freed = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    if (bag[i].epoch + 2 <= safe_before) {
+      bag[i].deleter(bag[i].ptr);
+      ++freed;
+    } else {
+      bag[keep++] = bag[i];
+    }
+  }
+  bag.resize(keep);
+  return freed;
+}
+
+void scan(ThreadState& ts) {
+  try_advance();
+  const std::uint64_t safe_before = min_reservation();
+  std::size_t freed = sweep(ts.limbo, safe_before);
+  // Adopt orphaned garbage opportunistically so exited threads' retirees
+  // do not accumulate forever.
+  if (g_orphan_mu.try_lock()) {
+    freed += sweep(g_orphans, safe_before);
+    g_orphan_mu.unlock();
+  }
+  if (freed > 0) {
+    g_freed.fetch_add(freed, std::memory_order_relaxed);
+    g_pending.fetch_sub(static_cast<std::int64_t>(freed),
+                        std::memory_order_relaxed);
+  }
+}
+
+// Orphan the limbo bag when a thread exits mid-life so a recycled slot
+// starts clean.
+struct ExitHook {
+  ~ExitHook() {
+    ThreadState& ts = self();
+    if (!ts.limbo.empty()) {
+      std::lock_guard<std::mutex> lock(g_orphan_mu);
+      g_orphans.insert(g_orphans.end(), ts.limbo.begin(), ts.limbo.end());
+      ts.limbo.clear();
+    }
+    ts.retire_count = 0;
+    ts.nesting = 0;
+    ts.reservation.store(kQuiescent, std::memory_order_release);
+  }
+};
+
+void arm_exit_hook() { thread_local ExitHook hook; (void)hook; }
+
+}  // namespace
+
+void pin() {
+  ThreadState& ts = self();
+  arm_exit_hook();
+  if (ts.nesting++ > 0) return;
+  // Publish the observed epoch, then re-check: the store must be visible
+  // before we rely on epoch e, otherwise a concurrent advance could free
+  // nodes we are about to read.
+  for (;;) {
+    const std::uint64_t e = g_epoch.load(std::memory_order_acquire);
+    ts.reservation.store(e, std::memory_order_seq_cst);
+    if (g_epoch.load(std::memory_order_seq_cst) == e) break;
+  }
+}
+
+void unpin() {
+  ThreadState& ts = self();
+  if (--ts.nesting > 0) return;
+  ts.reservation.store(kQuiescent, std::memory_order_release);
+}
+
+void retire(void* p, void (*deleter)(void*)) {
+  ThreadState& ts = self();
+  arm_exit_hook();
+  ts.limbo.push_back(
+      Retired{p, deleter, g_epoch.load(std::memory_order_acquire)});
+  g_pending.fetch_add(1, std::memory_order_relaxed);
+  if (++ts.retire_count >= kScanThreshold) {
+    ts.retire_count = 0;
+    scan(ts);
+  }
+}
+
+std::size_t drain_for_tests() {
+  // Advance the epoch enough times that everything retired so far clears
+  // the 3-epoch rule, then sweep every bag. Caller guarantees quiescence.
+  for (int i = 0; i < 3; ++i) try_advance();
+  const std::uint64_t safe_before = min_reservation() + 2;  // free all
+  std::size_t freed = 0;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    freed += sweep(g_threads[i].value.limbo, safe_before);
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_orphan_mu);
+    freed += sweep(g_orphans, safe_before);
+  }
+  g_freed.fetch_add(freed, std::memory_order_relaxed);
+  g_pending.fetch_sub(static_cast<std::int64_t>(freed),
+                      std::memory_order_relaxed);
+  return freed;
+}
+
+Stats stats() {
+  return Stats{g_epoch.load(std::memory_order_relaxed),
+               static_cast<std::size_t>(
+                   g_pending.load(std::memory_order_relaxed) < 0
+                       ? 0
+                       : g_pending.load(std::memory_order_relaxed)),
+               g_freed.load(std::memory_order_relaxed)};
+}
+
+}  // namespace vcas::ebr

@@ -1,0 +1,60 @@
+// Epoch-based memory reclamation (Fraser-style, 3-epoch rule).
+//
+// This is the reclamation substrate the paper relies on (reference [33]):
+// lock-free operations run inside an epoch-pinned critical region; unlinked
+// nodes are *retired*, not freed, and become reclaimable only once every
+// pinned thread has moved at least two epochs past the retiring epoch, at
+// which point no reader can still hold a reference.
+//
+// Usage:
+//   {
+//     vcas::ebr::Guard g;            // pin (reentrant)
+//     ... traverse / CAS ...
+//     vcas::ebr::retire(node);       // node is unlinked, free later
+//   }                                 // unpin
+//
+// Threads that exit with unreclaimed garbage hand their limbo bag to a
+// global orphan list adopted by future scans, so no memory is stranded.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace vcas::ebr {
+
+// Enter/leave an epoch-protected critical region. Reentrant: only the
+// outermost pin publishes a reservation.
+void pin();
+void unpin();
+
+class Guard {
+ public:
+  Guard() { pin(); }
+  ~Guard() { unpin(); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+};
+
+// Hand an unlinked object to the reclaimer. The deleter runs once the
+// 3-epoch rule proves no reader can hold a reference.
+void retire(void* p, void (*deleter)(void*));
+
+template <typename T>
+void retire(T* p) {
+  retire(static_cast<void*>(p), +[](void* q) { delete static_cast<T*>(q); });
+}
+
+// Force reclamation of everything retired so far. Only valid when the
+// caller knows no thread is pinned (test teardown, single-threaded phases).
+// Returns the number of objects freed.
+std::size_t drain_for_tests();
+
+struct Stats {
+  std::uint64_t epoch;
+  std::size_t pending;  // retired but not yet freed (approximate)
+  std::uint64_t freed;  // total freed since process start
+};
+Stats stats();
+
+}  // namespace vcas::ebr

@@ -1,0 +1,38 @@
+// Sense-reversing spin barrier.
+//
+// Benchmarks must release all worker threads at the same instant; a mutex +
+// condvar barrier adds scheduler wakeup jitter that skews short runs. On an
+// oversubscribed machine pure spinning deadlocks-by-starvation, so the wait
+// loop yields.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace vcas::util {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties)
+      : parties_(parties), remaining_(parties) {}
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace vcas::util

@@ -1,0 +1,25 @@
+// Low-bit pointer marking, as used by Harris's linked list (the delete mark
+// lives in bit 0 of the successor pointer so that mark+pointer are a single
+// CAS-able word).
+#pragma once
+
+#include <cstdint>
+
+namespace vcas::util {
+
+template <typename T>
+inline bool is_marked(T* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
+}
+
+template <typename T>
+inline T* with_mark(T* p) {
+  return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) | 1u);
+}
+
+template <typename T>
+inline T* without_mark(T* p) {
+  return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) & ~std::uintptr_t{1});
+}
+
+}  // namespace vcas::util

@@ -1,0 +1,37 @@
+// Cache-line padding helpers.
+//
+// Per-thread slots that live in shared arrays (epoch reservations, snapshot
+// announcements, throughput counters) must not share cache lines, or the
+// coherence traffic from one thread's writes slows every other thread's
+// reads. `Padded<T>` rounds a value up to one cache line.
+#pragma once
+
+#include <cstddef>
+
+
+namespace vcas::util {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// trait's value shifts with -mtune, which would make the struct layout part
+// of an unstable ABI (and gcc warns accordingly). All targets here are
+// x86-64/aarch64 with 64-byte lines.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+
+ private:
+  // Ensure the struct occupies at least a full line even when T is small.
+  char pad_[kCacheLine > sizeof(T) ? kCacheLine - sizeof(T) : 1]{};
+};
+
+}  // namespace vcas::util

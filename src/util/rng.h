@@ -1,0 +1,106 @@
+// Deterministic per-thread random number generation for workloads.
+//
+// Benchmarks need a generator that is (a) fast enough not to dominate the
+// measured operation, (b) independently seedable per thread, and
+// (c) reproducible across runs. xoshiro256** satisfies all three;
+// std::mt19937 is too slow to sit inside a throughput loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace vcas::util {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding: decorrelates nearby seeds.
+    std::uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Lemire's multiply-shift rejection-free
+  // approximation: a negligible modulo bias is acceptable for workloads.
+  std::uint64_t next_in(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_in(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Zipfian generator over [1, n] with parameter theta, using the standard
+// Gray/Jim Gray "quick zipf" transform. Precomputes the normalization
+// constants once; draws are O(1).
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta, std::uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = zeta(n, theta);
+    const double zeta2 = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t next() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 1;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+    return 1 + static_cast<std::uint64_t>(
+                   static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace vcas::util

@@ -1,0 +1,50 @@
+// Process-wide thread slot registry.
+//
+// Lock-free memory reclamation and snapshot announcement both need a dense
+// per-thread index into fixed-size shared arrays. A slot is claimed the
+// first time a thread touches the library and recycled when the thread
+// exits, so short-lived benchmark threads do not exhaust the table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/padded.h"
+
+namespace vcas::util {
+
+// Upper bound on threads concurrently inside the library. The paper's
+// machine exposes 144 hyperthreads; we leave headroom.
+inline constexpr int kMaxThreads = 192;
+
+namespace detail {
+
+inline std::atomic<bool>& slot_in_use(int i) {
+  static Padded<std::atomic<bool>> slots[kMaxThreads];
+  return slots[i].value;
+}
+
+struct SlotHandle {
+  int id = -1;
+  SlotHandle() {
+    for (int i = 0;; i = (i + 1) % kMaxThreads) {
+      bool expected = false;
+      if (slot_in_use(i).compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+        id = i;
+        return;
+      }
+    }
+  }
+  ~SlotHandle() { slot_in_use(id).store(false, std::memory_order_release); }
+};
+
+}  // namespace detail
+
+// Dense id in [0, kMaxThreads) for the calling thread, stable until exit.
+inline int thread_slot() {
+  thread_local detail::SlotHandle handle;
+  return handle.id;
+}
+
+}  // namespace vcas::util

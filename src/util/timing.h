@@ -1,0 +1,28 @@
+// Minimal wall-clock timing for benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vcas::util {
+
+inline std::int64_t now_nanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class Timer {
+ public:
+  Timer() : start_(now_nanos()) {}
+  void reset() { start_ = now_nanos(); }
+  std::int64_t elapsed_nanos() const { return now_nanos() - start_; }
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_nanos()) * 1e-9;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace vcas::util

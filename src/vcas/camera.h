@@ -1,0 +1,94 @@
+// Camera objects (paper Section 3, Algorithm 1, lines 1-7).
+//
+// A camera is the global clock shared by every versioned CAS object of one
+// data structure. takeSnapshot() reads the counter and attempts ONE CAS to
+// bump it; if the CAS fails another takeSnapshot already bumped it, so the
+// handle is valid either way. This is what makes snapshots constant-time.
+//
+// Beyond the paper's minimal interface, the camera carries a per-thread
+// announcement table so a garbage collector can compute the oldest snapshot
+// any in-flight query might still read (used by version-list trimming; see
+// versioned_cas.h). Announcing is optional — the paper's algorithm is the
+// takeSnapshot/current pair alone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "util/padded.h"
+#include "util/threading.h"
+
+namespace vcas {
+
+using Timestamp = std::int64_t;
+
+// Sentinel for VNodes whose timestamp has not been decided yet ("TBD" in
+// the paper). Must compare less than every valid timestamp so that a
+// readSnapshot can never mistake it for an old version; we guard against
+// that by helping (initTS) before any traversal, but the ordering makes
+// bugs loud.
+inline constexpr Timestamp kTBD = std::numeric_limits<Timestamp>::min();
+
+// Announcement slot value meaning "no active snapshot on this thread".
+inline constexpr Timestamp kNoSnapshot = std::numeric_limits<Timestamp>::max();
+
+class Camera {
+ public:
+  Camera() {
+    for (auto& a : announce_) a.value.store(kNoSnapshot, std::memory_order_relaxed);
+  }
+
+  Camera(const Camera&) = delete;
+  Camera& operator=(const Camera&) = delete;
+
+  // O(1): one read + at most one CAS. Returns the handle; versions written
+  // while the counter still reads `handle` belong to this snapshot.
+  Timestamp takeSnapshot() {
+    Timestamp ts = timestamp_.load(std::memory_order_seq_cst);
+    timestamp_.compare_exchange_strong(ts, ts + 1, std::memory_order_seq_cst);
+    return ts;
+  }
+
+  // Current clock value; what initTS stamps into a freshly appended VNode.
+  Timestamp current() const {
+    return timestamp_.load(std::memory_order_seq_cst);
+  }
+
+  std::atomic<Timestamp>& counter() { return timestamp_; }
+
+  // --- announcement support (GC extension) ---
+
+  // Publish intent to snapshot, then take one. The announced value is a
+  // lower bound on the handle actually used, which is all min_active()
+  // needs: announcing low only makes trimming more conservative.
+  Timestamp announce_and_snapshot() {
+    const int slot = util::thread_slot();
+    announce_[slot].value.store(timestamp_.load(std::memory_order_seq_cst),
+                                std::memory_order_seq_cst);
+    return takeSnapshot();
+  }
+
+  void clear_announcement() {
+    announce_[util::thread_slot()].value.store(kNoSnapshot,
+                                               std::memory_order_release);
+  }
+
+  // Oldest snapshot any announced query may still be reading. Every version
+  // with timestamp strictly below this — except the newest such version per
+  // object — is unreachable by all current and future readSnapshots.
+  Timestamp min_active() const {
+    Timestamp min = timestamp_.load(std::memory_order_seq_cst);
+    for (const auto& a : announce_) {
+      const Timestamp t = a.value.load(std::memory_order_seq_cst);
+      if (t < min) min = t;
+    }
+    return min;
+  }
+
+ private:
+  alignas(util::kCacheLine) std::atomic<Timestamp> timestamp_{0};
+  util::Padded<std::atomic<Timestamp>> announce_[util::kMaxThreads];
+};
+
+}  // namespace vcas

@@ -1,0 +1,35 @@
+// RAII snapshot handles.
+//
+// A multi-point query (paper Section 4) is: take a snapshot, then run the
+// sequential read-only algorithm over readSnapshot() reads. SnapshotGuard
+// bundles the three things every such query needs:
+//   1. an EBR pin, so nodes unlinked mid-query stay readable,
+//   2. an announced takeSnapshot, so version-list trimming (the GC
+//      extension) never reclaims versions this query can still reach,
+//   3. the handle itself.
+#pragma once
+
+#include "ebr/ebr.h"
+#include "vcas/camera.h"
+
+namespace vcas {
+
+class SnapshotGuard {
+ public:
+  explicit SnapshotGuard(Camera& camera)
+      : camera_(camera), ts_(camera.announce_and_snapshot()) {}
+
+  ~SnapshotGuard() { camera_.clear_announcement(); }
+
+  SnapshotGuard(const SnapshotGuard&) = delete;
+  SnapshotGuard& operator=(const SnapshotGuard&) = delete;
+
+  Timestamp ts() const { return ts_; }
+
+ private:
+  ebr::Guard ebr_;  // pinned for the guard's full lifetime
+  Camera& camera_;
+  Timestamp ts_;
+};
+
+}  // namespace vcas

@@ -1,0 +1,172 @@
+// Versioned CAS objects (paper Section 3.1, Algorithm 1).
+//
+// A VersionedCAS<T> behaves like std::atomic<T> restricted to read/CAS, and
+// additionally answers "what was your value when snapshot ts was taken?".
+// Internally it is a singly-linked version list, newest first; each VNode
+// carries the value and the camera timestamp of the vCAS that installed it.
+//
+// The crux (paper Section 3.1, "Helping"): a successful vCAS must appear to
+// (1) append its node, (2) read the global clock, (3) record the timestamp —
+// atomically. The node is appended with ts = TBD and *every* operation that
+// observes a TBD head calls initTS to install a timestamp before relying on
+// it; the vCAS linearizes at the clock read of whichever initTS wins.
+//
+// Extension beyond the paper's pseudocode: optional version-list trimming.
+// Old versions below the camera's min_active() announcement can never be
+// read again, so they may be detached and EBR-retired (see trim()).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+
+#include "ebr/ebr.h"
+#include "vcas/camera.h"
+
+namespace vcas {
+
+template <typename T>
+class VersionedCAS {
+ public:
+  struct VNode {
+    T val;                     // immutable once initialized
+    std::atomic<VNode*> nextv; // next older version; written once by vCAS,
+                               // then only by trim() at the pivot
+    std::atomic<Timestamp> ts; // TBD until initTS installs a clock value
+
+    VNode(T v, VNode* next) : val(v), nextv(next), ts(kTBD) {}
+  };
+
+  // Precondition (paper, Initialization): the camera's constructor has
+  // completed. The initial version is stamped immediately so that every
+  // snapshot taken after construction can read it.
+  VersionedCAS(T initial, Camera* camera)
+      : vhead_(new VNode(initial, nullptr)), camera_(camera) {
+    initTS(vhead_.load(std::memory_order_relaxed));
+  }
+
+  VersionedCAS(const VersionedCAS&) = delete;
+  VersionedCAS& operator=(const VersionedCAS&) = delete;
+
+  ~VersionedCAS() {
+    VNode* node = vhead_.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      VNode* next = node->nextv.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  // Algorithm 1, lines 36-39. O(1).
+  T vRead() {
+    VNode* head = vhead_.load(std::memory_order_seq_cst);
+    initTS(head);
+    return head->val;
+  }
+
+  // Algorithm 1, lines 40-52. O(1); lock-free (a failed CAS means another
+  // vCAS succeeded).
+  bool vCAS(T old_v, T new_v) {
+    VNode* head = vhead_.load(std::memory_order_seq_cst);
+    initTS(head);
+    if (head->val != old_v) return false;
+    if (new_v == old_v) return true;
+    VNode* new_node = new VNode(new_v, head);
+    if (vhead_.compare_exchange_strong(head, new_node,
+                                       std::memory_order_seq_cst)) {
+      initTS(new_node);
+      return true;
+    }
+    delete new_node;  // never published; safe to free immediately
+    initTS(vhead_.load(std::memory_order_seq_cst));
+    return false;
+  }
+
+  // Algorithm 1, lines 31-35. Wait-free: the walk is bounded by the number
+  // of successful vCASes with timestamps greater than ts (Theorem 2).
+  // Precondition: ts came from the associated camera's takeSnapshot, taken
+  // after this object was constructed; with trimming enabled the snapshot
+  // must be announced (SnapshotGuard does both).
+  T readSnapshot(Timestamp ts) {
+    VNode* node = vhead_.load(std::memory_order_seq_cst);
+    initTS(node);
+    while (node->ts.load(std::memory_order_acquire) > ts) {
+      node = node->nextv.load(std::memory_order_acquire);
+      assert(node != nullptr &&
+             "readSnapshot walked past the initial version: snapshot handle "
+             "predates this object (precondition violation)");
+    }
+    return node->val;
+  }
+
+  // --- introspection / GC extension (not part of the paper's interface) ---
+
+  // Plain read of the newest value with no helping. Only for destructors
+  // and quiescent traversals.
+  T read_unsynchronized() const {
+    return vhead_.load(std::memory_order_relaxed)->val;
+  }
+
+  // Length of the version list. Test/bench helper; O(versions).
+  std::size_t version_count() const {
+    std::size_t n = 0;
+    for (VNode* node = vhead_.load(std::memory_order_acquire); node != nullptr;
+         node = node->nextv.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+  // Detach every version no announced snapshot can still read: keep the
+  // newest version with ts <= min_active (the "pivot" — any current or
+  // future readSnapshot stops at or before it, because every announced
+  // reader's handle is >= its announcement >= min_active) and EBR-retire
+  // the rest. One trimmer per object at a time (non-blocking try-lock) so
+  // the suffix is retired exactly once. Callers must hold an ebr::Guard.
+  // Returns the number of versions detached.
+  std::size_t trim(Timestamp min_active) {
+    bool expected = false;
+    if (!trimming_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire)) {
+      return 0;
+    }
+    std::size_t detached = 0;
+    VNode* node = vhead_.load(std::memory_order_seq_cst);
+    // Find the pivot: newest node with a valid ts <= min_active. A TBD head
+    // is treated as "too new" — its eventual timestamp is unknown here.
+    while (node != nullptr) {
+      const Timestamp t = node->ts.load(std::memory_order_acquire);
+      if (t != kTBD && t <= min_active) break;
+      node = node->nextv.load(std::memory_order_acquire);
+    }
+    if (node != nullptr) {
+      VNode* old = node->nextv.exchange(nullptr, std::memory_order_acq_rel);
+      while (old != nullptr) {
+        VNode* next = old->nextv.load(std::memory_order_relaxed);
+        ebr::retire(old);
+        ++detached;
+        old = next;
+      }
+    }
+    trimming_.store(false, std::memory_order_release);
+    return detached;
+  }
+
+ private:
+  // Algorithm 1, lines 19-22. Idempotent; at most one CAS ever succeeds
+  // because ts only transitions TBD -> valid.
+  void initTS(VNode* node) {
+    if (node->ts.load(std::memory_order_acquire) == kTBD) {
+      Timestamp cur = camera_->current();
+      Timestamp expected = kTBD;
+      node->ts.compare_exchange_strong(expected, cur,
+                                       std::memory_order_seq_cst);
+    }
+  }
+
+  std::atomic<VNode*> vhead_;
+  Camera* camera_;
+  std::atomic<bool> trimming_{false};
+};
+
+}  // namespace vcas

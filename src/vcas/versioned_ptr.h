@@ -1,0 +1,174 @@
+// Indirection-free versioned pointers (paper Section 5 "Avoiding
+// Indirection", Figure 9, Appendix G).
+//
+// When a data structure is *recorded-once* — every node is the new value of
+// a successful vCAS at most once, and equal new values imply equal old
+// values — the version bookkeeping (nextv, ts) can live inside the pointed-
+// to nodes instead of separate VNodes, saving one cache miss per access.
+// Nodes opt in by inheriting Versioned<Node>, and mutable links become
+// VersionedPtr<Node> fields.
+//
+// Sharing of version fields across lists is benign: a node nd can appear in
+// a second object's version list only as that object's *initial* value, and
+// Appendix G shows no readSnapshot ever follows the nextv of the last
+// version it needs (a query holding handle h only reaches an object created
+// at time t <= h, so the initial version's ts <= h stops the walk).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "vcas/camera.h"
+
+namespace vcas {
+
+namespace detail {
+// Distinguished non-null, non-dereferenceable pointer standing for "next
+// version not yet decided" ("invalidNextv" in Figure 9). Real nodes are
+// aligned, so address 0x1 can never collide.
+template <typename Node>
+Node* invalid_nextv() {
+  return reinterpret_cast<Node*>(std::uintptr_t{1});
+}
+}  // namespace detail
+
+// CRTP mix-in adding the two per-node version fields of Figure 9.
+template <typename Derived>
+struct Versioned {
+  std::atomic<Derived*> vcas_nextv{detail::invalid_nextv<Derived>()};
+  std::atomic<Timestamp> vcas_ts{kTBD};
+
+  // Reset for reuse after a *failed, never-published* vCAS attempt. Calling
+  // this on a node that was ever installed is a correctness bug.
+  void reset_version_fields() {
+    vcas_nextv.store(detail::invalid_nextv<Derived>(),
+                     std::memory_order_relaxed);
+    vcas_ts.store(kTBD, std::memory_order_relaxed);
+  }
+};
+
+// A versioned CAS object over Node* values with the version list threaded
+// through the nodes themselves. Node must derive from Versioned<Node>.
+template <typename Node>
+class VersionedPtr {
+ public:
+  VersionedPtr() : head_(nullptr), camera_(nullptr) {}
+
+  // Figure 9 constructor: stamp the initial node (idempotent if it already
+  // carries a timestamp from a previous life — the copy-on-delete case) and
+  // terminate its version chain if fresh.
+  VersionedPtr(Node* initial, Camera* camera)
+      : head_(initial), camera_(camera) {
+    if (initial != nullptr) {
+      init_nextv(initial);
+      initTS(initial);
+    }
+  }
+
+  // Deferred init for nodes whose links are set after allocation. Must
+  // happen before the owning node is published.
+  void init(Node* initial, Camera* camera) {
+    camera_ = camera;
+    head_.store(initial, std::memory_order_relaxed);
+    if (initial != nullptr) {
+      init_nextv(initial);
+      initTS(initial);
+    }
+  }
+
+  VersionedPtr(const VersionedPtr&) = delete;
+  VersionedPtr& operator=(const VersionedPtr&) = delete;
+
+  // Figure 9 OptvRead. O(1).
+  Node* vRead() {
+    Node* head = head_.load(std::memory_order_seq_cst);
+    if (head != nullptr) initTS(head);
+    return head;
+  }
+
+  // Plain read of the current head with no helping. Only for destructors /
+  // quiescent traversals.
+  Node* read_unsynchronized() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  // Figure 9 OptvCAS. new_v must be a fresh (never-installed) node or null;
+  // the recorded-once property is the caller's obligation.
+  //
+  // On failure new_v's nextv may have been set (to old_v) but new_v was not
+  // published. A helper racing on the SAME new_v (the help_insert pattern)
+  // writes the same old_v, so the write is benign; a caller reusing a
+  // private failed node for a different target must reset_version_fields()
+  // first.
+  bool vCAS(Node* old_v, Node* new_v) {
+    Node* head = head_.load(std::memory_order_seq_cst);
+    if (head != nullptr) initTS(head);
+    if (head != old_v) return false;
+    if (new_v == old_v) return true;
+    if (new_v != nullptr) {
+      // Not yet published (and any concurrent helper writes this same
+      // value), so a relaxed store suffices.
+      new_v->vcas_nextv.store(head, std::memory_order_relaxed);
+    }
+    if (head_.compare_exchange_strong(head, new_v,
+                                      std::memory_order_seq_cst)) {
+      if (new_v != nullptr) initTS(new_v);
+      return true;
+    }
+    Node* cur = head_.load(std::memory_order_seq_cst);
+    if (cur != nullptr) initTS(cur);
+    return false;
+  }
+
+  // Figure 9 OptreadSnapshot. Wait-free; walk length = #successful vCASes
+  // on this object stamped after ts.
+  Node* readSnapshot(Timestamp ts) {
+    Node* node = head_.load(std::memory_order_seq_cst);
+    if (node != nullptr) initTS(node);
+    while (node != nullptr &&
+           node->vcas_ts.load(std::memory_order_acquire) > ts) {
+      node = node->vcas_nextv.load(std::memory_order_acquire);
+      assert(node != detail::invalid_nextv<Node>() &&
+             "readSnapshot hit an uninitialized version link: snapshot "
+             "handle predates this object (precondition violation)");
+    }
+    return node;
+  }
+
+  // Version-list length from the current head (test/bench helper).
+  std::size_t version_count() const {
+    std::size_t n = 0;
+    for (Node* node = head_.load(std::memory_order_acquire);
+         node != nullptr && node != detail::invalid_nextv<Node>();
+         node = node->vcas_nextv.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  // Figure 9 initNextv: terminate the chain of a node used as an initial
+  // value. If the node already belongs to another object's list the CAS
+  // fails, which is exactly right (Appendix G: it is then the *last*
+  // version this object ever exposes to any query).
+  static void init_nextv(Node* n) {
+    Node* expected = detail::invalid_nextv<Node>();
+    n->vcas_nextv.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_seq_cst);
+  }
+
+  void initTS(Node* n) {
+    if (n->vcas_ts.load(std::memory_order_acquire) == kTBD) {
+      Timestamp cur = camera_->current();
+      Timestamp expected = kTBD;
+      n->vcas_ts.compare_exchange_strong(expected, cur,
+                                         std::memory_order_seq_cst);
+    }
+  }
+
+  std::atomic<Node*> head_;
+  Camera* camera_;
+};
+
+}  // namespace vcas

@@ -1,0 +1,281 @@
+// Baseline structures: EpochBST (Arbel-Raviv & Brown range queries),
+// CowTree (SnapTree-style lazy copy-on-write), and the double-collect range
+// query mechanism (KST behavior) on the Ellen BST.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baselines/cow_tree.h"
+#include "baselines/epoch_bst.h"
+#include "ds/ellen_bst.h"
+#include "ebr/ebr.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+
+namespace {
+
+using EBst = vcas::baselines::EpochBST<std::int64_t, std::int64_t>;
+using Cow = vcas::baselines::CowTree<std::int64_t, std::int64_t>;
+
+// --- EpochBST --------------------------------------------------------------
+
+TEST(EpochBst, SetSemanticsMatchModel) {
+  EBst tree;
+  std::set<std::int64_t> model;
+  vcas::util::Xoshiro256 rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.next_in(300));
+    if (rng.next_in(2) == 0) {
+      EXPECT_EQ(tree.insert(k, k), model.insert(k).second);
+    } else {
+      EXPECT_EQ(tree.remove(k), model.erase(k) > 0);
+    }
+  }
+  for (std::int64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(tree.contains(k), model.count(k) > 0);
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(EpochBst, RangeMatchesModelQuiescent) {
+  EBst tree;
+  std::set<std::int64_t> model;
+  vcas::util::Xoshiro256 rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.next_in(500));
+    tree.insert(k, k * 2);
+    model.insert(k);
+  }
+  // Delete some so limbo records exist and must be filtered out.
+  for (std::int64_t k = 0; k < 500; k += 3) {
+    if (model.erase(k)) tree.remove(k);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const std::int64_t lo = static_cast<std::int64_t>(rng.next_in(500));
+    const std::int64_t hi = lo + static_cast<std::int64_t>(rng.next_in(100));
+    auto got = tree.range(lo, hi);
+    std::vector<std::int64_t> expect;
+    for (auto it = model.lower_bound(lo); it != model.end() && *it <= hi; ++it)
+      expect.push_back(*it);
+    ASSERT_EQ(got.size(), expect.size()) << "[" << lo << ", " << hi << "]";
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].first, expect[j]);
+    }
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(EpochBst, RangeSeesPairInvariantUnderChurn) {
+  EBst tree;
+  constexpr std::int64_t kPairs = 48;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread updater([&] {
+    vcas::util::Xoshiro256 rng(43);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng.next_in(kPairs));
+      if (rng.next_in(2) == 0) {
+        tree.insert(k, k);
+        tree.insert(k + 1000, k);
+      } else {
+        tree.remove(k + 1000);
+        tree.remove(k);
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto snap = tree.range(0, 2000);
+    std::set<std::int64_t> keys;
+    for (auto& [k, v] : snap) {
+      if (!keys.insert(k).second) ok = false;  // duplicates leak through
+    }
+    for (std::int64_t k = 0; k < kPairs; ++k) {
+      if (keys.count(k + 1000) && !keys.count(k)) ok = false;
+    }
+  }
+  stop = true;
+  updater.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(EpochBst, DeletedDuringQueryComesFromLimbo) {
+  EBst tree;
+  for (std::int64_t k = 0; k < 200; ++k) tree.insert(k, k);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  // Permanent residents: multiples of 4. The churner removes/reinserts the
+  // rest; a range query must always report every resident exactly once.
+  std::thread churner([&] {
+    vcas::util::Xoshiro256 rng(44);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng.next_in(200));
+      if (k % 4 == 0) continue;
+      if (rng.next_in(2) == 0) {
+        tree.remove(k);
+      } else {
+        tree.insert(k, k);
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 1500; ++iter) {
+    auto snap = tree.range(0, 199);
+    std::set<std::int64_t> keys;
+    for (auto& [k, v] : snap) keys.insert(k);
+    for (std::int64_t k = 0; k < 200; k += 4) {
+      if (!keys.count(k)) ok = false;
+    }
+  }
+  stop = true;
+  churner.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(tree.limbo_size(), 0u);  // deletes really went through limbo
+  vcas::ebr::drain_for_tests();
+}
+
+// --- CowTree ---------------------------------------------------------------
+
+TEST(CowTree, SetSemanticsMatchModel) {
+  Cow tree;
+  std::set<std::int64_t> model;
+  vcas::util::Xoshiro256 rng(51);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.next_in(300));
+    if (rng.next_in(2) == 0) {
+      EXPECT_EQ(tree.insert(k, k), model.insert(k).second);
+    } else {
+      EXPECT_EQ(tree.remove(k), model.erase(k) > 0);
+    }
+  }
+  for (std::int64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(tree.contains(k), model.count(k) > 0);
+  }
+  auto keys = tree.keys_unsynchronized();
+  std::vector<std::int64_t> expect(model.begin(), model.end());
+  EXPECT_EQ(keys, expect);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(CowTree, SnapshotIsolatedFromLaterUpdates) {
+  Cow tree;
+  for (std::int64_t k = 0; k < 100; ++k) tree.insert(k, k);
+  auto before = tree.range(0, 99);
+  EXPECT_EQ(before.size(), 100u);
+  // Updates after a snapshot trigger the copy-on-write path; a new
+  // snapshot must see them while the old result is untouched data.
+  for (std::int64_t k = 0; k < 50; ++k) tree.remove(k);
+  auto after = tree.range(0, 99);
+  EXPECT_EQ(after.size(), 50u);
+  EXPECT_EQ(before.size(), 100u);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(CowTree, ConcurrentWritersDisjointStripes) {
+  Cow tree;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 1000;
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      const std::int64_t base = t * 100000;
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(tree.insert(base + i, i));
+      }
+      for (std::int64_t i = 0; i < kPerThread; i += 2) {
+        ASSERT_TRUE(tree.remove(base + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size_unsynchronized(),
+            static_cast<std::size_t>(kThreads) * (kPerThread / 2));
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(CowTree, RangeSeesPairInvariantUnderChurn) {
+  Cow tree;
+  constexpr std::int64_t kPairs = 32;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread updater([&] {
+    vcas::util::Xoshiro256 rng(52);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng.next_in(kPairs));
+      if (rng.next_in(2) == 0) {
+        tree.insert(k, k);
+        tree.insert(k + 1000, k);
+      } else {
+        tree.remove(k + 1000);
+        tree.remove(k);
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 1000; ++iter) {
+    auto snap = tree.range(0, 2000);
+    std::set<std::int64_t> keys;
+    for (auto& [k, v] : snap) keys.insert(k);
+    for (std::int64_t k = 0; k < kPairs; ++k) {
+      if (keys.count(k + 1000) && !keys.count(k)) ok = false;
+    }
+  }
+  stop = true;
+  updater.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// --- double-collect range queries (KST mechanism) ---------------------------
+
+TEST(DoubleCollect, QuiescentRangeIsExact) {
+  vcas::ds::NBBST<std::int64_t, std::int64_t> tree;
+  for (std::int64_t k = 0; k < 100; k += 2) tree.insert(k, k);
+  auto got = tree.range_double_collect(10, 20);
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_EQ(got.front().first, 10);
+  EXPECT_EQ(got.back().first, 20);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(DoubleCollect, StableUnderOutOfRangeChurn) {
+  vcas::ds::NBBST<std::int64_t, std::int64_t> tree;
+  for (std::int64_t k = 0; k < 1000; ++k) tree.insert(k, k);
+  std::atomic<bool> stop{false};
+
+  // Churn far outside the queried range: the double collect must converge
+  // and return exactly the stable range.
+  std::thread churner([&] {
+    vcas::util::Xoshiro256 rng(53);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k =
+          5000 + static_cast<std::int64_t>(rng.next_in(1000));
+      if (rng.next_in(2) == 0) {
+        tree.insert(k, k);
+      } else {
+        tree.remove(k);
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 500; ++iter) {
+    auto got = tree.range_double_collect(100, 199);
+    ASSERT_EQ(got.size(), 100u);
+  }
+  stop = true;
+  churner.join();
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

@@ -1,0 +1,358 @@
+// Chromatic tree tests: set semantics (typed over both flavors), the
+// relaxed red-black safety property (all real root-to-leaf weighted path
+// sums equal, at all times), rebalancing quality, and snapshot queries on
+// the versioned flavor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/chromatic.h"
+#include "ebr/ebr.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+
+namespace {
+
+using vcas::ds::ChromaticTree;
+using vcas::ds::VcasChromaticTree;
+
+template <typename Tree>
+class ChromaticTest : public ::testing::Test {};
+
+using TreeTypes =
+    ::testing::Types<ChromaticTree<std::int64_t, std::int64_t>,
+                     VcasChromaticTree<std::int64_t, std::int64_t>>;
+
+class TreeNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, ChromaticTree<std::int64_t, std::int64_t>>)
+      return "CT";
+    return "VcasCT";
+  }
+};
+
+TYPED_TEST_SUITE(ChromaticTest, TreeTypes, TreeNames);
+
+template <typename Tree>
+void expect_equal_path_weights(const Tree& tree) {
+  auto sums = tree.leaf_path_weights_unsynchronized();
+  for (std::size_t i = 1; i < sums.size(); ++i) {
+    ASSERT_EQ(sums[i], sums[0]) << "path weight sums diverged at leaf " << i;
+  }
+}
+
+TYPED_TEST(ChromaticTest, BasicSetSemantics) {
+  TypeParam tree;
+  EXPECT_FALSE(tree.contains(3));
+  EXPECT_TRUE(tree.insert(3, 30));
+  EXPECT_FALSE(tree.insert(3, 31));
+  EXPECT_EQ(tree.find(3), 30);
+  EXPECT_TRUE(tree.insert(1, 10));
+  EXPECT_TRUE(tree.insert(5, 50));
+  EXPECT_TRUE(tree.remove(3));
+  EXPECT_FALSE(tree.remove(3));
+  EXPECT_FALSE(tree.contains(3));
+  EXPECT_EQ(tree.size_unsynchronized(), 2u);
+  expect_equal_path_weights(tree);
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(ChromaticTest, EmptyAfterInsertRemoveCycles) {
+  TypeParam tree;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(tree.insert(round, round));
+    EXPECT_TRUE(tree.remove(round));
+    EXPECT_EQ(tree.size_unsynchronized(), 0u);
+  }
+  expect_equal_path_weights(tree);
+  vcas::ebr::drain_for_tests();
+}
+
+// The core property test for the transformation algebra: after ANY
+// single-threaded history, (a) the key set matches std::set, (b) every real
+// root-to-leaf path has the same weight sum, (c) cleanup has removed every
+// violation (single-threaded cleanup runs to completion).
+TYPED_TEST(ChromaticTest, RandomHistoryPreservesWeightInvariant) {
+  vcas::util::Xoshiro256 seeds(2024);
+  for (int trial = 0; trial < 5; ++trial) {
+    TypeParam tree;
+    std::set<std::int64_t> model;
+    vcas::util::Xoshiro256 rng(seeds.next());
+    for (int i = 0; i < 4000; ++i) {
+      const std::int64_t key = static_cast<std::int64_t>(rng.next_in(400));
+      if (rng.next_in(2) == 0) {
+        ASSERT_EQ(tree.insert(key, key), model.insert(key).second);
+      } else {
+        ASSERT_EQ(tree.remove(key), model.erase(key) > 0);
+      }
+      if (i % 512 == 0) expect_equal_path_weights(tree);
+    }
+    auto keys = tree.keys_unsynchronized();
+    std::vector<std::int64_t> expect(model.begin(), model.end());
+    ASSERT_EQ(keys, expect);
+    expect_equal_path_weights(tree);
+    EXPECT_EQ(tree.violations_unsynchronized(), 0u);
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(ChromaticTest, SortedInsertionStaysBalanced) {
+  TypeParam tree;
+  constexpr std::int64_t kKeys = 16384;
+  for (std::int64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.insert(k, k));
+  const double log2n = std::log2(static_cast<double>(kKeys));
+  // A proper red-black tree has height <= 2*log2(n+1); allow slack for the
+  // external-tree encoding and the sentinel level.
+  EXPECT_LE(tree.height_unsynchronized(),
+            static_cast<std::size_t>(2 * log2n + 6))
+      << "chromatic rebalancing failed to balance a sorted insertion";
+  expect_equal_path_weights(tree);
+  EXPECT_EQ(tree.violations_unsynchronized(), 0u);
+  auto stats = tree.rebalance_stats();
+  EXPECT_GT(stats.blk + stats.rb1 + stats.rb2, 0u);
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(ChromaticTest, DeleteHeavyRebalances) {
+  TypeParam tree;
+  constexpr std::int64_t kKeys = 8192;
+  for (std::int64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.insert(k, k));
+  // Remove three quarters of the keys, skewed to one side.
+  for (std::int64_t k = 0; k < (3 * kKeys) / 4; ++k) {
+    ASSERT_TRUE(tree.remove(k));
+  }
+  const double log2n = std::log2(static_cast<double>(kKeys / 4));
+  EXPECT_LE(tree.height_unsynchronized(),
+            static_cast<std::size_t>(2 * log2n + 8));
+  expect_equal_path_weights(tree);
+  EXPECT_EQ(tree.violations_unsynchronized(), 0u);
+  auto stats = tree.rebalance_stats();
+  EXPECT_GT(stats.push + stats.rotate, 0u);  // overweight machinery ran
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(ChromaticTest, DisjointStripesConcurrently) {
+  TypeParam tree;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 1500;
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      const std::int64_t base = t * 1000000;
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(tree.insert(base + i, i));
+      }
+      for (std::int64_t i = 0; i < kPerThread; i += 2) {
+        ASSERT_TRUE(tree.remove(base + i));
+      }
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_EQ(tree.contains(base + i), i % 2 == 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size_unsynchronized(),
+            static_cast<std::size_t>(kThreads) * (kPerThread / 2));
+  expect_equal_path_weights(tree);
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(ChromaticTest, ContendedHelpingStress) {
+  TypeParam tree;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 3000;
+  constexpr std::int64_t kKeyRange = 24;
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(700 + t);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const std::int64_t key =
+            static_cast<std::int64_t>(rng.next_in(kKeyRange));
+        if (rng.next_in(2) == 0) {
+          tree.insert(key, t);
+        } else {
+          tree.remove(key);
+        }
+        if (i % 64 == 0) tree.contains(key);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto keys = tree.keys_unsynchronized();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  for (std::int64_t k = 0; k < kKeyRange; ++k) {
+    EXPECT_EQ(tree.contains(k),
+              std::binary_search(keys.begin(), keys.end(), k));
+  }
+  expect_equal_path_weights(tree);
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(ChromaticTest, ExactlyOneWinnerPerKey) {
+  TypeParam tree;
+  constexpr int kThreads = 6;
+  constexpr std::int64_t kKeys = 400;
+  std::atomic<int> insert_wins{0};
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (std::int64_t k = 0; k < kKeys; ++k) {
+        if (tree.insert(k, k)) insert_wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(insert_wins.load(), kKeys);
+  EXPECT_EQ(tree.size_unsynchronized(), static_cast<std::size_t>(kKeys));
+  expect_equal_path_weights(tree);
+  vcas::ebr::drain_for_tests();
+}
+
+// --- versioned-flavor snapshot queries ------------------------------------
+
+using VTree = VcasChromaticTree<std::int64_t, std::int64_t>;
+
+TEST(VcasCtQueries, RangeMatchesModel) {
+  VTree tree;
+  std::set<std::int64_t> model;
+  vcas::util::Xoshiro256 rng(9);
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.next_in(1000));
+    tree.insert(k, k * 7);
+    model.insert(k);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const std::int64_t lo = static_cast<std::int64_t>(rng.next_in(1000));
+    const std::int64_t hi = lo + static_cast<std::int64_t>(rng.next_in(300));
+    auto got = tree.range(lo, hi);
+    std::vector<std::int64_t> expect;
+    for (auto it = model.lower_bound(lo); it != model.end() && *it <= hi; ++it)
+      expect.push_back(*it);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].first, expect[j]);
+      EXPECT_EQ(got[j].second, expect[j] * 7);
+    }
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VcasCtQueries, SuccAndFindIfAndMultisearch) {
+  VTree tree;
+  for (std::int64_t k = 0; k < 1000; k += 10) tree.insert(k, k);
+  auto s = tree.succ(25, 3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].first, 30);
+  EXPECT_EQ(s[2].first, 50);
+  auto f = tree.find_if(100, 1000,
+                        [](const std::int64_t& k) { return k % 130 == 0; });
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->first, 130);
+  auto m = tree.multisearch({0, 5, 990, 995});
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], std::nullopt);
+  EXPECT_EQ(m[2], 990);
+  EXPECT_EQ(m[3], std::nullopt);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VcasCtQueries, RangeSeesPairInvariantUnderChurnWithRebalancing) {
+  VTree tree;
+  // Prefill densely so deletes trigger overweight machinery during the
+  // check phase.
+  for (std::int64_t k = 0; k < 512; ++k) tree.insert(k * 2, k);
+  constexpr std::int64_t kPairs = 64;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread updater([&] {
+    vcas::util::Xoshiro256 rng(31);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k =
+          2000 + static_cast<std::int64_t>(rng.next_in(kPairs));
+      if (rng.next_in(2) == 0) {
+        tree.insert(k, k);
+        tree.insert(k + 1000, k);
+      } else {
+        tree.remove(k + 1000);
+        tree.remove(k);
+      }
+    }
+  });
+  std::thread churner([&] {
+    vcas::util::Xoshiro256 rng(32);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng.next_in(1024));
+      if (rng.next_in(2) == 0) {
+        tree.insert(k, k);
+      } else {
+        tree.remove(k);
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto snap = tree.range(2000, 4000);
+    std::set<std::int64_t> keys;
+    for (auto& [k, v] : snap) {
+      if (!keys.insert(k).second) ok = false;  // duplicates
+    }
+    for (std::int64_t k = 2000; k < 2000 + kPairs; ++k) {
+      if (keys.count(k + 1000) && !keys.count(k)) ok = false;
+    }
+  }
+  stop = true;
+  updater.join();
+  churner.join();
+  EXPECT_TRUE(ok.load());
+  expect_equal_path_weights(tree);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VcasCtQueries, SizeSnapshotStableWhileRotationsRun) {
+  VTree tree;
+  constexpr std::int64_t kKeys = 1024;
+  for (std::int64_t k = 0; k < kKeys; ++k) tree.insert(k, k);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  // Each churner removes and reinserts its own parity class; membership of
+  // the other parity class never changes, so any snapshot size is within
+  // [kKeys/2, kKeys] and even keys at indices 0 mod 4 are permanent.
+  std::thread churner([&] {
+    vcas::util::Xoshiro256 rng(77);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k =
+          static_cast<std::int64_t>(rng.next_in(kKeys / 2)) * 2 + 1;
+      tree.remove(k);
+      tree.insert(k, k);
+    }
+  });
+
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t n = tree.size_snapshot();
+    if (n < kKeys / 2 || n > kKeys) ok = false;
+  }
+  stop = true;
+  churner.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

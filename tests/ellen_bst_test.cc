@@ -1,0 +1,227 @@
+// Set semantics and concurrency tests shared by both BST flavors (original
+// NBBST and the versioned VcasBST), via typed tests: the versioned build
+// must preserve the original's behavior exactly (paper Section 4: "our
+// snapshot approach maintains the time bounds of all the operations
+// supported by the original data structure" — and its semantics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/ellen_bst.h"
+#include "ebr/ebr.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+
+namespace {
+
+using vcas::ds::NBBST;
+using vcas::ds::VcasBST;
+using vcas::ds::VcasBSTIndirect;
+
+template <typename Tree>
+class EllenBstTest : public ::testing::Test {};
+
+using TreeTypes =
+    ::testing::Types<NBBST<std::int64_t, std::int64_t>,
+                     VcasBST<std::int64_t, std::int64_t>,
+                     VcasBSTIndirect<std::int64_t, std::int64_t>>;
+
+class TreeNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, NBBST<std::int64_t, std::int64_t>>) return "NBBST";
+    if (std::is_same_v<T, VcasBST<std::int64_t, std::int64_t>>)
+      return "VcasBST";
+    return "VcasBSTIndirect";
+  }
+};
+
+TYPED_TEST_SUITE(EllenBstTest, TreeTypes, TreeNames);
+
+TYPED_TEST(EllenBstTest, EmptyTreeFindsNothing) {
+  TypeParam tree;
+  EXPECT_FALSE(tree.contains(0));
+  EXPECT_FALSE(tree.contains(42));
+  EXPECT_EQ(tree.find(1), std::nullopt);
+  EXPECT_FALSE(tree.remove(1));
+  EXPECT_EQ(tree.size_unsynchronized(), 0u);
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(EllenBstTest, InsertFindRemoveRoundTrip) {
+  TypeParam tree;
+  EXPECT_TRUE(tree.insert(10, 100));
+  EXPECT_FALSE(tree.insert(10, 999));  // duplicate
+  EXPECT_EQ(tree.find(10), 100);
+  EXPECT_TRUE(tree.insert(5, 50));
+  EXPECT_TRUE(tree.insert(15, 150));
+  EXPECT_TRUE(tree.remove(10));
+  EXPECT_FALSE(tree.remove(10));
+  EXPECT_FALSE(tree.contains(10));
+  EXPECT_EQ(tree.find(5), 50);
+  EXPECT_EQ(tree.find(15), 150);
+  EXPECT_EQ(tree.size_unsynchronized(), 2u);
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(EllenBstTest, ReinsertAfterRemove) {
+  TypeParam tree;
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_TRUE(tree.insert(7, round));
+    EXPECT_EQ(tree.find(7), round);
+    EXPECT_TRUE(tree.remove(7));
+  }
+  EXPECT_FALSE(tree.contains(7));
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(EllenBstTest, RandomOpsMatchStdSet) {
+  TypeParam tree;
+  std::set<std::int64_t> model;
+  vcas::util::Xoshiro256 rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(rng.next_in(300));
+    if (rng.next_in(2) == 0) {
+      EXPECT_EQ(tree.insert(key, key * 2), model.insert(key).second);
+    } else {
+      EXPECT_EQ(tree.remove(key), model.erase(key) > 0);
+    }
+  }
+  for (std::int64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(tree.contains(k), model.count(k) > 0) << "key " << k;
+  }
+  auto keys = tree.keys_unsynchronized();
+  std::vector<std::int64_t> expect(model.begin(), model.end());
+  EXPECT_EQ(keys, expect);  // in-order traversal is sorted and exact
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(EllenBstTest, AscendingAndDescendingInsertions) {
+  TypeParam tree;
+  for (std::int64_t k = 0; k < 500; ++k) EXPECT_TRUE(tree.insert(k, k));
+  for (std::int64_t k = 999; k >= 500; --k) EXPECT_TRUE(tree.insert(k, k));
+  EXPECT_EQ(tree.size_unsynchronized(), 1000u);
+  auto keys = tree.keys_unsynchronized();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // Unbalanced tree: sorted insertion degenerates toward a path.
+  EXPECT_GE(tree.height_unsynchronized(), 499u);
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(EllenBstTest, DisjointStripesConcurrently) {
+  TypeParam tree;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 2000;
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      const std::int64_t base = t * 1000000;
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(tree.insert(base + i, i));
+      }
+      for (std::int64_t i = 0; i < kPerThread; i += 2) {
+        ASSERT_TRUE(tree.remove(base + i));
+      }
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_EQ(tree.contains(base + i), i % 2 == 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size_unsynchronized(),
+            static_cast<std::size_t>(kThreads) * (kPerThread / 2));
+  vcas::ebr::drain_for_tests();
+}
+
+// Heavy contention on a tiny key range drives the helping machinery: flag
+// conflicts, backtracked deletes, helped inserts. The final structure must
+// still be a valid leaf-oriented BST consistent with point lookups.
+TYPED_TEST(EllenBstTest, ContendedHelpingStress) {
+  TypeParam tree;
+  constexpr int kThreads = 8;  // oversubscribed on small machines: good
+  constexpr int kOps = 4000;
+  constexpr std::int64_t kKeyRange = 16;
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(900 + t);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const std::int64_t key =
+            static_cast<std::int64_t>(rng.next_in(kKeyRange));
+        if (rng.next_in(2) == 0) {
+          tree.insert(key, t);
+        } else {
+          tree.remove(key);
+        }
+        if (i % 64 == 0) tree.contains(key);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto keys = tree.keys_unsynchronized();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  for (std::int64_t k = 0; k < kKeyRange; ++k) {
+    const bool in_list =
+        std::binary_search(keys.begin(), keys.end(), k);
+    EXPECT_EQ(tree.contains(k), in_list);
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+// Concurrent inserts of the same keys: exactly one winner per key.
+TYPED_TEST(EllenBstTest, ExactlyOneInsertWinnerPerKey) {
+  TypeParam tree;
+  constexpr int kThreads = 6;
+  constexpr std::int64_t kKeys = 500;
+  std::atomic<int> wins{0};
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (std::int64_t k = 0; k < kKeys; ++k) {
+        if (tree.insert(k, k)) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(tree.size_unsynchronized(), static_cast<std::size_t>(kKeys));
+  vcas::ebr::drain_for_tests();
+}
+
+// Concurrent removes of the same keys: exactly one winner per key.
+TYPED_TEST(EllenBstTest, ExactlyOneRemoveWinnerPerKey) {
+  TypeParam tree;
+  constexpr std::int64_t kKeys = 500;
+  for (std::int64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.insert(k, k));
+  constexpr int kThreads = 6;
+  std::atomic<int> wins{0};
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (std::int64_t k = 0; k < kKeys; ++k) {
+        if (tree.remove(k)) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(tree.size_unsynchronized(), 0u);
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Cross-module integration and failure-injection tests: thread churn
+// against the EBR slot registry, whole-system workloads mixing every
+// structure on one camera, and parameterized concurrency sweeps on the
+// chromatic tree's safety invariant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ds/chromatic.h"
+#include "ds/ellen_bst.h"
+#include "ds/harris_list.h"
+#include "ds/msqueue.h"
+#include "ebr/ebr.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+
+namespace {
+
+using K = std::int64_t;
+
+// Short-lived threads churn slots while long-lived threads keep operating:
+// slot recycling, orphaned limbo bags and reservation reuse must all
+// compose without losing or double-freeing memory.
+TEST(Integration, ThreadChurnAgainstEbr) {
+  vcas::ds::VcasBST<K, K> tree;
+  std::atomic<bool> stop{false};
+  std::thread resident([&] {
+    vcas::util::Xoshiro256 rng(1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const K k = static_cast<K>(rng.next_in(512));
+      if (rng.next_in(2) == 0) {
+        tree.insert(k, k);
+      } else {
+        tree.remove(k);
+      }
+    }
+  });
+  for (int wave = 0; wave < 30; ++wave) {
+    std::vector<std::thread> ephemeral;
+    for (int t = 0; t < 6; ++t) {
+      ephemeral.emplace_back([&, t] {
+        vcas::util::Xoshiro256 rng(100 + wave * 10 + t);
+        for (int i = 0; i < 300; ++i) {
+          const K k = static_cast<K>(rng.next_in(512));
+          if (rng.next_in(2) == 0) {
+            tree.insert(k, k);
+          } else {
+            tree.remove(k);
+          }
+        }
+      });
+    }
+    for (auto& th : ephemeral) th.join();
+  }
+  stop = true;
+  resident.join();
+  auto keys = tree.keys_unsynchronized();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  vcas::ebr::drain_for_tests();
+  // All churned garbage reclaimed; nothing stranded in orphan bags.
+  EXPECT_EQ(vcas::ebr::stats().pending, 0u);
+}
+
+// The kitchen sink: every structure on one shared camera, updaters on all
+// of them, and snapshot takers reading all four with one handle. Checks
+// per-structure sanity plus cross-structure handle validity.
+TEST(Integration, AllStructuresOneCamera) {
+  vcas::Camera camera;
+  vcas::ds::VcasBST<K, K> bst(&camera);
+  vcas::ds::VcasChromaticTree<K, K> ct(&camera);
+  vcas::ds::VcasHarrisList<K, K> list(&camera);
+  vcas::ds::VcasMSQueue<K> queue(&camera);
+
+  // Every structure holds exactly the keys {0..63} marked by its updater;
+  // the queue cycles a fixed population of 64 tickets.
+  for (K i = 0; i < 64; ++i) {
+    ASSERT_TRUE(bst.insert(i, i));
+    ASSERT_TRUE(ct.insert(i, i));
+    ASSERT_TRUE(list.insert(i, i));
+    queue.enqueue(i);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> updaters;
+  updaters.emplace_back([&] {  // bst: remove+reinsert (size 63..64)
+    vcas::util::Xoshiro256 rng(11);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const K k = static_cast<K>(rng.next_in(64));
+      if (bst.remove(k)) bst.insert(k, k);
+    }
+  });
+  updaters.emplace_back([&] {  // ct: same
+    vcas::util::Xoshiro256 rng(12);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const K k = static_cast<K>(rng.next_in(64));
+      if (ct.remove(k)) ct.insert(k, k);
+    }
+  });
+  updaters.emplace_back([&] {  // list: same
+    vcas::util::Xoshiro256 rng(13);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const K k = static_cast<K>(rng.next_in(64));
+      if (list.remove(k)) list.insert(k, k);
+    }
+  });
+  updaters.emplace_back([&] {  // queue: rotate (size stays 64)
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto v = queue.dequeue();
+      if (v.has_value()) queue.enqueue(*v);
+    }
+  });
+
+  for (int iter = 0; iter < 1500; ++iter) {
+    vcas::SnapshotGuard snap(camera);
+    const std::size_t in_bst = bst.range_at(snap.ts(), 0, 63).size();
+    const std::size_t in_ct = ct.range_at(snap.ts(), 0, 63).size();
+    const std::size_t in_list = list.range_at(snap.ts(), 0, 63).size();
+    const std::size_t in_queue = queue.scan_at(snap.ts()).size();
+    // Each remove+reinsert keeps at most one key in flight per structure;
+    // the queue rotation keeps at most one ticket out at an instant.
+    if (in_bst < 63 || in_bst > 64) ok = false;
+    if (in_ct < 63 || in_ct > 64) ok = false;
+    if (in_list < 63 || in_list > 64) ok = false;
+    if (in_queue < 63 || in_queue > 64) ok = false;
+  }
+  stop = true;
+  for (auto& th : updaters) th.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// Parameterized concurrency sweep: the chromatic tree's equal-path-weight
+// safety invariant must hold after any number of contending threads.
+class ChromaticConcurrency : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChromaticConcurrency, WeightInvariantSurvivesContention) {
+  const int threads = GetParam();
+  vcas::ds::VcasChromaticTree<K, K> tree;
+  vcas::util::SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(400 + t);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 2500; ++i) {
+        const K k = static_cast<K>(rng.next_in(256));
+        switch (rng.next_in(3)) {
+          case 0:
+            tree.insert(k, k);
+            break;
+          case 1:
+            tree.remove(k);
+            break;
+          default:
+            tree.range(k, k + 16);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  auto sums = tree.leaf_path_weights_unsynchronized();
+  for (std::size_t i = 1; i < sums.size(); ++i) {
+    ASSERT_EQ(sums[i], sums[0]);
+  }
+  auto keys = tree.keys_unsynchronized();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  vcas::ebr::drain_for_tests();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChromaticConcurrency,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+// A rolling window of snapshot handles with trimming chasing the oldest:
+// every handle still in the window must keep reading its exact value while
+// history behind the window is reclaimed. (One thread can announce only
+// one pin, so the window passes the oldest retained handle to trim()
+// directly — the documented caller contract.)
+TEST(Integration, RollingSnapshotsWithTrimming) {
+  vcas::Camera cam;
+  vcas::VersionedCAS<K> obj(0, &cam);
+  vcas::ebr::pin();  // hold one pin for the whole window's lifetime
+  std::vector<vcas::Timestamp> window;
+  std::vector<K> expected;
+  K v = 0;
+  for (int round = 0; round < 200; ++round) {
+    window.push_back(cam.takeSnapshot());
+    expected.push_back(v);
+    for (int i = 0; i < 17; ++i) {
+      ASSERT_TRUE(obj.vCAS(v, v + 1));
+      ++v;
+    }
+    if (window.size() > 8) {  // drop the oldest handle, trim behind the rest
+      window.erase(window.begin());
+      expected.erase(expected.begin());
+      obj.trim(window.front());
+    }
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      ASSERT_EQ(obj.readSnapshot(window[i]), expected[i]);
+    }
+  }
+  // History behind the window is gone; the window itself stays readable.
+  EXPECT_LT(obj.version_count(), 200u);
+  vcas::ebr::unpin();
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

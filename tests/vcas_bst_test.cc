@@ -1,0 +1,376 @@
+// Snapshot-query semantics of VcasBST (paper Sections 4-6, Table 2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/ellen_bst.h"
+#include "ebr/ebr.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+
+namespace {
+
+using Tree = vcas::ds::VcasBST<std::int64_t, std::int64_t>;
+
+// Both versioned flavors (direct/Figure 9 and indirect/Algorithm 1) must
+// provide identical snapshot-query semantics.
+template <typename T>
+class VersionedFlavors : public ::testing::Test {};
+
+using FlavorTypes =
+    ::testing::Types<vcas::ds::VcasBST<std::int64_t, std::int64_t>,
+                     vcas::ds::VcasBSTIndirect<std::int64_t, std::int64_t>>;
+
+class FlavorNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, vcas::ds::VcasBST<std::int64_t, std::int64_t>>)
+      return "Direct";
+    return "Indirect";
+  }
+};
+
+TYPED_TEST_SUITE(VersionedFlavors, FlavorTypes, FlavorNames);
+
+TYPED_TEST(VersionedFlavors, RangeMatchesModel) {
+  TypeParam tree;
+  std::set<std::int64_t> model;
+  vcas::util::Xoshiro256 rng(61);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.next_in(600));
+    if (rng.next_in(3) == 0) {
+      tree.remove(k);
+      model.erase(k);
+    } else {
+      tree.insert(k, k);
+      model.insert(k);
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    const std::int64_t lo = static_cast<std::int64_t>(rng.next_in(600));
+    const std::int64_t hi = lo + static_cast<std::int64_t>(rng.next_in(100));
+    auto got = tree.range(lo, hi);
+    std::vector<std::int64_t> expect;
+    for (auto it = model.lower_bound(lo); it != model.end() && *it <= hi; ++it)
+      expect.push_back(*it);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].first, expect[j]);
+    }
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(VersionedFlavors, PairInvariantUnderChurn) {
+  TypeParam tree;
+  constexpr std::int64_t kPairs = 32;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::thread updater([&] {
+    vcas::util::Xoshiro256 rng(62);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng.next_in(kPairs));
+      if (rng.next_in(2) == 0) {
+        tree.insert(k, k);
+        tree.insert(k + 1000, k);
+      } else {
+        tree.remove(k + 1000);
+        tree.remove(k);
+      }
+    }
+  });
+  for (int iter = 0; iter < 1500; ++iter) {
+    auto snap = tree.range(0, 2000);
+    std::set<std::int64_t> keys;
+    for (auto& [k, v] : snap) {
+      if (!keys.insert(k).second) ok = false;
+    }
+    for (std::int64_t k = 0; k < kPairs; ++k) {
+      if (keys.count(k + 1000) && !keys.count(k)) ok = false;
+    }
+  }
+  stop = true;
+  updater.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(VersionedFlavors, SuccMultisearchFindifAgree) {
+  TypeParam tree;
+  for (std::int64_t k = 0; k < 200; k += 2) tree.insert(k, k * 10);
+  auto s = tree.succ(10, 3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].first, 12);
+  auto m = tree.multisearch({0, 1, 198});
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], std::nullopt);
+  EXPECT_EQ(m[2], 1980);
+  auto f = tree.find_if(3, 200, [](const std::int64_t& k) { return k % 10 == 0; });
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->first, 10);
+  EXPECT_EQ(tree.size_snapshot(), 100u);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VcasBstQueries, RangeMatchesModel) {
+  Tree tree;
+  std::set<std::int64_t> model;
+  vcas::util::Xoshiro256 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.next_in(1000));
+    tree.insert(k, k * 3);
+    model.insert(k);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::int64_t lo = static_cast<std::int64_t>(rng.next_in(1000));
+    const std::int64_t hi = lo + static_cast<std::int64_t>(rng.next_in(200));
+    auto got = tree.range(lo, hi);
+    std::vector<std::int64_t> expect;
+    for (auto it = model.lower_bound(lo); it != model.end() && *it <= hi; ++it)
+      expect.push_back(*it);
+    ASSERT_EQ(got.size(), expect.size()) << "[" << lo << "," << hi << "]";
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].first, expect[j]);
+      EXPECT_EQ(got[j].second, expect[j] * 3);
+    }
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VcasBstQueries, SuccReturnsAscendingStrictSuccessors) {
+  Tree tree;
+  for (std::int64_t k = 0; k < 100; k += 10) tree.insert(k, k);
+  auto got = tree.succ(25, 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, 30);
+  EXPECT_EQ(got[1].first, 40);
+  EXPECT_EQ(got[2].first, 50);
+  // Strictly greater: succ of an existing key skips the key itself.
+  auto got2 = tree.succ(30, 2);
+  ASSERT_EQ(got2.size(), 2u);
+  EXPECT_EQ(got2[0].first, 40);
+  // Fewer than requested remain.
+  auto got3 = tree.succ(85, 5);
+  ASSERT_EQ(got3.size(), 1u);
+  EXPECT_EQ(got3[0].first, 90);
+  EXPECT_TRUE(tree.succ(95, 4).empty());
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VcasBstQueries, FindIfReturnsFirstMatchInKeyOrder) {
+  Tree tree;
+  for (std::int64_t k = 1; k <= 300; ++k) tree.insert(k, k);
+  auto r = tree.find_if(10, 300, [](const std::int64_t& k) {
+    return k % 128 == 0;
+  });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 128);
+  // Half-open upper bound: key 256 in [200, 256) is excluded.
+  auto r2 = tree.find_if(200, 256,
+                         [](const std::int64_t& k) { return k % 128 == 0; });
+  EXPECT_FALSE(r2.has_value());
+  auto r3 = tree.find_if(0, 301,
+                         [](const std::int64_t& k) { return k > 299; });
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->first, 300);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VcasBstQueries, MultisearchAnswersFromOneSnapshot) {
+  Tree tree;
+  for (std::int64_t k = 0; k < 100; k += 7) tree.insert(k, k + 1);
+  auto res = tree.multisearch({0, 7, 8, 49, 98, 99});
+  ASSERT_EQ(res.size(), 6u);
+  EXPECT_EQ(res[0], 1);
+  EXPECT_EQ(res[1], 8);
+  EXPECT_EQ(res[2], std::nullopt);
+  EXPECT_EQ(res[3], 50);
+  EXPECT_EQ(res[4], 99);
+  EXPECT_EQ(res[5], std::nullopt);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VcasBstQueries, SizeAndHeightSnapshots) {
+  Tree tree;
+  EXPECT_EQ(tree.size_snapshot(), 0u);
+  for (std::int64_t k = 0; k < 64; ++k) tree.insert(k, k);
+  EXPECT_EQ(tree.size_snapshot(), 64u);
+  EXPECT_GE(tree.height_snapshot(), 6u);  // at least log2(64)
+  vcas::ebr::drain_for_tests();
+}
+
+// --- atomicity under concurrency ------------------------------------------
+
+// Pair invariant: k and k+1000 are inserted low-first and removed
+// high-first, so "high present implies low present" holds at every instant
+// and must hold in every snapshot range query.
+TEST(VcasBstQueries, RangeSeesPairInvariantUnderChurn) {
+  Tree tree;
+  constexpr std::int64_t kPairs = 64;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread updater([&] {
+    vcas::util::Xoshiro256 rng(21);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng.next_in(kPairs));
+      if (rng.next_in(2) == 0) {
+        tree.insert(k, k);
+        tree.insert(k + 1000, k);
+      } else {
+        tree.remove(k + 1000);
+        tree.remove(k);
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 3000; ++iter) {
+    auto snap = tree.range(0, 2000);
+    std::set<std::int64_t> keys;
+    for (auto& [k, v] : snap) keys.insert(k);
+    for (std::int64_t k = 0; k < kPairs; ++k) {
+      if (keys.count(k + 1000) && !keys.count(k)) ok = false;
+    }
+    for (std::size_t i = 1; i < snap.size(); ++i) {
+      if (!(snap[i - 1].first < snap[i].first)) ok = false;
+    }
+  }
+  stop = true;
+  updater.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// Slot invariant: each updater owns a slot and always keeps exactly one key
+// in it (insert the new key, then remove the old). A snapshot therefore
+// sees between kSlots and kSlots + updaters keys — never fewer.
+TEST(VcasBstQueries, SizeSnapshotSeesSlotInvariant) {
+  Tree tree;
+  constexpr int kUpdaters = 3;
+  constexpr std::int64_t kSlots = 8;
+  // Slot s starts holding key s*1000.
+  for (std::int64_t s = 0; s < kSlots; ++s) {
+    ASSERT_TRUE(tree.insert(s * 1000, s));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> updaters;
+  for (int t = 0; t < kUpdaters; ++t) {
+    updaters.emplace_back([&, t] {
+      // Thread t owns slots where s % kUpdaters == t.
+      std::vector<std::int64_t> cur(kSlots);
+      for (std::int64_t s = 0; s < kSlots; ++s) cur[s] = s * 1000;
+      vcas::util::Xoshiro256 rng(33 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::int64_t s =
+            (static_cast<std::int64_t>(rng.next_in(kSlots / kUpdaters)) *
+                 kUpdaters +
+             t) %
+            kSlots;
+        if (s % kUpdaters != t) continue;
+        const std::int64_t next =
+            s * 1000 + 1 + static_cast<std::int64_t>(rng.next_in(900));
+        if (next == cur[s]) continue;
+        if (!tree.insert(next, s)) continue;  // key collision: skip
+        ASSERT_TRUE(tree.remove(cur[s]));
+        cur[s] = next;
+      }
+    });
+  }
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t n = tree.size_snapshot();
+    if (n < kSlots || n > kSlots + kUpdaters) ok = false;
+  }
+  stop = true;
+  for (auto& th : updaters) th.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// Deletes force the recorded-once copy path; interleave them with range
+// queries that must stay sorted/duplicate-free and respect the membership
+// the updater guarantees (multiples of 3 are permanent residents).
+TEST(VcasBstQueries, CopyOnDeletePreservesPermanentResidents) {
+  Tree tree;
+  constexpr std::int64_t kKeys = 300;
+  for (std::int64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.insert(k, k));
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread updater([&] {
+    vcas::util::Xoshiro256 rng(44);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng.next_in(kKeys));
+      if (k % 3 == 0) continue;  // multiples of 3 are never touched
+      if (rng.next_in(2) == 0) {
+        tree.remove(k);
+      } else {
+        tree.insert(k, k);
+      }
+    }
+  });
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto snap = tree.range(0, kKeys);
+    std::set<std::int64_t> keys;
+    for (auto& [k, v] : snap) {
+      if (!keys.insert(k).second) ok = false;  // duplicate in one snapshot
+    }
+    for (std::int64_t k = 0; k < kKeys; k += 3) {
+      if (!keys.count(k)) ok = false;  // permanent resident missing
+    }
+  }
+  stop = true;
+  updater.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// succ/multisearch/find_if against churn: results must be internally
+// consistent (sorted, strict successors, pred satisfied).
+TEST(VcasBstQueries, PointQueriesInternallyConsistentUnderChurn) {
+  Tree tree;
+  for (std::int64_t k = 0; k < 500; ++k) tree.insert(k, k);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread updater([&] {
+    vcas::util::Xoshiro256 rng(55);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng.next_in(500));
+      if (rng.next_in(2) == 0) {
+        tree.remove(k);
+      } else {
+        tree.insert(k, k);
+      }
+    }
+  });
+
+  vcas::util::Xoshiro256 rng(66);
+  for (int iter = 0; iter < 1500; ++iter) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.next_in(500));
+    auto s = tree.succ(k, 4);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i].first <= k) ok = false;
+      if (i > 0 && s[i - 1].first >= s[i].first) ok = false;
+    }
+    auto f = tree.find_if(k, k + 100,
+                          [](const std::int64_t& x) { return x % 7 == 0; });
+    if (f.has_value() && (f->first < k || f->first >= k + 100 ||
+                          f->first % 7 != 0)) {
+      ok = false;
+    }
+  }
+  stop = true;
+  updater.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+#include "vcas/versioned_cas.h"
+
+namespace {
+
+using vcas::Camera;
+using vcas::Timestamp;
+using vcas::VersionedCAS;
+
+TEST(VersionedCas, ReadReturnsInitialValue) {
+  Camera cam;
+  VersionedCAS<int> obj(42, &cam);
+  EXPECT_EQ(obj.vRead(), 42);
+  EXPECT_EQ(obj.version_count(), 1u);
+}
+
+TEST(VersionedCas, SuccessfulCasChangesValue) {
+  Camera cam;
+  VersionedCAS<int> obj(1, &cam);
+  EXPECT_TRUE(obj.vCAS(1, 2));
+  EXPECT_EQ(obj.vRead(), 2);
+  EXPECT_TRUE(obj.vCAS(2, 3));
+  EXPECT_EQ(obj.vRead(), 3);
+  EXPECT_EQ(obj.version_count(), 3u);
+}
+
+TEST(VersionedCas, FailedCasLeavesValueAndVersionsUntouched) {
+  Camera cam;
+  VersionedCAS<int> obj(1, &cam);
+  EXPECT_FALSE(obj.vCAS(7, 9));
+  EXPECT_EQ(obj.vRead(), 1);
+  EXPECT_EQ(obj.version_count(), 1u);
+}
+
+TEST(VersionedCas, SameValueCasSucceedsWithoutNewVersion) {
+  // Algorithm 1 line 44: oldV == newV returns true and must not append.
+  Camera cam;
+  VersionedCAS<int> obj(5, &cam);
+  EXPECT_TRUE(obj.vCAS(5, 5));
+  EXPECT_EQ(obj.version_count(), 1u);
+}
+
+TEST(VersionedCas, SnapshotReadsHistoricalValues) {
+  Camera cam;
+  VersionedCAS<int> obj(0, &cam);
+  std::vector<Timestamp> handles;
+  for (int k = 1; k <= 10; ++k) {
+    handles.push_back(cam.takeSnapshot());
+    ASSERT_TRUE(obj.vCAS(k - 1, k));
+  }
+  Timestamp final_handle = cam.takeSnapshot();
+  for (int k = 1; k <= 10; ++k) {
+    // handles[k-1] was taken when the object held k-1.
+    EXPECT_EQ(obj.readSnapshot(handles[k - 1]), k - 1);
+  }
+  EXPECT_EQ(obj.readSnapshot(final_handle), 10);
+  EXPECT_EQ(obj.vRead(), 10);
+}
+
+TEST(VersionedCas, SnapshotIsStableWhileUpdatesContinue) {
+  Camera cam;
+  VersionedCAS<int> obj(0, &cam);
+  Timestamp h = cam.takeSnapshot();
+  for (int k = 1; k <= 100; ++k) ASSERT_TRUE(obj.vCAS(k - 1, k));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(obj.readSnapshot(h), 0);
+  EXPECT_EQ(obj.vRead(), 100);
+}
+
+TEST(VersionedCas, RepeatedSnapshotsOfSameStateShareValue) {
+  Camera cam;
+  VersionedCAS<int> obj(3, &cam);
+  Timestamp h1 = cam.takeSnapshot();
+  Timestamp h2 = cam.takeSnapshot();
+  EXPECT_EQ(obj.readSnapshot(h1), 3);
+  EXPECT_EQ(obj.readSnapshot(h2), 3);
+}
+
+TEST(VersionedCas, PointerValues) {
+  Camera cam;
+  int a = 1, b = 2;
+  VersionedCAS<int*> obj(&a, &cam);
+  Timestamp h = cam.takeSnapshot();
+  EXPECT_TRUE(obj.vCAS(&a, &b));
+  EXPECT_EQ(obj.readSnapshot(h), &a);
+  EXPECT_EQ(obj.vRead(), &b);
+}
+
+// --- cross-object snapshot atomicity -------------------------------------
+
+// A writer keeps x and y in lockstep (x := k, then y := k). At every
+// instant y <= x <= y + 1. An atomic snapshot must observe that relation;
+// a non-atomic pair of reads would eventually catch y > x.
+TEST(VersionedCas, CrossObjectAtomicityUnderConcurrency) {
+  Camera cam;
+  VersionedCAS<std::int64_t> x(0, &cam);
+  VersionedCAS<std::int64_t> y(0, &cam);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread writer([&] {
+    for (std::int64_t k = 1; !stop.load(std::memory_order_relaxed); ++k) {
+      ASSERT_TRUE(x.vCAS(k - 1, k));
+      ASSERT_TRUE(y.vCAS(k - 1, k));
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        Timestamp h = cam.takeSnapshot();
+        std::int64_t sx = x.readSnapshot(h);
+        std::int64_t sy = y.readSnapshot(h);
+        if (!(sy <= sx && sx <= sy + 1)) ok = false;
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+  EXPECT_TRUE(ok.load());
+}
+
+// Snapshot handles are totally ordered: a later handle must never observe
+// an older state of a monotonically increasing counter.
+TEST(VersionedCas, SnapshotsRespectHandleOrder) {
+  Camera cam;
+  VersionedCAS<std::int64_t> counter(0, &cam);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread writer([&] {
+    std::int64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(counter.vCAS(v, v + 1));
+      ++v;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      Timestamp prev_h = -1;
+      std::int64_t prev_v = -1;
+      for (int i = 0; i < 20000; ++i) {
+        Timestamp h = cam.takeSnapshot();
+        std::int64_t v = counter.readSnapshot(h);
+        if (h >= prev_h && v < prev_v) ok = false;
+        if (h < prev_h) continue;  // cannot happen; belt and braces
+        prev_h = h;
+        prev_v = v;
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+  EXPECT_TRUE(ok.load());
+}
+
+// Contended increments through vCAS retry loops must not lose updates, and
+// every snapshot value must be between 0 and the final total.
+TEST(VersionedCas, ContendedIncrementsAreLockFreeAndExact) {
+  Camera cam;
+  VersionedCAS<std::int64_t> counter(0, &cam);
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 3000;
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIncrements; ++i) {
+        for (;;) {
+          std::int64_t v = counter.vRead();
+          if (counter.vCAS(v, v + 1)) break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.vRead(), kThreads * kIncrements);
+  EXPECT_EQ(counter.version_count(),
+            static_cast<std::size_t>(kThreads * kIncrements) + 1);
+}
+
+// --- version trimming (GC extension) --------------------------------------
+
+TEST(VersionedCasTrim, TrimsEverythingWhenNoSnapshotActive) {
+  Camera cam;
+  VersionedCAS<int> obj(0, &cam);
+  for (int k = 1; k <= 100; ++k) ASSERT_TRUE(obj.vCAS(k - 1, k));
+  cam.takeSnapshot();  // bump the clock past the last write
+  EXPECT_EQ(obj.version_count(), 101u);
+  {
+    vcas::ebr::Guard g;
+    EXPECT_GT(obj.trim(cam.min_active()), 0u);
+  }
+  // Only the pivot (newest version at or below min_active) may remain,
+  // possibly plus newer ones — here there are none newer.
+  EXPECT_EQ(obj.version_count(), 1u);
+  EXPECT_EQ(obj.vRead(), 100);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VersionedCasTrim, PreservesVersionsVisibleToActiveSnapshot) {
+  Camera cam;
+  VersionedCAS<int> obj(0, &cam);
+  for (int k = 1; k <= 10; ++k) ASSERT_TRUE(obj.vCAS(k - 1, k));
+
+  vcas::SnapshotGuard guard(cam);  // pins min_active at <= guard.ts()
+  const int value_at_guard = obj.readSnapshot(guard.ts());
+  for (int k = 11; k <= 50; ++k) ASSERT_TRUE(obj.vCAS(k - 1, k));
+
+  {
+    vcas::ebr::Guard g;
+    obj.trim(cam.min_active());
+  }
+  // The guard's view is intact after trimming.
+  EXPECT_EQ(obj.readSnapshot(guard.ts()), value_at_guard);
+  EXPECT_EQ(obj.vRead(), 50);
+  // Versions newer than the guard's snapshot must all survive (40 writes
+  // after the guard + the pivot).
+  EXPECT_GE(obj.version_count(), 41u);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(VersionedCasTrim, ConcurrentTrimAndReadStress) {
+  Camera cam;
+  VersionedCAS<std::int64_t> obj(0, &cam);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  std::thread writer([&] {
+    std::int64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(obj.vCAS(v, v + 1));
+      ++v;
+      if (v % 64 == 0) {
+        vcas::ebr::Guard g;
+        obj.trim(cam.min_active());
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        vcas::SnapshotGuard guard(cam);
+        std::int64_t first = obj.readSnapshot(guard.ts());
+        // Re-reading through the same handle must be stable even while the
+        // writer trims concurrently.
+        for (int j = 0; j < 3; ++j) {
+          if (obj.readSnapshot(guard.ts()) != first) ok = false;
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+// --- parameterized stress sweep -------------------------------------------
+
+struct StressParam {
+  int writers;
+  int snapshotters;
+};
+
+class VersionedCasStress : public ::testing::TestWithParam<StressParam> {};
+
+// The lockstep x/y invariant must hold for every writer/reader mix.
+TEST_P(VersionedCasStress, PairInvariantHolds) {
+  const auto param = GetParam();
+  Camera cam;
+  // Each writer owns its own pair; readers check all pairs.
+  std::vector<std::unique_ptr<VersionedCAS<std::int64_t>>> xs, ys;
+  for (int w = 0; w < param.writers; ++w) {
+    xs.push_back(std::make_unique<VersionedCAS<std::int64_t>>(0, &cam));
+    ys.push_back(std::make_unique<VersionedCAS<std::int64_t>>(0, &cam));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < param.writers; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::int64_t k = 1; !stop.load(std::memory_order_relaxed); ++k) {
+        ASSERT_TRUE(xs[w]->vCAS(k - 1, k));
+        ASSERT_TRUE(ys[w]->vCAS(k - 1, k));
+      }
+    });
+  }
+  for (int r = 0; r < param.snapshotters; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 4000; ++i) {
+        Timestamp h = cam.takeSnapshot();
+        for (int w = 0; w < param.writers; ++w) {
+          std::int64_t sx = xs[w]->readSnapshot(h);
+          std::int64_t sy = ys[w]->readSnapshot(h);
+          if (!(sy <= sx && sx <= sy + 1)) ok = false;
+        }
+      }
+      stop = true;  // first reader to finish ends the run
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, VersionedCasStress,
+    ::testing::Values(StressParam{1, 1}, StressParam{1, 4}, StressParam{2, 2},
+                      StressParam{4, 1}, StressParam{4, 4}),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      return "w" + std::to_string(info.param.writers) + "_r" +
+             std::to_string(info.param.snapshotters);
+    });
+
+}  // namespace
