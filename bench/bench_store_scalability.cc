@@ -1,0 +1,176 @@
+// Store scalability sweep: write throughput of ShardedStore across
+// threads x shard counts x backends, against the single-shard
+// configuration as the contention baseline.
+//
+// Three workloads per cell:
+//   put    — 100% single-key upserts over uniform keys
+//   batch  — the same write stream grouped into atomic 8-op batches
+//   mixed  — 80% puts / 20% cross-shard multiGet(8)
+//
+// Sharding pays twice: the update CAS contends on 1/N of the key space,
+// and per-shard structures stay smaller (shorter descents). The shared
+// camera keeps cross-shard queries atomic at every shard count, so the
+// mixed column shows what the consistency guarantee costs as N grows.
+//
+// Env knobs: VCAS_BENCH_MS, VCAS_BENCH_REPS, VCAS_THREADS, VCAS_SIZE
+// (key-space size, default scaled down to 16384 — the list backend is
+// O(n) per point op). Thread counts always include 8 (the acceptance
+// configuration) unless VCAS_THREADS overrides the list explicitly.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "store/backend.h"
+#include "store/batch.h"
+#include "store/store.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+enum class Workload { kPut, kBatch, kMixed };
+
+constexpr const char* name_of(Workload w) {
+  switch (w) {
+    case Workload::kPut:
+      return "put";
+    case Workload::kBatch:
+      return "batch8";
+    default:
+      return "80p-20mg";
+  }
+}
+
+// Write-heavy driver over a store; returns Mops/s of applied operations
+// (batch ops count individually; a multiGet(8) counts as one op).
+template <typename Store>
+double run_store(Store& store, int threads, Workload workload, Key range,
+                 int run_ms, std::uint64_t seed) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  vcas::util::Padded<std::uint64_t> ops[192];
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      std::uint64_t n = 0;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        switch (workload) {
+          case Workload::kPut: {
+            const Key k = 1 + static_cast<Key>(
+                                  rng.next_in(static_cast<std::uint64_t>(range)));
+            store.put(k, k);
+            ++n;
+            break;
+          }
+          case Workload::kBatch: {
+            typename Store::Batch batch;
+            for (int i = 0; i < 8; ++i) {
+              const Key k = 1 + static_cast<Key>(rng.next_in(
+                                    static_cast<std::uint64_t>(range)));
+              batch.put(k, k);
+            }
+            store.applyBatch(batch);
+            n += 8;
+            break;
+          }
+          case Workload::kMixed: {
+            if (rng.next_in(100) < 80) {
+              const Key k = 1 + static_cast<Key>(rng.next_in(
+                                    static_cast<std::uint64_t>(range)));
+              store.put(k, k);
+            } else {
+              std::vector<Key> keys(8);
+              for (auto& k : keys) {
+                k = 1 + static_cast<Key>(
+                            rng.next_in(static_cast<std::uint64_t>(range)));
+              }
+              store.multiGet(keys);
+            }
+            ++n;
+            break;
+          }
+        }
+      }
+      ops[t].value = n;
+    });
+  }
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  std::uint64_t total = 0;
+  for (int t = 0; t < threads; ++t) total += ops[t].value;
+  return static_cast<double>(total) / (run_ms / 1000.0) / 1e6;
+}
+
+template <typename Backend>
+void run_backend(const Config& cfg, const std::vector<int>& threads_list,
+                 Key range) {
+  using Store = vcas::store::ShardedStore<Key, Key, Backend>;
+  const std::size_t shard_counts[] = {1, 4, 16};
+  for (Workload workload :
+       {Workload::kPut, Workload::kBatch, Workload::kMixed}) {
+    for (std::size_t shards : shard_counts) {
+      for (int threads : threads_list) {
+        double mops = 0;
+        for (int rep = 0; rep < cfg.reps; ++rep) {
+          Store store(shards);
+          store.enable_background_trim(std::chrono::milliseconds(10));
+          // Prefill half the key space so puts mix inserts and updates.
+          vcas::util::Xoshiro256 rng(99 + rep);
+          for (Key i = 0; i < range / 2; ++i) {
+            const Key k = 1 + static_cast<Key>(
+                                  rng.next_in(static_cast<std::uint64_t>(range)));
+            store.put(k, k);
+          }
+          mops += run_store(store, threads, workload, range, cfg.run_ms,
+                            777 + rep);
+          store.disable_background_trim();
+          vcas::ebr::drain_for_tests();
+        }
+        std::printf("store %-12s %-8s shards=%-3zu range=%-7lld p=%-3d"
+                    " %8.3f Mops/s\n",
+                    Store::backend_name(), name_of(workload), shards,
+                    static_cast<long long>(range), threads, mops / cfg.reps);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  Config cfg = config_from_env();
+  // The acceptance configuration is 8+ threads; keep 8 in the sweep unless
+  // the user pinned an explicit list.
+  std::vector<int> threads_list = cfg.threads;
+  if (std::getenv("VCAS_THREADS") == nullptr &&
+      std::find(threads_list.begin(), threads_list.end(), 8) ==
+          threads_list.end()) {
+    threads_list.push_back(8);
+  }
+  // Key space scaled for the O(n) list backend; override with VCAS_SIZE.
+  const Key range = std::getenv("VCAS_SIZE") != nullptr
+                        ? static_cast<Key>(cfg.size_small)
+                        : 16384;
+
+  std::printf("== ShardedStore scalability: threads x shards x backend ==\n");
+  std::printf("(write throughput vs the single-shard baseline; %dms runs, "
+              "%d reps)\n\n",
+              cfg.run_ms, cfg.reps);
+  run_backend<vcas::store::ListBackend>(cfg, threads_list, range);
+  run_backend<vcas::store::BstBackend>(cfg, threads_list, range);
+  run_backend<vcas::store::ChromaticBackend>(cfg, threads_list, range);
+  return 0;
+}

@@ -286,6 +286,41 @@ class ChromaticTreeT {
     return out;
   }
 
+  // Point lookup against an existing snapshot handle (caller holds a
+  // SnapshotGuard on the shared camera, taken after this tree existed).
+  std::optional<V> find_at(Timestamp ts, const K& key)
+    requires UseVcas
+  {
+    Node* node = root_;
+    while (!node->leaf) {
+      node = key_less_node(key, node) ? node->left.readSnapshot(ts)
+                                      : node->right.readSnapshot(ts);
+    }
+    if (node->inf == 0 && node->key == key) return node->value;
+    return std::nullopt;
+  }
+
+  // Visit every (key, value) present at the snapshot, in ascending key
+  // order. Same precondition as find_at. Iterative, like the Ellen BST's:
+  // balance here is best-effort (cleanup gives up under adversarial
+  // scheduling), so depth is not worth betting the call stack on.
+  template <typename Fn>
+  void for_each_at(Timestamp ts, Fn&& fn)
+    requires UseVcas
+  {
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* node = stack.back();
+      stack.pop_back();
+      if (node->leaf) {
+        if (node->inf == 0) fn(node->key, node->value);
+        continue;
+      }
+      stack.push_back(node->right.readSnapshot(ts));
+      stack.push_back(node->left.readSnapshot(ts));
+    }
+  }
+
   std::vector<std::pair<K, V>> succ(const K& k, std::size_t count)
     requires UseVcas
   {
@@ -309,13 +344,7 @@ class ChromaticTreeT {
     SnapshotGuard snap(*camera_);
     std::vector<std::optional<V>> out(keys.size());
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      Node* node = root_;
-      while (!node->leaf) {
-        node = key_less_node(keys[i], node)
-                   ? node->left.readSnapshot(snap.ts())
-                   : node->right.readSnapshot(snap.ts());
-      }
-      if (node->inf == 0 && node->key == keys[i]) out[i] = node->value;
+      out[i] = find_at(snap.ts(), keys[i]);
     }
     return out;
   }
@@ -1067,6 +1096,7 @@ class ChromaticTreeT {
     const std::size_t rh = height_rec(node->right.readSnapshot(ts), ts);
     return 1 + (lh > rh ? lh : rh);
   }
+
 
   void range_live_rec(Node* node, const K& lo, const K& hi,
                       std::vector<std::pair<K, V>>& out) {

@@ -337,6 +337,41 @@ class EllenBST {
     return out;
   }
 
+  // Point lookup against an existing snapshot handle (caller holds a
+  // SnapshotGuard on the shared camera, taken after this tree existed).
+  std::optional<V> find_at(Timestamp ts, const K& key)
+    requires (Mode != VcasMode::kPlain)
+  {
+    Node* node = root_;
+    while (!node->leaf) {
+      node = key_less_node(key, node) ? node->left.readSnapshot(ts)
+                                      : node->right.readSnapshot(ts);
+    }
+    if (node->inf == 0 && node->key == key) return node->value;
+    return std::nullopt;
+  }
+
+  // Visit every (key, value) present at the snapshot, in ascending key
+  // order. Same precondition as find_at. Iterative (explicit stack): the
+  // tree is unbalanced, so recursing per internal node could exhaust the
+  // call stack under adversarial insertion orders.
+  template <typename Fn>
+  void for_each_at(Timestamp ts, Fn&& fn)
+    requires (Mode != VcasMode::kPlain)
+  {
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* node = stack.back();
+      stack.pop_back();
+      if (node->leaf) {
+        if (node->inf == 0) fn(node->key, node->value);
+        continue;
+      }
+      stack.push_back(node->right.readSnapshot(ts));
+      stack.push_back(node->left.readSnapshot(ts));
+    }
+  }
+
   // First `count` pairs with key strictly greater than k, ascending.
   std::vector<std::pair<K, V>> succ(const K& k, std::size_t count)
     requires (Mode != VcasMode::kPlain)
@@ -363,13 +398,7 @@ class EllenBST {
     SnapshotGuard snap(*camera_);
     std::vector<std::optional<V>> out(keys.size());
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      Node* node = root_;
-      while (!node->leaf) {
-        node = key_less_node(keys[i], node)
-                   ? node->left.readSnapshot(snap.ts())
-                   : node->right.readSnapshot(snap.ts());
-      }
-      if (node->inf == 0 && node->key == keys[i]) out[i] = node->value;
+      out[i] = find_at(snap.ts(), keys[i]);
     }
     return out;
   }
@@ -712,6 +741,7 @@ class EllenBST {
     const std::size_t rh = height_rec(node->right.readSnapshot(ts), ts);
     return 1 + (lh > rh ? lh : rh);
   }
+
 
   std::size_t size_rec(Node* node, Timestamp ts)
     requires (Mode != VcasMode::kPlain)

@@ -149,6 +149,27 @@ class VcasHarrisList {
     return out;
   }
 
+  // Point lookup against an existing snapshot handle (caller holds a
+  // SnapshotGuard on the shared camera, taken after this list existed).
+  std::optional<V> find_at(Timestamp ts, const K& key) {
+    Node* node = get_next_snapshot(head_, ts);
+    while (node != tail_ && node->key < key) {
+      node = get_next_snapshot(node, ts);
+    }
+    if (node != tail_ && node->key == key) return node->val;
+    return std::nullopt;
+  }
+
+  // Visit every (key, value) present at the snapshot, in ascending key
+  // order. Same precondition as find_at.
+  template <typename Fn>
+  void for_each_at(Timestamp ts, Fn&& fn) {
+    for (Node* node = get_next_snapshot(head_, ts); node != tail_;
+         node = get_next_snapshot(node, ts)) {
+      fn(node->key, node->val);
+    }
+  }
+
   // Presence (value or nullopt) for each requested key, all judged against
   // one snapshot. Keys are answered in one ordered pass.
   std::vector<std::optional<V>> multisearch(std::vector<K> keys) {

@@ -1,0 +1,72 @@
+// Per-shard backend policies for ShardedStore.
+//
+// A shard is an ordered map from keys to heap-allocated value cells, backed
+// by any of the repo's snapshottable vCAS structures. The three policies
+// differ only in which structure they name; the SnapshotMap concept below
+// is the uniform adapter surface the store compiles against, so adding a
+// backend is: implement the concept, add a one-line policy struct.
+//
+// Backend trade-offs (see bench_store_scalability.cc):
+//   ListBackend      — Harris list; O(n) point ops, cheapest constant
+//                      factors; only sensible with many shards and small
+//                      per-shard key counts.
+//   BstBackend       — Ellen et al. BST; unbalanced, fast uniform updates.
+//   ChromaticBackend — Brown et al. chromatic tree; balanced, the default
+//                      for skewed or large shards.
+#pragma once
+
+#include <concepts>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ds/chromatic.h"
+#include "ds/ellen_bst.h"
+#include "ds/harris_list.h"
+#include "vcas/camera.h"
+
+namespace vcas::store {
+
+namespace detail {
+// Functor stand-in for the visitor passed to for_each_at (lambdas are
+// awkward inside requires-expressions).
+struct NoopVisit {
+  template <typename K, typename M>
+  void operator()(const K&, const M&) const {}
+};
+}  // namespace detail
+
+// What the store needs from a shard structure: camera-shared construction,
+// lock-free point updates on the live state, and handle-explicit snapshot
+// reads (the *_at family) for cross-shard atomic queries.
+template <typename MapT, typename K, typename M>
+concept SnapshotMap =
+    std::constructible_from<MapT, Camera*> &&
+    requires(MapT m, const K& k, M v, Timestamp ts, detail::NoopVisit visit) {
+      { m.insert(k, v) } -> std::same_as<bool>;
+      { m.find(k) } -> std::same_as<std::optional<M>>;
+      { m.find_at(ts, k) } -> std::same_as<std::optional<M>>;
+      { m.range_at(ts, k, k) } -> std::same_as<std::vector<std::pair<K, M>>>;
+      { m.for_each_at(ts, visit) };
+      { m.camera() } -> std::same_as<Camera&>;
+    };
+
+struct ListBackend {
+  static constexpr const char* kName = "harris-list";
+  template <typename K, typename M>
+  using Map = ds::VcasHarrisList<K, M>;
+};
+
+struct BstBackend {
+  static constexpr const char* kName = "ellen-bst";
+  template <typename K, typename M>
+  using Map = ds::VcasBST<K, M>;
+};
+
+struct ChromaticBackend {
+  static constexpr const char* kName = "chromatic";
+  template <typename K, typename M>
+  using Map = ds::VcasChromaticTree<K, M>;
+};
+
+}  // namespace vcas::store

@@ -1,0 +1,80 @@
+// Write batches and their commit tickets (store layer).
+//
+// The paper's camera gives atomic multi-point *queries*; the store layer
+// extends the same clock into atomic multi-point *updates*. Every record a
+// batch installs carries a shared BatchTicket whose commit stamp starts
+// undecided (kTBD). The writer installs all records first — each stamped by
+// the underlying vCAS at install time — and only then fixes the commit
+// stamp from the camera clock. A snapshot query at handle h treats a
+// ticketed record as written at its ticket's commit stamp, not its install
+// stamp: visible iff commit <= h. Because the clock only moves forward,
+// every record's install stamp is <= the commit stamp, so a query either
+// sees all of a batch's records (h >= commit) or none (h < commit) — never
+// a partially applied batch. See store.h for the full protocol and its
+// progress caveats.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "vcas/camera.h"
+
+namespace vcas::store {
+
+// Commit ticket shared (via shared_ptr) by every record of one batch. The
+// ticket outlives the batch application: records in version lists keep it
+// alive for as long as any snapshot might need the commit stamp to decide
+// visibility.
+struct BatchTicket {
+  std::atomic<Timestamp> commit_ts{kTBD};
+
+  bool committed() const {
+    return commit_ts.load(std::memory_order_acquire) != kTBD;
+  }
+
+  // Commit stamp, waiting out the (instruction-scale) window between the
+  // writer finishing its installs and publishing the stamp. Waiting — not
+  // guessing — is what keeps two queries with the same handle agreeing on
+  // the batch's visibility; see "Progress" in store.h.
+  Timestamp wait_commit() const {
+    Timestamp c;
+    while ((c = commit_ts.load(std::memory_order_acquire)) == kTBD) {
+      std::this_thread::yield();
+    }
+    return c;
+  }
+};
+
+// An ordered list of puts/removes applied atomically by
+// ShardedStore::applyBatch. Within one batch, later operations on a key win
+// over earlier ones (read-modify-write batch semantics).
+template <typename K, typename V>
+class WriteBatch {
+ public:
+  struct Op {
+    K key;
+    V value;       // ignored when !is_put
+    bool is_put;
+  };
+
+  void put(K key, V value) {
+    ops_.push_back(Op{std::move(key), std::move(value), true});
+  }
+
+  void remove(K key) {
+    ops_.push_back(Op{std::move(key), V{}, false});
+  }
+
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+  const std::vector<Op>& ops() const { return ops_; }
+  void clear() { ops_.clear(); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace vcas::store

@@ -1,0 +1,471 @@
+// Sharded snapshot-consistent key-value store (the repo's first
+// production-shaped composition of the paper's machinery).
+//
+// Layout: keys hash-partition across N shards; each shard is an independent
+// vCAS structure (backend.h) mapping K -> Cell*, and every shard — plus
+// every cell's value register — hangs off ONE shared Camera. That single
+// clock is what makes cross-shard queries atomic: multiGet / rangeQuery /
+// size / snapshotAll take one O(1) handle and read all shards at that
+// instant, touching only the shards the query needs (a "partial snapshot":
+// the handle is global, the traversal isn't).
+//
+// Values: a cell is created the first time its key is written and holds a
+// VersionedCAS<Record> register. Puts and removes swap records on the live
+// head, which (a) gives the Harris-list backend in-place updates it lacks
+// natively, and (b) gives every key a timestamped value history that
+// snapshot reads resolve with readSnapshot semantics. Removed keys keep a
+// tombstone record; cells are never structurally deleted (GC of
+// absent-stable cells is an open item — see ROADMAP).
+//
+// Atomic batches: applyBatch installs one ticketed record per (deduplicated)
+// key, then fixes the ticket's commit stamp from the clock (batch.h).
+// Readers treat ticketed records as written at the commit stamp. Writers
+// never install over a record whose ticket is still undecided — they wait —
+// so per-key version order matches batch commit order and the whole history
+// stays linearizable with each batch at its commit stamp. Batch keys are
+// acquired in global (shard, key) order, so conflicting batches cannot
+// deadlock.
+//
+// Progress: point reads, puts, removes, and snapshot queries on un-ticketed
+// records are lock-free (as the underlying structures are). Resolving a
+// ticketed record, and writing a key that is inside an in-flight batch,
+// waits out that batch's install+commit window — instruction-scale when the
+// writer is scheduled, unbounded if it stalls. Cooperative helping (readers
+// finishing a stalled batch from a published op list) is future work.
+//
+// Trimming: trim_all() detaches cell versions below Camera::min_active()
+// across all shards (batch-commit aware — a record only counts as old once
+// its COMMIT stamp is below the horizon); enable_background_trim runs it on
+// a timer. Announced readers (SnapshotGuard / StoreView) are never broken.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "store/backend.h"
+#include "store/batch.h"
+#include "store/view.h"
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+#include "vcas/versioned_cas.h"
+
+namespace vcas::store {
+
+// K: ordered (<, ==) and hashable. V: default-constructible (tombstone and
+// batch-remove records hold a V{}), copyable, and equality-comparable
+// (records are compared by value in the update CAS).
+template <typename K, typename V, typename Backend = ChromaticBackend,
+          typename Hash = std::hash<K>>
+class ShardedStore {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using Batch = WriteBatch<K, V>;
+  using View = StoreView<ShardedStore>;
+
+  // One key's state at one instant. `ticket` is null for single-key writes
+  // and for the absent seed record every cell starts with; ticketed records
+  // defer their visibility to the ticket's commit stamp.
+  struct Record {
+    V value{};
+    bool present = false;
+    std::shared_ptr<BatchTicket> ticket{};
+
+    friend bool operator==(const Record&, const Record&) = default;
+  };
+
+ private:
+  struct Cell {
+    explicit Cell(Camera* cam) : rec(Record{}, cam) {}
+    VersionedCAS<Record> rec;  // seeded absent: every visibility walk
+                               // terminates on an un-ticketed record
+    Cell* next_all = nullptr;  // append-only per-shard registry link
+  };
+
+  using Map = typename Backend::template Map<K, Cell*>;
+  static_assert(SnapshotMap<Map, K, Cell*>,
+                "store backend must satisfy the SnapshotMap concept");
+
+  struct Shard {
+    explicit Shard(Camera* cam) : map(cam) {}
+    Map map;
+    std::atomic<Cell*> cells{nullptr};  // registry: destruction + trimming
+  };
+
+ public:
+  explicit ShardedStore(std::size_t num_shards = 8) {
+    assert(num_shards >= 1);
+    shards_.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(&camera_));
+    }
+  }
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  ~ShardedStore() {
+    disable_background_trim();
+    for (auto& shard : shards_) {
+      Cell* cell = shard->cells.load(std::memory_order_acquire);
+      while (cell != nullptr) {
+        Cell* next = cell->next_all;
+        delete cell;
+        cell = next;
+      }
+    }
+  }
+
+  Camera& camera() { return camera_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  static constexpr const char* backend_name() { return Backend::kName; }
+
+  // --- single-key operations (live state) ----------------------------------
+
+  // Upsert. Returns true when the key was previously absent.
+  bool put(const K& key, const V& value) {
+    ebr::Guard g;
+    Cell* cell = live_cell(key);
+    const Record next{value, true, nullptr};
+    for (;;) {
+      Record head = wait_head_decided(cell);
+      if (cell->rec.vCAS(head, next)) return !head.present;
+    }
+  }
+
+  // Returns true when the key was present (and is now tombstoned).
+  bool remove(const K& key) {
+    ebr::Guard g;
+    Cell* cell = find_cell(key);
+    if (cell == nullptr) return false;
+    for (;;) {
+      Record head = wait_head_decided(cell);
+      if (!head.present) return false;
+      if (cell->rec.vCAS(head, Record{})) return true;
+    }
+  }
+
+  std::optional<V> get(const K& key) {
+    ebr::Guard g;
+    Cell* cell = find_cell(key);
+    if (cell == nullptr) return std::nullopt;
+    Record r = resolve_current(cell);
+    if (!r.present) return std::nullopt;
+    return std::move(r.value);
+  }
+
+  bool contains(const K& key) { return get(key).has_value(); }
+
+  // --- atomic multi-key updates --------------------------------------------
+
+  // Apply every op in the batch so that any snapshot query observes either
+  // all of them or none. Within the batch, the last op on a key wins.
+  // Returns the batch's commit stamp (its linearization point).
+  Timestamp applyBatch(const Batch& batch) {
+    ebr::Guard g;
+    const auto& ops = batch.ops();
+    if (ops.empty()) return camera_.current();
+
+    // Acquisition order: (shard, key) ascending, globally — conflicting
+    // concurrent batches meet at their first common key in the same order,
+    // so the wait in wait_head_decided cannot deadlock.
+    std::vector<std::size_t> order(ops.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const std::size_t sa = shard_index(ops[a].key);
+                       const std::size_t sb = shard_index(ops[b].key);
+                       if (sa != sb) return sa < sb;
+                       return ops[a].key < ops[b].key;
+                     });
+
+    auto ticket = std::make_shared<BatchTicket>();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      // Last op per key wins: skip unless this is the final (stable-sorted)
+      // entry for its key.
+      if (i + 1 < order.size() && ops[order[i + 1]].key == ops[order[i]].key) {
+        continue;
+      }
+      const auto& op = ops[order[i]];
+      // Removes install a ticketed tombstone even when the key has no cell
+      // yet (unlike single-key remove(), which may no-op at its read):
+      // every op of the batch must take effect at the commit stamp, and a
+      // put of this key committing between our absence check and our
+      // commit would otherwise survive a remove that linearizes after it.
+      // Reclaiming absent-stable cells is the "cell GC" ROADMAP item.
+      Cell* cell = live_cell(op.key);
+      const Record next{op.is_put ? op.value : V{}, op.is_put, ticket};
+      for (;;) {
+        Record head = wait_head_decided(cell);
+        if (cell->rec.vCAS(head, next)) break;
+      }
+    }
+    // Every record above was stamped by its vCAS before it returned, so all
+    // install stamps are <= this clock read: the commit stamp dominates the
+    // batch, and visibility at any handle is all-or-nothing.
+    const Timestamp commit = camera_.current();
+    ticket->commit_ts.store(commit, std::memory_order_seq_cst);
+    return commit;
+  }
+
+  // --- cross-shard atomic queries ------------------------------------------
+
+  // Values for each key (nullopt if absent), all at one instant. Only the
+  // shards owning queried keys are traversed.
+  std::vector<std::optional<V>> multiGet(const std::vector<K>& keys) {
+    SnapshotGuard snap(camera_);
+    return multiGet_at(snap.ts(), keys);
+  }
+
+  // All (key, value) pairs with key in [lo, hi] across every shard, in
+  // ascending key order (merge of the per-shard snapshot ranges), at one
+  // instant.
+  std::vector<std::pair<K, V>> rangeQuery(const K& lo, const K& hi) {
+    SnapshotGuard snap(camera_);
+    return rangeQuery_at(snap.ts(), lo, hi);
+  }
+
+  // Number of present keys across every shard at one instant.
+  std::size_t size() {
+    SnapshotGuard snap(camera_);
+    return size_at(snap.ts());
+  }
+
+  // A reusable read view: many reads, one instant. See view.h.
+  View snapshotAll() { return View(*this); }
+
+  // Handle-explicit variants (caller holds a SnapshotGuard on this store's
+  // camera — e.g. through a StoreView, or one guard spanning several
+  // stores that share a camera).
+
+  std::optional<V> get_at(Timestamp ts, const K& key) {
+    Shard& shard = shard_for(key);
+    std::optional<Cell*> cell = shard.map.find_at(ts, key);
+    if (!cell.has_value()) return std::nullopt;
+    Record r = resolve_at(*cell, ts);
+    if (!r.present) return std::nullopt;
+    return std::move(r.value);
+  }
+
+  std::vector<std::optional<V>> multiGet_at(Timestamp ts,
+                                            const std::vector<K>& keys) {
+    std::vector<std::optional<V>> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      out[i] = get_at(ts, keys[i]);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<K, V>> rangeQuery_at(Timestamp ts, const K& lo,
+                                             const K& hi) {
+    // Per-shard runs arrive sorted (the backends are ordered maps); shards
+    // partition the key space, so a heap-based k-way merge yields the
+    // global order with no duplicate keys.
+    std::vector<std::vector<std::pair<K, V>>> runs;
+    runs.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      auto entries = shard->map.range_at(ts, lo, hi);
+      std::vector<std::pair<K, V>> run;
+      run.reserve(entries.size());
+      for (auto& [key, cell] : entries) {
+        Record r = resolve_at(cell, ts);
+        if (r.present) run.emplace_back(key, std::move(r.value));
+      }
+      if (!run.empty()) runs.push_back(std::move(run));
+    }
+    return merge_runs(std::move(runs));
+  }
+
+  std::size_t size_at(Timestamp ts) {
+    std::size_t n = 0;
+    for (auto& shard : shards_) {
+      shard->map.for_each_at(ts, [&](const K&, Cell* const& cell) {
+        if (resolve_at(cell, ts).present) ++n;
+      });
+    }
+    return n;
+  }
+
+  // --- version-list trimming (GC) ------------------------------------------
+
+  // Detach versions below the camera's min_active() horizon in every cell
+  // of every shard. Batch-commit aware: a ticketed record only qualifies as
+  // the trim pivot once its commit stamp is decided and below the horizon.
+  // Safe concurrently with announced readers; returns versions detached.
+  std::size_t trim_all() {
+    ebr::Guard g;
+    const Timestamp horizon = camera_.min_active();
+    std::size_t detached = 0;
+    for (auto& shard : shards_) {
+      for (Cell* cell = shard->cells.load(std::memory_order_acquire);
+           cell != nullptr; cell = cell->next_all) {
+        detached += cell->rec.trim_where(horizon, [&](const Record& r) {
+          if (r.ticket == nullptr) return true;
+          const Timestamp c = r.ticket->commit_ts.load(std::memory_order_acquire);
+          return c != kTBD && c <= horizon;
+        });
+      }
+    }
+    return detached;
+  }
+
+  // Run trim_all() every `interval` on a dedicated thread until
+  // disable_background_trim() (or destruction). Idempotent.
+  void enable_background_trim(std::chrono::milliseconds interval) {
+    std::lock_guard<std::mutex> lk(trim_mu_);
+    if (trimmer_.joinable()) return;
+    trim_stop_ = false;
+    trimmer_ = std::thread([this, interval] {
+      std::unique_lock<std::mutex> lk(trim_mu_);
+      while (!trim_stop_) {
+        lk.unlock();
+        trim_all();
+        lk.lock();
+        trim_cv_.wait_for(lk, interval, [this] { return trim_stop_; });
+      }
+    });
+  }
+
+  void disable_background_trim() {
+    std::thread to_join;
+    {
+      std::lock_guard<std::mutex> lk(trim_mu_);
+      trim_stop_ = true;
+      trim_cv_.notify_all();
+      to_join = std::move(trimmer_);
+    }
+    if (to_join.joinable()) to_join.join();
+  }
+
+  // --- introspection (tests, benches) --------------------------------------
+
+  // Total version-list length across every cell. O(cells + versions).
+  std::size_t total_versions() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) {
+      for (Cell* cell = shard->cells.load(std::memory_order_acquire);
+           cell != nullptr; cell = cell->next_all) {
+        n += cell->rec.version_count();
+      }
+    }
+    return n;
+  }
+
+  std::size_t shard_index(const K& key) const {
+    // Finalizer mix (splitmix64): std::hash is identity for integers, which
+    // would otherwise alias residue classes with user key patterns.
+    std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h % shards_.size());
+  }
+
+ private:
+  Shard& shard_for(const K& key) { return *shards_[shard_index(key)]; }
+
+  Cell* find_cell(const K& key) {
+    return shard_for(key).map.find(key).value_or(nullptr);
+  }
+
+  Cell* live_cell(const K& key) {
+    Shard& shard = shard_for(key);
+    for (;;) {
+      if (std::optional<Cell*> cell = shard.map.find(key)) return *cell;
+      Cell* fresh = new Cell(&camera_);
+      if (shard.map.insert(key, fresh)) {
+        // Registry push (append-only, lock-free) AFTER the structural
+        // insert wins, so losers are simply deleted.
+        Cell* head = shard.cells.load(std::memory_order_relaxed);
+        do {
+          fresh->next_all = head;
+        } while (!shard.cells.compare_exchange_weak(
+            head, fresh, std::memory_order_release,
+            std::memory_order_relaxed));
+        return fresh;
+      }
+      delete fresh;
+    }
+  }
+
+  // Head record with its batch (if any) linearized. Writers must not
+  // install over an undecided record: doing so could order their write
+  // before a batch that commits later, tearing that batch.
+  static Record wait_head_decided(Cell* cell) {
+    for (;;) {
+      Record head = cell->rec.vRead();
+      if (head.ticket == nullptr || head.ticket->committed()) return head;
+      std::this_thread::yield();
+    }
+  }
+
+  // The key's state at handle ts: newest version installed at or before ts
+  // whose batch (if any) committed at or before ts. Ticketed records still
+  // in their commit window are waited out so that equal handles always
+  // agree (see batch.h).
+  static Record resolve_at(Cell* cell, Timestamp ts) {
+    return cell->rec.readSnapshotWhere(ts, [ts](const Record& r) {
+      return r.ticket == nullptr || r.ticket->wait_commit() <= ts;
+    });
+  }
+
+  // The key's current committed state (point reads): newest record whose
+  // batch, if any, has linearized. Never blocks — an undecided batch simply
+  // hasn't happened yet from this read's point of view.
+  static Record resolve_current(Cell* cell) {
+    return cell->rec.readSnapshotWhere(
+        kNoSnapshot, [](const Record& r) {
+          return r.ticket == nullptr || r.ticket->committed();
+        });
+  }
+
+  // K-way merge of disjoint sorted runs via repeated min-selection over run
+  // cursors (N = shard count is small; a loser tree is overkill).
+  static std::vector<std::pair<K, V>> merge_runs(
+      std::vector<std::vector<std::pair<K, V>>> runs) {
+    if (runs.size() == 1) return std::move(runs[0]);
+    std::size_t total = 0;
+    for (const auto& run : runs) total += run.size();
+    std::vector<std::pair<K, V>> out;
+    out.reserve(total);
+    std::vector<std::size_t> cursor(runs.size(), 0);
+    while (out.size() < total) {
+      std::size_t best = runs.size();
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (cursor[i] < runs[i].size() &&
+            (best == runs.size() ||
+             runs[i][cursor[i]].first < runs[best][cursor[best]].first)) {
+          best = i;
+        }
+      }
+      out.push_back(std::move(runs[best][cursor[best]]));
+      ++cursor[best];
+    }
+    return out;
+  }
+
+  Camera camera_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex trim_mu_;
+  std::condition_variable trim_cv_;
+  bool trim_stop_ = false;
+  std::thread trimmer_;
+};
+
+}  // namespace vcas::store

@@ -1,0 +1,66 @@
+// Store-wide read views.
+//
+// ShardedStore::snapshotAll() returns a StoreView: one SnapshotGuard-backed
+// handle under which any number of reads — point gets, multi-gets, merged
+// ranges, size — observe the SAME instant across every shard. The guard
+// announces the handle, so version-list trimming (ShardedStore::trim_all /
+// the background trimmer) never reclaims a version the view can still
+// reach, and pins an epoch so structurally unlinked nodes stay readable.
+//
+// Views are cheap to create (one clock read + at most one CAS) but hold a
+// trim pin for their lifetime: a long-lived view makes every version
+// written after it un-trimmable. Scope views tightly.
+//
+// Nested views on one thread are safe: the camera's announcement slot is
+// reference-counted, so an inner view never un-pins an outer one.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "vcas/camera.h"
+#include "vcas/snapshot.h"
+
+namespace vcas::store {
+
+template <typename Store>
+class StoreView {
+ public:
+  using key_type = typename Store::key_type;
+  using mapped_type = typename Store::mapped_type;
+
+  explicit StoreView(Store& store)
+      : store_(store), snap_(store.camera()) {}
+
+  StoreView(const StoreView&) = delete;
+  StoreView& operator=(const StoreView&) = delete;
+
+  // The linearization point every read of this view observes.
+  Timestamp ts() const { return snap_.ts(); }
+
+  std::optional<mapped_type> get(const key_type& key) {
+    return store_.get_at(snap_.ts(), key);
+  }
+
+  bool contains(const key_type& key) { return get(key).has_value(); }
+
+  std::vector<std::optional<mapped_type>> multiGet(
+      const std::vector<key_type>& keys) {
+    return store_.multiGet_at(snap_.ts(), keys);
+  }
+
+  std::vector<std::pair<key_type, mapped_type>> range(const key_type& lo,
+                                                      const key_type& hi) {
+    return store_.rangeQuery_at(snap_.ts(), lo, hi);
+  }
+
+  std::size_t size() { return store_.size_at(snap_.ts()); }
+
+ private:
+  Store& store_;
+  SnapshotGuard snap_;  // EBR pin + announced handle, for the whole lifetime
+};
+
+}  // namespace vcas::store

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <limits>
 
@@ -37,6 +38,7 @@ class Camera {
  public:
   Camera() {
     for (auto& a : announce_) a.value.store(kNoSnapshot, std::memory_order_relaxed);
+    for (auto& d : announce_depth_) d.value = 0;
   }
 
   Camera(const Camera&) = delete;
@@ -62,16 +64,29 @@ class Camera {
   // Publish intent to snapshot, then take one. The announced value is a
   // lower bound on the handle actually used, which is all min_active()
   // needs: announcing low only makes trimming more conservative.
+  //
+  // The announcement slot is reference-counted per thread: nested
+  // announce/clear pairs on one thread keep the OUTERMOST (oldest)
+  // announcement published, so min_active() never rises past a pin an
+  // enclosing query still relies on. This makes nested SnapshotGuard use
+  // safe even with version-list trimming enabled (previously a documented
+  // silent hazard: the inner guard overwrote the outer pin).
   Timestamp announce_and_snapshot() {
     const int slot = util::thread_slot();
-    announce_[slot].value.store(timestamp_.load(std::memory_order_seq_cst),
-                                std::memory_order_seq_cst);
+    if (announce_depth_[slot].value++ == 0) {
+      announce_[slot].value.store(timestamp_.load(std::memory_order_seq_cst),
+                                  std::memory_order_seq_cst);
+    }
     return takeSnapshot();
   }
 
   void clear_announcement() {
-    announce_[util::thread_slot()].value.store(kNoSnapshot,
-                                               std::memory_order_release);
+    const int slot = util::thread_slot();
+    assert(announce_depth_[slot].value > 0 &&
+           "clear_announcement without a matching announce_and_snapshot");
+    if (--announce_depth_[slot].value == 0) {
+      announce_[slot].value.store(kNoSnapshot, std::memory_order_release);
+    }
   }
 
   // Oldest snapshot any announced query may still be reading. Every version
@@ -89,6 +104,8 @@ class Camera {
  private:
   alignas(util::kCacheLine) std::atomic<Timestamp> timestamp_{0};
   util::Padded<std::atomic<Timestamp>> announce_[util::kMaxThreads];
+  // Nesting depth of announcements; only ever touched by the owning thread.
+  util::Padded<int> announce_depth_[util::kMaxThreads];
 };
 
 }  // namespace vcas

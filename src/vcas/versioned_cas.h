@@ -99,6 +99,27 @@ class VersionedCAS {
     return node->val;
   }
 
+  // Generalized snapshot read for values whose visibility depends on more
+  // than the install timestamp (used by the store layer's atomic batches:
+  // a value installed at t may only become visible at a later commit stamp
+  // carried inside the value). Walks past versions with ts > ts_limit OR
+  // !visible(val). Precondition, on top of readSnapshot's: the caller
+  // guarantees some version with ts <= ts_limit satisfies `visible` (the
+  // store layer seeds every object with an unconditionally visible value).
+  template <typename Pred>
+  T readSnapshotWhere(Timestamp ts, Pred&& visible) {
+    VNode* node = vhead_.load(std::memory_order_seq_cst);
+    initTS(node);
+    while (node->ts.load(std::memory_order_acquire) > ts ||
+           !visible(static_cast<const T&>(node->val))) {
+      node = node->nextv.load(std::memory_order_acquire);
+      assert(node != nullptr &&
+             "readSnapshotWhere walked past the initial version: no visible "
+             "version at or below ts (precondition violation)");
+    }
+    return node->val;
+  }
+
   // --- introspection / GC extension (not part of the paper's interface) ---
 
   // Plain read of the newest value with no helping. Only for destructors
@@ -125,6 +146,18 @@ class VersionedCAS {
   // the suffix is retired exactly once. Callers must hold an ebr::Guard.
   // Returns the number of versions detached.
   std::size_t trim(Timestamp min_active) {
+    return trim_where(min_active, [](const T&) { return true; });
+  }
+
+  // trim() generalized to deferred-visibility values (the readSnapshotWhere
+  // counterpart): the pivot must additionally satisfy `visible` under every
+  // handle h >= min_active, which the caller guarantees by passing a
+  // predicate monotone in h evaluated at h = min_active (e.g. "batch commit
+  // stamp decided and <= min_active"). Versions below such a pivot are
+  // unreachable by any announced reader: every reader's handle is >=
+  // min_active, and its visibility walk stops at or above the pivot.
+  template <typename Pred>
+  std::size_t trim_where(Timestamp min_active, Pred&& visible) {
     bool expected = false;
     if (!trimming_.compare_exchange_strong(expected, true,
                                            std::memory_order_acquire)) {
@@ -132,11 +165,15 @@ class VersionedCAS {
     }
     std::size_t detached = 0;
     VNode* node = vhead_.load(std::memory_order_seq_cst);
-    // Find the pivot: newest node with a valid ts <= min_active. A TBD head
-    // is treated as "too new" — its eventual timestamp is unknown here.
+    // Find the pivot: newest node with a valid ts <= min_active that is
+    // visible at min_active. A TBD head is treated as "too new" — its
+    // eventual timestamp is unknown here.
     while (node != nullptr) {
       const Timestamp t = node->ts.load(std::memory_order_acquire);
-      if (t != kTBD && t <= min_active) break;
+      if (t != kTBD && t <= min_active &&
+          visible(static_cast<const T&>(node->val))) {
+        break;
+      }
       node = node->nextv.load(std::memory_order_acquire);
     }
     if (node != nullptr) {

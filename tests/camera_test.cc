@@ -114,14 +114,32 @@ TEST(SnapshotGuard, NestedGuardsOnSameThreadKeepOldestPin) {
   Timestamp outer_ts = outer.ts();
   for (int i = 0; i < 5; ++i) cam.takeSnapshot();
   {
-    // Same thread slot: inner guard overwrites the announcement. This is a
-    // documented limitation — nested snapshots on one thread keep only the
-    // newest pin, which is safe because the outer query's handle is still
-    // covered by EBR for node lifetime; min_active may rise past it though,
-    // so nested use requires trimming disabled (the default).
+    // The announcement slot is reference-counted: the inner guard must NOT
+    // overwrite the outer pin, so min_active stays at or below the outer
+    // handle for the outer guard's whole lifetime — nested snapshots are
+    // safe even with version-list trimming running concurrently.
     vcas::SnapshotGuard inner(cam);
     EXPECT_GE(inner.ts(), outer_ts);
+    EXPECT_LE(cam.min_active(), outer_ts);
   }
+  // Inner destruction keeps the outer pin (depth 2 -> 1, no clear).
+  EXPECT_LE(cam.min_active(), outer_ts);
+}
+
+TEST(SnapshotGuard, PinReleasedOnlyWhenOutermostGuardDies) {
+  Camera cam;
+  for (int i = 0; i < 3; ++i) cam.takeSnapshot();
+  {
+    vcas::SnapshotGuard outer(cam);
+    const Timestamp outer_ts = outer.ts();
+    for (int d = 0; d < 4; ++d) {
+      vcas::SnapshotGuard inner(cam);
+      (void)inner;
+    }
+    for (int i = 0; i < 10; ++i) cam.takeSnapshot();
+    EXPECT_LE(cam.min_active(), outer_ts);
+  }
+  EXPECT_EQ(cam.min_active(), cam.current());
 }
 
 }  // namespace

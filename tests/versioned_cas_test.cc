@@ -276,6 +276,58 @@ TEST(VersionedCasTrim, ConcurrentTrimAndReadStress) {
   vcas::ebr::drain_for_tests();
 }
 
+// Cross-object extension of the trim races above (the shared-camera case
+// the store layer depends on): a trimmer sweeps EVERY object registered on
+// one camera off a single min_active() read while announced readers take
+// cross-object snapshots. Each snapshot must stay internally consistent
+// (lockstep invariant) and stable on re-read.
+TEST(VersionedCasTrim, SharedCameraTrimAcrossObjectsStress) {
+  Camera cam;
+  constexpr int kObjects = 4;
+  std::vector<std::unique_ptr<VersionedCAS<std::int64_t>>> objs;
+  for (int i = 0; i < kObjects; ++i) {
+    objs.push_back(std::make_unique<VersionedCAS<std::int64_t>>(0, &cam));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+
+  // Writer keeps all objects in lockstep: obj[0] >= obj[1] >= ... >=
+  // obj[n-1] >= obj[0] - 1 at every instant.
+  std::thread writer([&] {
+    for (std::int64_t k = 1; !stop.load(std::memory_order_relaxed); ++k) {
+      for (auto& o : objs) ASSERT_TRUE(o->vCAS(k - 1, k));
+    }
+  });
+  std::thread trimmer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      vcas::ebr::Guard g;
+      const Timestamp horizon = cam.min_active();
+      for (auto& o : objs) o->trim(horizon);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 6000; ++i) {
+        vcas::SnapshotGuard guard(cam);
+        std::int64_t first = objs[0]->readSnapshot(guard.ts());
+        for (int j = 1; j < kObjects; ++j) {
+          const std::int64_t v = objs[j]->readSnapshot(guard.ts());
+          if (v > first || v < first - 1) ok = false;
+        }
+        if (objs[0]->readSnapshot(guard.ts()) != first) ok = false;
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+  trimmer.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
 // --- parameterized stress sweep -------------------------------------------
 
 struct StressParam {
