@@ -1,0 +1,155 @@
+// Contended atomic batches: the cost of the cooperative-helping protocol.
+//
+// Every writer applies `batch_size`-op batches; in the `overlap` mode all
+// writers batch over the SAME hot key set (worst case: every batch
+// conflicts with every other, and conflicting batches finish each other
+// through the descriptor's help path), in the `disjoint` mode each writer
+// owns a private key window (batches never conflict; the descriptor is
+// pure overhead). Concurrent snapshot readers multiGet the hot keys, which
+// drives the read-side helping path (resolving records whose commit stamp
+// is still undecided).
+//
+// Columns: batch commits/s (all writers), batched key-ops/s, and reader
+// multiGets/s. Comparing overlap vs disjoint at equal thread counts shows
+// what conflict-driven helping costs; scaling readers shows that read-side
+// helping does not collapse under a hot commit window.
+//
+// Env knobs: VCAS_BENCH_MS, VCAS_BENCH_REPS, VCAS_THREADS (writer counts).
+#include <atomic>
+#include <cstdio>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "store/backend.h"
+#include "store/batch.h"
+#include "store/store.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+struct Totals {
+  double batches_per_sec = 0;
+  double keyops_per_sec = 0;
+  double reads_per_sec = 0;
+};
+
+template <typename Store>
+Totals run_contended(Store& store, int writers, int readers, bool overlap,
+                     int batch_size, Key hot_span, int run_ms,
+                     std::uint64_t seed) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  vcas::util::Padded<std::uint64_t> batch_counts[192];
+  vcas::util::Padded<std::uint64_t> read_counts[192];
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(writers + readers));
+
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      // overlap: everyone hammers [1, hot_span]; disjoint: private window.
+      const Key base = overlap ? 1 : 1 + static_cast<Key>(t) * hot_span;
+      std::uint64_t n = 0;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        typename Store::Batch batch;
+        for (int i = 0; i < batch_size; ++i) {
+          const Key k = base + static_cast<Key>(rng.next_in(
+                                   static_cast<std::uint64_t>(hot_span)));
+          batch.put(k, static_cast<Key>(n));
+        }
+        store.applyBatch(batch);
+        ++n;
+      }
+      batch_counts[t].value = n;
+    });
+  }
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(seed + 555 + static_cast<std::uint64_t>(t));
+      std::vector<Key> keys(8);
+      std::uint64_t n = 0;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        for (auto& k : keys) {
+          k = 1 + static_cast<Key>(
+                      rng.next_in(static_cast<std::uint64_t>(hot_span)));
+        }
+        store.multiGet(keys);  // hot window: resolves in-flight batches
+        ++n;
+      }
+      read_counts[t].value = n;
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  Totals totals;
+  const double secs = run_ms / 1000.0;
+  std::uint64_t batches = 0, reads = 0;
+  for (int t = 0; t < writers; ++t) batches += batch_counts[t].value;
+  for (int t = 0; t < readers; ++t) reads += read_counts[t].value;
+  totals.batches_per_sec = static_cast<double>(batches) / secs;
+  totals.keyops_per_sec =
+      static_cast<double>(batches) * batch_size / secs;
+  totals.reads_per_sec = static_cast<double>(reads) / secs;
+  return totals;
+}
+
+template <typename Backend>
+void run_backend(const Config& cfg) {
+  using Store = vcas::store::ShardedStore<Key, Key, Backend>;
+  constexpr int kBatchSize = 8;
+  constexpr Key kHotSpan = 64;  // small on purpose: conflicts are the point
+  constexpr int kReaders = 2;
+  for (bool overlap : {true, false}) {
+    for (int writers : cfg.threads) {
+      Totals avg;
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        Store store(8);
+        store.enable_background_trim(std::chrono::milliseconds(5));
+        // Seed the hot window so readers always resolve live cells.
+        for (Key k = 1; k <= kHotSpan; ++k) store.put(k, 0);
+        const Totals t =
+            run_contended(store, writers, kReaders, overlap, kBatchSize,
+                          kHotSpan, cfg.run_ms, 777 + rep);
+        avg.batches_per_sec += t.batches_per_sec;
+        avg.keyops_per_sec += t.keyops_per_sec;
+        avg.reads_per_sec += t.reads_per_sec;
+        store.disable_background_trim();
+        vcas::ebr::drain_for_tests();
+      }
+      std::printf(
+          "batch-contention %-12s %-8s writers=%-3d readers=%d "
+          "%10.0f batches/s %12.0f keyops/s %12.0f multiGets/s\n",
+          Store::backend_name(), overlap ? "overlap" : "disjoint", writers,
+          kReaders, avg.batches_per_sec / cfg.reps,
+          avg.keyops_per_sec / cfg.reps, avg.reads_per_sec / cfg.reps);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  Config cfg = config_from_env();
+  std::printf("== Contended atomic batches: helping under conflict ==\n");
+  std::printf("(8-op batches over a 64-key hot span, 8 shards; %dms runs, "
+              "%d reps)\n\n",
+              cfg.run_ms, cfg.reps);
+  run_backend<vcas::store::ListBackend>(cfg);
+  run_backend<vcas::store::BstBackend>(cfg);
+  run_backend<vcas::store::ChromaticBackend>(cfg);
+  return 0;
+}

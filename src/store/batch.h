@@ -1,22 +1,31 @@
-// Write batches and their commit tickets (store layer).
+// Write batches and their commit descriptors (store layer).
 //
 // The paper's camera gives atomic multi-point *queries*; the store layer
 // extends the same clock into atomic multi-point *updates*. Every record a
 // batch installs carries a shared BatchTicket whose commit stamp starts
-// undecided (kTBD). The writer installs all records first — each stamped by
-// the underlying vCAS at install time — and only then fixes the commit
-// stamp from the camera clock. A snapshot query at handle h treats a
+// undecided (kTBD). The batch's records are installed first — each stamped
+// by the underlying vCAS at install time — and only then is the commit
+// stamp fixed from the camera clock. A snapshot query at handle h treats a
 // ticketed record as written at its ticket's commit stamp, not its install
 // stamp: visible iff commit <= h. Because the clock only moves forward,
 // every record's install stamp is <= the commit stamp, so a query either
 // sees all of a batch's records (h >= commit) or none (h < commit) — never
-// a partially applied batch. See store.h for the full protocol and its
-// progress caveats.
+// a partially applied batch.
+//
+// Cooperative helping: the ticket is a full batch *descriptor* — it
+// publishes the deduplicated per-key op list (via the store-side subclass
+// implementing install_all), so ANY thread that encounters an undecided
+// ticket — a snapshot reader resolving one of its records, a writer about
+// to install over one, a conflicting batch, the trimmer — finishes the
+// batch itself through help_commit() instead of waiting for the original
+// writer to be rescheduled. This is the store-level analogue of the paper's
+// initTS helping discipline and what keeps the batch protocol lock-free end
+// to end; see "Progress" in store.h for the full argument.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
-#include <thread>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -24,28 +33,67 @@
 
 namespace vcas::store {
 
-// Commit ticket shared (via shared_ptr) by every record of one batch. The
-// ticket outlives the batch application: records in version lists keep it
-// alive for as long as any snapshot might need the commit stamp to decide
-// visibility.
-struct BatchTicket {
+// Commit descriptor shared (via shared_ptr) by every record of one batch.
+// The descriptor outlives the batch application: records in version lists
+// keep it alive for as long as any snapshot might need the commit stamp to
+// decide visibility. The op list itself (install targets and values) lives
+// in the store-side subclass (ShardedStore::BatchDescriptor), which
+// implements install_all(); this base carries the commit protocol.
+struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
   std::atomic<Timestamp> commit_ts{kTBD};
+
+  explicit BatchTicket(Camera* camera) : camera_(camera) {}
+  BatchTicket(const BatchTicket&) = delete;
+  BatchTicket& operator=(const BatchTicket&) = delete;
+  virtual ~BatchTicket() = default;
 
   bool committed() const {
     return commit_ts.load(std::memory_order_acquire) != kTBD;
   }
 
-  // Commit stamp, waiting out the (instruction-scale) window between the
-  // writer finishing its installs and publishing the stamp. Waiting — not
-  // guessing — is what keeps two queries with the same handle agreeing on
-  // the batch's visibility; see "Progress" in store.h.
-  Timestamp wait_commit() const {
-    Timestamp c;
-    while ((c = commit_ts.load(std::memory_order_acquire)) == kTBD) {
-      std::this_thread::yield();
-    }
-    return c;
+  // Finish this batch on behalf of its (possibly stalled) writer and return
+  // the commit stamp. Idempotent and lock-free: completes every remaining
+  // install from the published op list, then fixes the commit stamp with
+  // one CAS. Exactly one caller's clock read wins, and every install stamp
+  // is <= it: each install is stamped before install_all returns, the
+  // stamping clock read happens-before this one (release/acquire on the
+  // per-op install state), and the clock is monotone. Replaces the old
+  // wait_commit() yield-spin — helpers make the batch's progress their own
+  // instead of waiting for its writer to be rescheduled.
+  Timestamp help_commit() {
+    Timestamp c = commit_ts.load(std::memory_order_acquire);
+    if (c != kTBD) return c;
+    install_all();
+    const Timestamp fresh = camera_->current();
+    const Timestamp result =
+        commit_ts.compare_exchange_strong(c, fresh, std::memory_order_seq_cst)
+            ? fresh
+            : c;  // lost the commit race; c was reloaded with the winner's stamp
+    // The commit stamp is decided: the descriptor's install machinery (op
+    // list, per-op state) is dead weight from here on, while the records
+    // keep the descriptor itself alive for as long as any snapshot might
+    // need the stamp. Every slow-path participant offers to free it; the
+    // subclass makes the release exactly-once and EBR-safe.
+    release_install_state();
+    return result;
   }
+
+ protected:
+  // Idempotently complete every remaining install of the published op list,
+  // in the batch's global (shard, key) order. Implemented by the store
+  // (which knows the cell and record types). Must only return once every op
+  // is installed or the batch is committed; processing ops in order keeps
+  // the installed set a PREFIX of the op list, which is what bounds help
+  // chains between conflicting batches (see store.h).
+  virtual void install_all() = 0;
+
+  // Drop whatever install_all needed, now that commit_ts is decided. Called
+  // (possibly concurrently, possibly while stale helpers still iterate the
+  // op list under their EBR pins) by every thread that ran the commit slow
+  // path.
+  virtual void release_install_state() {}
+
+  Camera* camera_;
 };
 
 // An ordered list of puts/removes applied atomically by

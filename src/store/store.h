@@ -17,21 +17,31 @@
 // tombstone record; cells are never structurally deleted (GC of
 // absent-stable cells is an open item — see ROADMAP).
 //
-// Atomic batches: applyBatch installs one ticketed record per (deduplicated)
-// key, then fixes the ticket's commit stamp from the clock (batch.h).
-// Readers treat ticketed records as written at the commit stamp. Writers
-// never install over a record whose ticket is still undecided — they wait —
-// so per-key version order matches batch commit order and the whole history
-// stays linearizable with each batch at its commit stamp. Batch keys are
-// acquired in global (shard, key) order, so conflicting batches cannot
-// deadlock.
+// Atomic batches: applyBatch publishes a batch descriptor (batch.h) listing
+// one planned op per (deduplicated) key in global (shard, key) order, then
+// installs one ticketed record per key and fixes the descriptor's commit
+// stamp from the clock. Readers treat ticketed records as written at the
+// commit stamp. Nobody installs over a record whose ticket is still
+// undecided — doing so could order a write before a batch that commits
+// later — but nobody *waits* on one either: a reader resolving an undecided
+// record, a writer about to install over one, a conflicting batch, and the
+// trimmer all help the batch to completion from its descriptor (finish the
+// remaining installs idempotently, then CAS the commit stamp). Per-key
+// version order therefore matches batch commit order and the whole history
+// stays linearizable with each batch at its commit stamp.
 //
-// Progress: point reads, puts, removes, and snapshot queries on un-ticketed
-// records are lock-free (as the underlying structures are). Resolving a
-// ticketed record, and writing a key that is inside an in-flight batch,
-// waits out that batch's install+commit window — instruction-scale when the
-// writer is scheduled, unbounded if it stalls. Cooperative helping (readers
-// finishing a stalled batch from a published op list) is future work.
+// Progress: every store operation is lock-free (as the underlying
+// structures are). The former protocol's spin-waits — readers yielding
+// through a batch's install+commit window, writers yielding until an
+// in-flight batch on their key was rescheduled — are gone: a stalled batch
+// writer's remaining work is finished by whoever bumps into it, the
+// store-level analogue of the paper's initTS-before-any-traversal helping
+// discipline. Help chains between conflicting batches cannot cycle: a
+// batch's installed ops always form a prefix of its (shard, key)-ordered op
+// list, so every hop in a chain of undecided batches strictly ascends that
+// global order (depth is bounded by the number of in-flight batches).
+// Point reads (get/contains) never help at all — an undecided batch simply
+// has not happened yet from their point of view.
 //
 // Trimming: trim_all() detaches cell versions below Camera::min_active()
 // across all shards (batch-commit aware — a record only counts as old once
@@ -99,6 +109,116 @@ class ShardedStore {
   static_assert(SnapshotMap<Map, K, Cell*>,
                 "store backend must satisfy the SnapshotMap concept");
 
+  // Full batch descriptor: the BatchTicket commit protocol plus the
+  // published per-key op list. The original writer and every helper run the
+  // same idempotent install machinery, so any thread can finish a stalled
+  // batch (the tentpole of the cooperative-helping protocol).
+  struct BatchDescriptor final : BatchTicket {
+    using Node = typename VersionedCAS<Record>::VNode;
+
+    // One planned install. `installed` is the per-op claimed/installed
+    // state machine: nullptr = pending, non-null = the exact version node
+    // carrying this op (written once with the node a successful installer
+    // created, or the node a helper observed already in place).
+    struct PlannedOp {
+      Cell* cell;
+      V value;
+      bool is_put;
+      std::atomic<Node*> installed{nullptr};
+
+      PlannedOp(Cell* c, V v, bool put)
+          : cell(c), value(std::move(v)), is_put(put) {}
+      // Moves happen only while applyBatch builds the still-private list.
+      PlannedOp(PlannedOp&& o) noexcept
+          : cell(o.cell),
+            value(std::move(o.value)),
+            is_put(o.is_put),
+            installed(o.installed.load(std::memory_order_relaxed)) {}
+    };
+
+    using OpList = std::vector<PlannedOp>;
+
+    BatchDescriptor(Camera* cam, OpList planned)
+        : BatchTicket(cam), ops_(new OpList(std::move(planned))) {}
+
+    ~BatchDescriptor() override { delete ops_.load(std::memory_order_relaxed); }
+
+    // (shard, key)-ascending; immutable once the first record is installed.
+    // Nulled (and the list EBR-retired) when the commit stamp is decided:
+    // surviving records keep the descriptor alive for its commit stamp —
+    // potentially forever, a trimmed cell retains its newest record — and
+    // retaining every batched value that long would be unbounded baggage.
+    // Readers hold EBR pins, so a stale helper mid-iteration stays safe.
+    OpList* ops() { return ops_.load(std::memory_order_acquire); }
+
+    // In-order pass, so the installed set stays a prefix of the list — the
+    // help-chain termination argument relies on it (see install_one).
+    void install_all() override {
+      OpList* list = ops();
+      if (list == nullptr) return;  // committed and released already
+      for (PlannedOp& op : *list) install_one(op);
+    }
+
+    void release_install_state() override {
+      if (OpList* list = ops_.exchange(nullptr, std::memory_order_acq_rel)) {
+        ebr::retire(list);
+      }
+    }
+
+    // Idempotent install of one op: the writer and any number of helpers
+    // agree on exactly one installed record per key. Returns once the op is
+    // installed or the whole batch has committed. Lock-free: every retry
+    // means another thread won a head CAS or committed a batch.
+    void install_one(PlannedOp& op) {
+      if (op.installed.load(std::memory_order_acquire) != nullptr) return;
+      for (;;) {
+        Node* head = op.cell->rec.vReadNode();  // timestamp helped
+        if (head->val.ticket.get() == this) {
+          // Our record is in (installed by us or a helper) and still at
+          // head. The release pairs with the committing helper's acquire,
+          // so the commit clock read dominates this node's install stamp.
+          op.installed.store(head, std::memory_order_release);
+          return;
+        }
+        // Not at head. An uncommitted batch's record stays at head until
+        // the commit (nobody installs over an undecided record), so if the
+        // batch is committed by now, this op was installed — and possibly
+        // already overwritten — by someone else. Checked AFTER the head
+        // read: the other order would race a commit landing in between.
+        if (this->committed()) return;
+        const Record& hv = head->val;
+        if (hv.ticket != nullptr && !hv.ticket->committed()) {
+          // Blocked by another in-flight batch: finish it ourselves rather
+          // than wait for its writer. Termination: installed ops form a
+          // prefix of each batch's (shard, key)-ordered list, so the
+          // blocker's first pending op is strictly ABOVE this cell in the
+          // global order — help chains ascend, never cycle, and their
+          // depth is bounded by the number of in-flight batches.
+          hv.ticket->help_commit();
+          continue;
+        }
+        // Decided head: install over it by node identity. Node addresses
+        // cannot recur while we are EBR-pinned, so success means the head
+        // never moved since we read it — in particular our record was
+        // never installed meanwhile — which is what makes this exactly
+        // once (a value-compare vCAS could double-install after an ABA).
+        // The record (a V copy + a descriptor refcount bump) is built only
+        // here, so pure-helper passes over already-installed ops pay none
+        // of that.
+        const Record mine{op.is_put ? op.value : V{}, op.is_put,
+                          this->shared_from_this()};
+        if (Node* mine_node = op.cell->rec.install_over(head, mine)) {
+          op.installed.store(mine_node, std::memory_order_release);
+          return;
+        }
+        // Lost the head race; retry (a helper may have installed our op).
+      }
+    }
+
+   private:
+    std::atomic<OpList*> ops_;
+  };
+
   struct Shard {
     explicit Shard(Camera* cam) : map(cam) {}
     Map map;
@@ -117,6 +237,20 @@ class ShardedStore {
   ShardedStore(const ShardedStore&) = delete;
   ShardedStore& operator=(const ShardedStore&) = delete;
 
+  // Teardown ordering (audited against the create/destroy stress in
+  // store_teardown_test.cc; callers must have joined their own readers and
+  // writers first): (1) join the background trimmer BEFORE touching any
+  // cell — it may be mid-trim_all holding cell and version pointers, and
+  // its limbo bag is orphaned to the EBR global list at thread exit;
+  // (2) delete cells through the append-only registry — versions the
+  // trimmer detached are no longer reachable from any vhead_ (trim unlinks
+  // before it retires), so EBR frees the detached suffixes exactly once
+  // and this walk frees the live chains exactly once; (3) members then
+  // destruct in reverse declaration order: shards_ (whose map nodes hold
+  // now-dangling Cell* VALUES but never dereference them) before camera_
+  // (which cells and maps reference, so it must die last). Batch
+  // descriptors may outlive the store inside EBR limbo via their records'
+  // shared_ptr, but a committed descriptor never dereferences its Cell*s.
   ~ShardedStore() {
     disable_background_trim();
     for (auto& shard : shards_) {
@@ -141,7 +275,7 @@ class ShardedStore {
     Cell* cell = live_cell(key);
     const Record next{value, true, nullptr};
     for (;;) {
-      Record head = wait_head_decided(cell);
+      Record head = help_head_decided(cell);
       if (cell->rec.vCAS(head, next)) return !head.present;
     }
   }
@@ -152,7 +286,7 @@ class ShardedStore {
     Cell* cell = find_cell(key);
     if (cell == nullptr) return false;
     for (;;) {
-      Record head = wait_head_decided(cell);
+      Record head = help_head_decided(cell);
       if (!head.present) return false;
       if (cell->rec.vCAS(head, Record{})) return true;
     }
@@ -179,9 +313,9 @@ class ShardedStore {
     const auto& ops = batch.ops();
     if (ops.empty()) return camera_.current();
 
-    // Acquisition order: (shard, key) ascending, globally — conflicting
-    // concurrent batches meet at their first common key in the same order,
-    // so the wait in wait_head_decided cannot deadlock.
+    // Op order: (shard, key) ascending, globally. Installed ops then form
+    // a prefix of this order (install_all/install_one preserve it), which
+    // is what lets conflicting batches help each other without cycles.
     std::vector<std::size_t> order(ops.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::stable_sort(order.begin(), order.end(),
@@ -192,7 +326,10 @@ class ShardedStore {
                        return ops[a].key < ops[b].key;
                      });
 
-    auto ticket = std::make_shared<BatchTicket>();
+    // Build the full descriptor — cells resolved up front — so any thread
+    // that bumps into one of our records can finish the batch without us.
+    typename BatchDescriptor::OpList planned;
+    planned.reserve(order.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
       // Last op per key wins: skip unless this is the final (stable-sorted)
       // entry for its key.
@@ -206,19 +343,25 @@ class ShardedStore {
       // put of this key committing between our absence check and our
       // commit would otherwise survive a remove that linearizes after it.
       // Reclaiming absent-stable cells is the "cell GC" ROADMAP item.
-      Cell* cell = live_cell(op.key);
-      const Record next{op.is_put ? op.value : V{}, op.is_put, ticket};
-      for (;;) {
-        Record head = wait_head_decided(cell);
-        if (cell->rec.vCAS(head, next)) break;
-      }
+      planned.emplace_back(live_cell(op.key),
+                           op.is_put ? op.value : V{}, op.is_put);
     }
-    // Every record above was stamped by its vCAS before it returned, so all
-    // install stamps are <= this clock read: the commit stamp dominates the
-    // batch, and visibility at any handle is all-or-nothing.
-    const Timestamp commit = camera_.current();
-    ticket->commit_ts.store(commit, std::memory_order_seq_cst);
-    return commit;
+    auto desc = std::make_shared<BatchDescriptor>(&camera_, std::move(planned));
+
+    // Install in order, then commit — the same idempotent machinery every
+    // helper runs, so a stall anywhere below (the test hook simulates one)
+    // leaves a batch that any reader or writer can finish without us. The
+    // raw list pointer stays valid across a concurrent help-driven commit
+    // (which retires it) because our EBR pin predates the retire.
+    auto* list = desc->ops();
+    const std::size_t total = list->size();
+    std::size_t done = 0;
+    for (auto& op : *list) {
+      desc->install_one(op);
+      ++done;
+      if (batch_pause_for_tests_) batch_pause_for_tests_(done, total);
+    }
+    return desc->help_commit();
   }
 
   // --- cross-shard atomic queries ------------------------------------------
@@ -313,9 +456,11 @@ class ShardedStore {
       for (Cell* cell = shard->cells.load(std::memory_order_acquire);
            cell != nullptr; cell = cell->next_all) {
         detached += cell->rec.trim_where(horizon, [&](const Record& r) {
-          if (r.ticket == nullptr) return true;
-          const Timestamp c = r.ticket->commit_ts.load(std::memory_order_acquire);
-          return c != kTBD && c <= horizon;
+          // Help-then-check: deciding an undecided batch here (a) keeps
+          // the trimmer off the stalled writer's schedule and (b) judges
+          // the record by its real commit stamp instead of conservatively
+          // skipping it until the writer reappears.
+          return r.ticket == nullptr || r.ticket->help_commit() <= horizon;
         });
       }
     }
@@ -364,6 +509,17 @@ class ShardedStore {
     return n;
   }
 
+  // Test-only hook: invoked by the ORIGINAL writer inside applyBatch after
+  // each of its installs (`installed` runs 1..total; installed == total
+  // fires just before the commit attempt). Helpers never invoke it. Set it
+  // before any concurrent use; the stalled-writer regression tests
+  // (batch_helping_test.cc) use it to park a writer mid-batch and assert
+  // that nobody else blocks.
+  void set_batch_pause_for_tests(
+      std::function<void(std::size_t installed, std::size_t total)> hook) {
+    batch_pause_for_tests_ = std::move(hook);
+  }
+
   std::size_t shard_index(const K& key) const {
     // Finalizer mix (splitmix64): std::hash is identity for integers, which
     // would otherwise alias residue classes with user key patterns.
@@ -405,22 +561,26 @@ class ShardedStore {
 
   // Head record with its batch (if any) linearized. Writers must not
   // install over an undecided record: doing so could order their write
-  // before a batch that commits later, tearing that batch.
-  static Record wait_head_decided(Cell* cell) {
+  // before a batch that commits later, tearing that batch. Instead of
+  // waiting for the batch's writer to be rescheduled, finish the batch
+  // ourselves from its descriptor — a preempted writer can no longer block
+  // this key. Lock-free: every retry means some batch just committed.
+  static Record help_head_decided(Cell* cell) {
     for (;;) {
       Record head = cell->rec.vRead();
       if (head.ticket == nullptr || head.ticket->committed()) return head;
-      std::this_thread::yield();
+      head.ticket->help_commit();
     }
   }
 
   // The key's state at handle ts: newest version installed at or before ts
-  // whose batch (if any) committed at or before ts. Ticketed records still
-  // in their commit window are waited out so that equal handles always
-  // agree (see batch.h).
+  // whose batch (if any) committed at or before ts. An undecided ticket is
+  // helped to its commit stamp — not waited out — so equal handles always
+  // agree on the batch's visibility and a stalled batch writer never
+  // blocks snapshot queries (see batch.h).
   static Record resolve_at(Cell* cell, Timestamp ts) {
     return cell->rec.readSnapshotWhere(ts, [ts](const Record& r) {
-      return r.ticket == nullptr || r.ticket->wait_commit() <= ts;
+      return r.ticket == nullptr || r.ticket->help_commit() <= ts;
     });
   }
 
@@ -461,6 +621,9 @@ class ShardedStore {
 
   Camera camera_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Test-only (see set_batch_pause_for_tests). Empty in production.
+  std::function<void(std::size_t, std::size_t)> batch_pause_for_tests_;
 
   std::mutex trim_mu_;
   std::condition_variable trim_cv_;

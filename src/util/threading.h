@@ -8,6 +8,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "util/padded.h"
 
@@ -27,21 +30,41 @@ inline std::atomic<bool>& slot_in_use(int i) {
 struct SlotHandle {
   int id = -1;
   SlotHandle() {
-    for (int i = 0;; i = (i + 1) % kMaxThreads) {
-      bool expected = false;
-      if (slot_in_use(i).compare_exchange_strong(expected, true,
-                                                 std::memory_order_acq_rel)) {
-        id = i;
-        return;
+    // Slots only free up when a claiming thread exits, so a full sweep
+    // finding nothing means the table is (at least momentarily) exhausted.
+    // Sweep a generous bounded number of times — yielding between sweeps so
+    // threads mid-exit can release — then fail LOUDLY: more than
+    // kMaxThreads concurrent threads is a configuration error, and the old
+    // unbounded loop livelocked here silently with no way to diagnose it.
+    constexpr int kSweeps = 4096;
+    for (int sweep = 0; sweep < kSweeps; ++sweep) {
+      for (int i = 0; i < kMaxThreads; ++i) {
+        bool expected = false;
+        if (slot_in_use(i).compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          id = i;
+          return;
+        }
       }
+      std::this_thread::yield();
     }
+    std::fprintf(stderr,
+                 "vcas::util::thread_slot: all %d thread slots are in use; "
+                 "more than kMaxThreads threads entered the library "
+                 "concurrently (raise kMaxThreads in src/util/threading.h "
+                 "or cap your thread count)\n",
+                 kMaxThreads);
+    std::abort();
   }
-  ~SlotHandle() { slot_in_use(id).store(false, std::memory_order_release); }
+  ~SlotHandle() {
+    if (id >= 0) slot_in_use(id).store(false, std::memory_order_release);
+  }
 };
 
 }  // namespace detail
 
 // Dense id in [0, kMaxThreads) for the calling thread, stable until exit.
+// Aborts (loudly) if the registry is exhausted — see SlotHandle.
 inline int thread_slot() {
   thread_local detail::SlotHandle handle;
   return handle.id;

@@ -46,9 +46,22 @@ class Camera {
 
   // O(1): one read + at most one CAS. Returns the handle; versions written
   // while the counter still reads `handle` belong to this snapshot.
+  //
+  // The handle is the LOADED value, never the CAS's failure write-back:
+  // compare_exchange_strong overwrites `expected` with the current counter
+  // when it fails, and returning that would hand out a handle EQUAL to the
+  // clock — in-flight writes would keep stamping <= the handle and the
+  // "snapshot" would absorb updates for as long as the clock sat still
+  // (torn cross-object reads, unstable re-reads; caught by the TSan trim
+  // stress). Returning the loaded value is correct either way: on CAS
+  // success the clock is now ts + 1, and on failure some concurrent
+  // takeSnapshot already moved it past ts — the postcondition
+  // "clock > handle" holds before this function returns.
   Timestamp takeSnapshot() {
-    Timestamp ts = timestamp_.load(std::memory_order_seq_cst);
-    timestamp_.compare_exchange_strong(ts, ts + 1, std::memory_order_seq_cst);
+    const Timestamp ts = timestamp_.load(std::memory_order_seq_cst);
+    Timestamp expected = ts;
+    timestamp_.compare_exchange_strong(expected, ts + 1,
+                                       std::memory_order_seq_cst);
     return ts;
   }
 

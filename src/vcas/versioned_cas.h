@@ -64,6 +64,35 @@ class VersionedCAS {
     return head->val;
   }
 
+  // Head node with its timestamp helped (initTS run). Exposes version-node
+  // identity for install_over's pointer-compare protocol (store-layer batch
+  // helping); the node stays readable while the caller is EBR-pinned.
+  VNode* vReadNode() {
+    VNode* head = vhead_.load(std::memory_order_seq_cst);
+    initTS(head);
+    return head;
+  }
+
+  // Install-if-head-matches: append `new_v` over `expected` by NODE
+  // IDENTITY, not value — helpers racing to apply one batch op must never
+  // re-install over a value-equal but newer head, which a value-compare CAS
+  // (vCAS) could do. Returns the appended node, stamped before return, or
+  // nullptr if the head is no longer `expected`. Precondition: `expected`
+  // came from this object's vReadNode under an EBR pin still in effect —
+  // the pin is what rules out address reuse (pointer ABA) and guarantees
+  // `expected` was stamped before the new node is.
+  VNode* install_over(VNode* expected, const T& new_v) {
+    VNode* node = new VNode(new_v, expected);
+    VNode* e = expected;
+    if (vhead_.compare_exchange_strong(e, node, std::memory_order_seq_cst)) {
+      initTS(node);
+      return node;
+    }
+    delete node;  // never published; safe to free immediately
+    initTS(vhead_.load(std::memory_order_seq_cst));  // help the winner
+    return nullptr;
+  }
+
   // Algorithm 1, lines 40-52. O(1); lock-free (a failed CAS means another
   // vCAS succeeded).
   bool vCAS(T old_v, T new_v) {

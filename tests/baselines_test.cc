@@ -127,6 +127,7 @@ TEST(EpochBst, DeletedDuringQueryComesFromLimbo) {
     }
   });
 
+  bool saw_limbo = false;
   for (int iter = 0; iter < 1500; ++iter) {
     auto snap = tree.range(0, 199);
     std::set<std::int64_t> keys;
@@ -134,11 +135,16 @@ TEST(EpochBst, DeletedDuringQueryComesFromLimbo) {
     for (std::int64_t k = 0; k < 200; k += 4) {
       if (!keys.count(k)) ok = false;
     }
+    saw_limbo = saw_limbo || tree.limbo_size() > 0;
   }
   stop = true;
   churner.join();
   EXPECT_TRUE(ok.load());
-  EXPECT_GT(tree.limbo_size(), 0u);  // deletes really went through limbo
+  // Deletes really went through limbo. Sampled DURING the run: push_limbo
+  // prunes records below min_active() every 256 retirements, so a final
+  // prune can legitimately leave the lists empty at the end (this check
+  // used to flake ~10% as exactly that).
+  EXPECT_TRUE(saw_limbo);
   vcas::ebr::drain_for_tests();
 }
 

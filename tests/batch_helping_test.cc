@@ -1,0 +1,310 @@
+// Cooperative batch helping: a stalled applyBatch writer must not block
+// readers or writers (the PR-2 progress bug, and the paper's headline
+// property restored on the write path).
+//
+// Every test parks a batch writer mid-batch through the store's test hook —
+// after some or all of its installs, always before its commit — and asserts
+// that concurrent point reads, snapshot queries, single-key writes,
+// conflicting batches, and the trimmer all complete while the writer
+// sleeps, by finishing the batch from its published descriptor. On the
+// pre-helping protocol every one of these spins until the writer wakes, so
+// these tests hang (and time out) there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "store/backend.h"
+#include "store/batch.h"
+#include "store/store.h"
+#include "util/rng.h"
+
+namespace {
+
+using K = std::int64_t;
+using V = std::int64_t;
+
+template <typename Backend>
+class BatchHelpingTest : public ::testing::Test {
+ public:
+  using Store = vcas::store::ShardedStore<K, V, Backend>;
+};
+
+using Backends =
+    ::testing::Types<vcas::store::ListBackend, vcas::store::BstBackend,
+                     vcas::store::ChromaticBackend>;
+TYPED_TEST_SUITE(BatchHelpingTest, Backends);
+
+// Keys landing in pairwise distinct shards, so the parked batch genuinely
+// spans shard boundaries.
+template <typename Store>
+std::vector<K> distinct_shard_keys(const Store& store, std::size_t count) {
+  std::vector<K> keys;
+  std::vector<bool> used(store.shard_count(), false);
+  for (K k = 0; keys.size() < count; ++k) {
+    const std::size_t s = store.shard_index(k);
+    if (!used[s]) {
+      used[s] = true;
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+// Parks the FIRST batch that reaches `trigger` installs (one-shot, so
+// helpers' and later batches' applyBatch calls sail through), until
+// `release` is set. Returns through `parked` when the writer is asleep.
+template <typename Store>
+void arm_park(Store& store, std::size_t trigger, std::atomic<bool>& parked,
+              std::atomic<bool>& release, std::atomic<bool>& armed) {
+  store.set_batch_pause_for_tests(
+      [&, trigger](std::size_t installed, std::size_t total) {
+        const std::size_t at = trigger == 0 ? total : trigger;
+        if (installed == at && armed.exchange(false)) {
+          parked.store(true);
+          while (!release.load()) std::this_thread::yield();
+        }
+      });
+}
+
+// Writer parked AFTER every install, BEFORE its commit: snapshot queries on
+// the batch's keys must complete (helping the commit stamp into place) and
+// stay atomic; the batch becomes visible without the writer ever waking.
+TYPED_TEST(BatchHelpingTest, SnapshotReadsCommitParkedBatchAndStayAtomic) {
+  typename TestFixture::Store store(8);
+  const std::vector<K> keys = distinct_shard_keys(store, 3);
+  {
+    typename TestFixture::Store::Batch init;
+    for (K k : keys) init.put(k, 1);
+    store.applyBatch(init);
+  }
+
+  std::atomic<bool> parked{false}, release{false}, armed{true};
+  arm_park(store, 0, parked, release, armed);
+  std::thread writer([&] {
+    typename TestFixture::Store::Batch b;
+    b.put(keys[0], 100);
+    b.put(keys[1], 200);
+    b.remove(keys[2]);
+    store.applyBatch(b);
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  // Point reads never block on (or help) an undecided batch: it simply has
+  // not happened yet.
+  EXPECT_EQ(store.get(keys[0]), std::optional<V>(1));
+
+  // A snapshot query completes while the writer sleeps. Helping fixes the
+  // commit stamp strictly after this query's handle, so the query itself
+  // still reports the pre-batch state — atomically.
+  const auto vals = store.multiGet(keys);
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_EQ(vals[0], std::optional<V>(1));
+  EXPECT_EQ(vals[1], std::optional<V>(1));
+  EXPECT_EQ(vals[2], std::optional<V>(1));
+
+  // That help committed the batch: the writer is still parked, yet the
+  // batch is fully visible to everything.
+  ASSERT_TRUE(parked.load());
+  EXPECT_EQ(store.get(keys[0]), std::optional<V>(100));
+  EXPECT_EQ(store.get(keys[1]), std::optional<V>(200));
+  EXPECT_FALSE(store.get(keys[2]).has_value());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.rangeQuery(keys.front(), keys.back()).size(), 2u);
+
+  release.store(true);
+  writer.join();
+  // The woken writer's own commit pass must be a no-op.
+  EXPECT_EQ(store.get(keys[0]), std::optional<V>(100));
+  EXPECT_EQ(store.get(keys[1]), std::optional<V>(200));
+  EXPECT_FALSE(store.get(keys[2]).has_value());
+  vcas::ebr::drain_for_tests();
+}
+
+// Writer parked after its FIRST install with two ops still pending: a
+// reader that touches any installed record must finish the REMAINING
+// installs from the descriptor, then commit — the full helping path, not
+// just the commit CAS.
+TYPED_TEST(BatchHelpingTest, ReadersFinishRemainingInstallsOfParkedWriter) {
+  typename TestFixture::Store store(8);
+  const std::vector<K> keys = distinct_shard_keys(store, 3);
+  {
+    typename TestFixture::Store::Batch init;
+    for (K k : keys) init.put(k, 1);
+    store.applyBatch(init);
+  }
+
+  std::atomic<bool> parked{false}, release{false}, armed{true};
+  arm_park(store, 1, parked, release, armed);
+  std::thread writer([&] {
+    typename TestFixture::Store::Batch b;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      b.put(keys[i], 100 + static_cast<V>(i));
+    }
+    store.applyBatch(b);
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  // Exactly one record is installed (in descriptor order — we do not know
+  // which key). A multiGet over all three keys is guaranteed to hit it,
+  // help install the other two, and commit. It must still answer with the
+  // pre-batch snapshot (commit lands after its handle), atomically.
+  const auto vals = store.multiGet(keys);
+  for (const auto& v : vals) EXPECT_EQ(v, std::optional<V>(1));
+
+  // The whole batch — including the ops the writer never got to — is now
+  // committed and visible, with the writer still asleep.
+  ASSERT_TRUE(parked.load());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(store.get(keys[i]), std::optional<V>(100 + static_cast<V>(i)));
+  }
+
+  release.store(true);
+  writer.join();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(store.get(keys[i]), std::optional<V>(100 + static_cast<V>(i)));
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+// Single-key writes and a fully conflicting batch on the parked batch's
+// keys must complete while the writer sleeps, and linearize AFTER it.
+TYPED_TEST(BatchHelpingTest, WritersAndConflictingBatchesOvertakeParkedWriter) {
+  typename TestFixture::Store store(8);
+  const std::vector<K> keys = distinct_shard_keys(store, 3);
+  {
+    typename TestFixture::Store::Batch init;
+    for (K k : keys) init.put(k, 1);
+    store.applyBatch(init);
+  }
+
+  std::atomic<bool> parked{false}, release{false}, armed{true};
+  arm_park(store, 0, parked, release, armed);
+  std::thread writer([&] {
+    typename TestFixture::Store::Batch b;
+    b.put(keys[0], 100);
+    b.put(keys[1], 200);
+    b.remove(keys[2]);
+    store.applyBatch(b);
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  // put() helps the parked batch to its commit, then installs over it:
+  // keys[0] was present (value 100 once helped), so put reports an update.
+  EXPECT_FALSE(store.put(keys[0], 7));
+  EXPECT_EQ(store.get(keys[0]), std::optional<V>(7));
+
+  // remove() of the key the batch already tombstoned: after helping, the
+  // key is absent, so remove is a no-op reporting "was not present".
+  EXPECT_FALSE(store.remove(keys[2]));
+
+  // A conflicting batch over every key completes while the writer sleeps
+  // and wins (it commits after the batch it helped).
+  {
+    typename TestFixture::Store::Batch b2;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      b2.put(keys[i], 1000 + static_cast<V>(i));
+    }
+    store.applyBatch(b2);
+  }
+  ASSERT_TRUE(parked.load());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(store.get(keys[i]), std::optional<V>(1000 + static_cast<V>(i)));
+  }
+
+  release.store(true);
+  writer.join();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(store.get(keys[i]), std::optional<V>(1000 + static_cast<V>(i)));
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+// The trimmer is a blocked party too: trim_all must complete while the
+// writer sleeps (help-then-check in its commit predicate), deciding the
+// batch along the way instead of waiting it out.
+TYPED_TEST(BatchHelpingTest, TrimAllDecidesParkedBatchAndCompletes) {
+  typename TestFixture::Store store(4);
+  const std::vector<K> keys = distinct_shard_keys(store, 2);
+  {
+    typename TestFixture::Store::Batch init;
+    for (K k : keys) init.put(k, 1);
+    store.applyBatch(init);
+  }
+
+  std::atomic<bool> parked{false}, release{false}, armed{true};
+  arm_park(store, 0, parked, release, armed);
+  std::thread writer([&] {
+    typename TestFixture::Store::Batch b;
+    for (K k : keys) b.put(k, 2);
+    store.applyBatch(b);
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  store.trim_all();  // must not hang; helps the batch to its commit
+  ASSERT_TRUE(parked.load());
+  for (K k : keys) EXPECT_EQ(store.get(k), std::optional<V>(2));
+
+  release.store(true);
+  writer.join();
+  vcas::ebr::drain_for_tests();
+}
+
+// Contended soak with randomized stalls injected into every batch writer:
+// two writers batching over the same keys keep them equal while the hook
+// sleeps them at random points mid-batch; snapshot readers must always see
+// all-equal values (atomicity) and identical answers on view re-reads
+// (stability), with everyone helping everyone. Exercises racing helpers on
+// the same descriptor under TSan.
+TYPED_TEST(BatchHelpingTest, RandomMidBatchStallsStayAtomicUnderContention) {
+  typename TestFixture::Store store(8);
+  const std::vector<K> keys = distinct_shard_keys(store, 4);
+  {
+    typename TestFixture::Store::Batch init;
+    for (K k : keys) init.put(k, 0);
+    store.applyBatch(init);
+  }
+
+  std::atomic<std::uint64_t> hook_calls{0};
+  store.set_batch_pause_for_tests([&](std::size_t, std::size_t) {
+    // Simulated preemption: roughly one install in 23 sleeps the writer.
+    if (hook_calls.fetch_add(1, std::memory_order_relaxed) % 23 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      for (V round = 1; !stop.load(std::memory_order_relaxed); ++round) {
+        typename TestFixture::Store::Batch batch;
+        for (K k : keys) batch.put(k, round * 2 + w);
+        store.applyBatch(batch);
+      }
+    });
+  }
+
+  for (int i = 0; i < 600; ++i) {
+    auto view = store.snapshotAll();
+    const auto first = view.multiGet(keys);
+    for (std::size_t j = 1; j < first.size(); ++j) {
+      if (!first[j].has_value() || *first[j] != *first[0]) ok = false;
+    }
+    const auto again = view.multiGet(keys);
+    if (again != first) ok = false;
+    if (i % 50 == 0) store.trim_all();
+  }
+  stop = true;
+  for (auto& th : writers) th.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

@@ -108,6 +108,33 @@ TEST(SnapshotGuard, ClearsAnnouncementOnDestruction) {
   EXPECT_EQ(cam.min_active(), cam.current());
 }
 
+TEST(Camera, HandleIsAlwaysStrictlyBelowClockAfterReturn) {
+  // Regression for the compare_exchange write-back bug: a takeSnapshot
+  // whose CAS lost to a concurrent bump must return the value it LOADED
+  // (the clock is already past it), never the failure-updated CURRENT
+  // value — a handle equal to the clock lets every in-flight write keep
+  // stamping <= it, so the "snapshot" would absorb updates for as long as
+  // the clock sat still (torn cross-object reads, unstable re-reads).
+  // The postcondition clock > handle is exact, so any single violation
+  // under contention fails the test.
+  Camera cam;
+  constexpr int kThreads = 4;
+  vcas::util::SpinBarrier barrier(kThreads);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 20000; ++i) {
+        const Timestamp h = cam.takeSnapshot();
+        if (cam.current() <= h) ok = false;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ok.load());
+}
+
 TEST(SnapshotGuard, NestedGuardsOnSameThreadKeepOldestPin) {
   Camera cam;
   vcas::SnapshotGuard outer(cam);

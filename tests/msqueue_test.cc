@@ -132,9 +132,20 @@ TEST(MSQueue, ScanSeesContiguousIntervalUnderConcurrency) {
   VcasMSQueue<std::int64_t> q;
   std::atomic<bool> stop{false};
   std::atomic<bool> ok{true};
+  std::atomic<std::int64_t> dequeued{0};
 
+  // The producer's lead over the consumer is capped: scan() walks every
+  // node in the queue at its snapshot, so an unthrottled producer (tens of
+  // millions of enqueues while 300 scans run) used to grow the walk
+  // quadratically until the test looked hung. The cap keeps full
+  // producer/consumer/scanner concurrency while bounding each scan.
+  constexpr std::int64_t kMaxLead = 20000;
   std::thread producer([&] {
     for (std::int64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      while (i - dequeued.load(std::memory_order_relaxed) > kMaxLead &&
+             !stop.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
       q.enqueue(i);
     }
   });
@@ -145,6 +156,7 @@ TEST(MSQueue, ScanSeesContiguousIntervalUnderConcurrency) {
       if (v.has_value()) {
         if (*v != expect) ok = false;
         ++expect;
+        dequeued.store(expect, std::memory_order_relaxed);
       }
     }
   });

@@ -1,0 +1,119 @@
+// ShardedStore teardown ordering: destruction racing a just-quiesced
+// background trimmer and EBR orphan-bag adoption.
+//
+// The audited contract (see the destructor comment in store.h): the dtor
+// joins the trimmer before touching any cell; versions the trimmer
+// detached are unreachable from every vhead_ by then (trim unlinks before
+// it retires), so the registry walk and EBR each free their own nodes
+// exactly once; maps destruct before the camera they reference and never
+// dereference their (by then dangling) Cell* values. These stresses run
+// under the TSan CI job, where a mis-ordered free or a racing trimmer
+// access shows up as a report rather than silent corruption.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "store/backend.h"
+#include "store/batch.h"
+#include "store/store.h"
+
+namespace {
+
+using K = std::int64_t;
+using V = std::int64_t;
+
+template <typename Backend>
+class StoreTeardownTest : public ::testing::Test {
+ public:
+  using Store = vcas::store::ShardedStore<K, V, Backend>;
+};
+
+using Backends =
+    ::testing::Types<vcas::store::ListBackend, vcas::store::BstBackend,
+                     vcas::store::ChromaticBackend>;
+TYPED_TEST_SUITE(StoreTeardownTest, Backends);
+
+// Create/destroy cycles with the background trimmer running throughout and
+// worker threads (writers, batch writers, snapshot readers) joining JUST
+// before destruction — the trimmer is typically mid-scan when the dtor
+// asks it to stop, and the workers' limbo bags orphan into the global EBR
+// list as their threads exit around the store's death.
+TYPED_TEST(StoreTeardownTest, CreateDestroyStressWithTrimmerAndLateReaders) {
+  for (int iter = 0; iter < 20; ++iter) {
+    auto store = std::make_unique<typename TestFixture::Store>(4);
+    store->enable_background_trim(std::chrono::milliseconds(1));
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < 80; ++i) {
+          const K k = t * 100 + (i % 10);
+          if (i % 5 == 0) {
+            typename TestFixture::Store::Batch b;
+            b.put(k, i);
+            b.put(k + 50, i);
+            store->applyBatch(b);
+          } else if (i % 7 == 0) {
+            store->remove(k);
+          } else {
+            store->put(k, i);
+          }
+          if (i % 3 == 0) store->multiGet({k, k + 50});
+          if (i % 11 == 0) {
+            auto view = store->snapshotAll();
+            view.size();
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    store.reset();  // destruction: trimmer may be mid-trim_all right here
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+// Tightest window: a zero-interval trimmer (back-to-back trim_all) plus
+// version churn, destroyed with no grace period — the dtor's join must
+// always wait out the in-flight scan before the cell registry is freed.
+TYPED_TEST(StoreTeardownTest, DestroyImmediatelyUnderConstantTrimChurn) {
+  for (int iter = 0; iter < 30; ++iter) {
+    typename TestFixture::Store store(2);
+    store.enable_background_trim(std::chrono::milliseconds(0));
+    for (int i = 0; i < 150; ++i) {
+      store.put(i % 8, i);
+      if (i % 16 == 0) store.camera().takeSnapshot();
+    }
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+// enable/disable cycling concurrent with foreground trims and writes: the
+// trimmer handoff (move under mutex, join outside) must never lose or
+// double-join a thread, and a foreground trim_all racing the background
+// one is serialized per cell by the trim try-lock.
+TYPED_TEST(StoreTeardownTest, TrimmerEnableDisableCyclesRaceForegroundTrims) {
+  typename TestFixture::Store store(4);
+  for (K k = 0; k < 16; ++k) store.put(k, 0);
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      store.put(i % 16, i);
+      if (i % 8 == 0) store.trim_all();
+    }
+  });
+  for (int i = 0; i < 40; ++i) {
+    store.enable_background_trim(std::chrono::milliseconds(0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    store.disable_background_trim();
+  }
+  stop = true;
+  churn.join();
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

@@ -12,6 +12,19 @@
 #include "util/rng.h"
 #include "util/threading.h"
 
+// Fork-based death tests are unreliable under TSan; detect it for both
+// GCC (__SANITIZE_THREAD__) and Clang (__has_feature).
+#if defined(__SANITIZE_THREAD__)
+#define VCAS_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VCAS_TSAN_BUILD 1
+#endif
+#endif
+#ifndef VCAS_TSAN_BUILD
+#define VCAS_TSAN_BUILD 0
+#endif
+
 namespace {
 
 using namespace vcas::util;
@@ -154,6 +167,46 @@ TEST(ThreadRegistry, SlotsRecycledAfterExit) {
   std::thread([&] { second = thread_slot(); }).join();
   // With no other live threads competing, the freed slot is reused.
   EXPECT_EQ(first, second);
+}
+
+TEST(ThreadRegistry, SlotsRecycleAcrossManySequentialThreadExits) {
+  // Far more sequential thread lifetimes than there are slots: if exit did
+  // not recycle, the claim scan would exhaust the table and abort.
+  for (int i = 0; i < 3 * kMaxThreads; ++i) {
+    int id = -1;
+    std::thread([&] { id = thread_slot(); }).join();
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, kMaxThreads);
+  }
+}
+
+TEST(ThreadRegistryDeathTest, ExhaustedRegistryAbortsLoudly) {
+#if VCAS_TSAN_BUILD
+  GTEST_SKIP() << "fork-based death tests are unreliable under TSan";
+#else
+  // Genuine exhaustion (kMaxThreads live claimants plus one more) must
+  // abort with a diagnostic, not livelock silently in the claim scan.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        std::atomic<int> claimed{0};
+        std::atomic<bool> done{false};
+        std::vector<std::thread> holders;
+        for (int i = 0; i < kMaxThreads; ++i) {
+          holders.emplace_back([&] {
+            thread_slot();
+            claimed.fetch_add(1);
+            while (!done.load()) std::this_thread::yield();
+          });
+        }
+        while (claimed.load() < kMaxThreads) std::this_thread::yield();
+        std::thread extra([] { thread_slot(); });  // 193rd claimant: aborts
+        extra.join();
+        done.store(true);
+        for (auto& h : holders) h.join();
+      },
+      "thread slots are in use");
+#endif
 }
 
 }  // namespace
