@@ -107,7 +107,7 @@ Totals run_contended(Store& store, int writers, int readers, bool overlap,
 }
 
 template <typename Backend>
-void run_backend(const Config& cfg) {
+void run_backend(const Config& cfg, JsonReport& report) {
   using Store = vcas::store::ShardedStore<Key, Key, Backend>;
   constexpr int kBatchSize = 8;
   constexpr Key kHotSpan = 64;  // small on purpose: conflicts are the point
@@ -135,6 +135,14 @@ void run_backend(const Config& cfg) {
           Store::backend_name(), overlap ? "overlap" : "disjoint", writers,
           kReaders, avg.batches_per_sec / cfg.reps,
           avg.keyops_per_sec / cfg.reps, avg.reads_per_sec / cfg.reps);
+      report.add(JsonRow()
+                     .field("backend", Store::backend_name())
+                     .field("mode", overlap ? "overlap" : "disjoint")
+                     .field("writers", static_cast<long long>(writers))
+                     .field("readers", static_cast<long long>(kReaders))
+                     .field("ops_per_sec", avg.keyops_per_sec / cfg.reps)
+                     .field("batches_per_sec", avg.batches_per_sec / cfg.reps)
+                     .field("reads_per_sec", avg.reads_per_sec / cfg.reps));
     }
     std::printf("\n");
   }
@@ -148,8 +156,9 @@ int main() {
   std::printf("(8-op batches over a 64-key hot span, 8 shards; %dms runs, "
               "%d reps)\n\n",
               cfg.run_ms, cfg.reps);
-  run_backend<vcas::store::ListBackend>(cfg);
-  run_backend<vcas::store::BstBackend>(cfg);
-  run_backend<vcas::store::ChromaticBackend>(cfg);
+  JsonReport report("batch_contention");
+  run_backend<vcas::store::ListBackend>(cfg, report);
+  run_backend<vcas::store::BstBackend>(cfg, report);
+  run_backend<vcas::store::ChromaticBackend>(cfg, report);
   return 0;
 }

@@ -115,7 +115,7 @@ double run_store(Store& store, int threads, Workload workload, Key range,
 
 template <typename Backend>
 void run_backend(const Config& cfg, const std::vector<int>& threads_list,
-                 Key range) {
+                 Key range, JsonReport& report) {
   using Store = vcas::store::ShardedStore<Key, Key, Backend>;
   const std::size_t shard_counts[] = {1, 4, 16};
   for (Workload workload :
@@ -142,6 +142,13 @@ void run_backend(const Config& cfg, const std::vector<int>& threads_list,
                     " %8.3f Mops/s\n",
                     Store::backend_name(), name_of(workload), shards,
                     static_cast<long long>(range), threads, mops / cfg.reps);
+        report.add(JsonRow()
+                       .field("backend", Store::backend_name())
+                       .field("workload", name_of(workload))
+                       .field("shards", static_cast<long long>(shards))
+                       .field("range", static_cast<long long>(range))
+                       .field("threads", static_cast<long long>(threads))
+                       .field("ops_per_sec", mops / cfg.reps * 1e6));
       }
     }
     std::printf("\n");
@@ -169,8 +176,9 @@ int main() {
   std::printf("(write throughput vs the single-shard baseline; %dms runs, "
               "%d reps)\n\n",
               cfg.run_ms, cfg.reps);
-  run_backend<vcas::store::ListBackend>(cfg, threads_list, range);
-  run_backend<vcas::store::BstBackend>(cfg, threads_list, range);
-  run_backend<vcas::store::ChromaticBackend>(cfg, threads_list, range);
+  JsonReport report("store_scalability");
+  run_backend<vcas::store::ListBackend>(cfg, threads_list, range, report);
+  run_backend<vcas::store::BstBackend>(cfg, threads_list, range, report);
+  run_backend<vcas::store::ChromaticBackend>(cfg, threads_list, range, report);
   return 0;
 }

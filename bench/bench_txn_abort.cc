@@ -1,0 +1,193 @@
+// Compare-and-batch transactions under contention: abort rate and commit
+// throughput as the conflict window shrinks.
+//
+// Every writer runs the canonical RMW — transfer between two random
+// accounts inside one transaction (two witnessed reads, two conditional
+// puts) — over a span of `span` accounts. A small span means most
+// transactions race on overlapping read sets and must retry; a large span
+// approximates disjoint access. Two snapshot readers audit the conserved
+// sum the whole time (their multiGets also drive the read-side helping of
+// in-flight descriptors), and the run FAILS if any audit ever tears — the
+// bench doubles as a correctness soak.
+//
+// Columns: committed txns/s, attempted txns/s, abort rate. The abort rate
+// vs span curve is the cost of optimism; the committed column is what
+// survives it. With VCAS_BENCH_JSON=1 the same cells land in
+// BENCH_txn_abort.json for CI's perf-trajectory artifact.
+//
+// Env knobs: VCAS_BENCH_MS, VCAS_BENCH_REPS, VCAS_THREADS (writer counts).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "store/backend.h"
+#include "store/batch.h"
+#include "store/store.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+struct Totals {
+  double commits_per_sec = 0;
+  double attempts_per_sec = 0;
+  bool audits_clean = true;
+};
+
+template <typename Store>
+Totals run_transfers(Store& store, int writers, Key span, Key initial,
+                     int run_ms, std::uint64_t seed) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> clean{true};
+  vcas::util::Padded<std::uint64_t> commit_counts[192];
+  vcas::util::Padded<std::uint64_t> attempt_counts[192];
+  constexpr int kReaders = 2;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(writers + kReaders));
+
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      vcas::util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      std::uint64_t commits = 0, attempts = 0;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key from = static_cast<Key>(
+            rng.next_in(static_cast<std::uint64_t>(span)));
+        const Key to = static_cast<Key>(
+            (from + 1 +
+             static_cast<Key>(
+                 rng.next_in(static_cast<std::uint64_t>(span - 1)))) %
+            span);
+        const Key amount = 1 + static_cast<Key>(rng.next_in(5));
+        // Explicit begin/commit (not transact()) so aborts are countable.
+        // Insufficient funds drops the txn without counting an attempt —
+        // an empty read-only commit is not a transfer.
+        bool committed = false;
+        while (!committed) {
+          auto txn = store.beginTransaction();
+          const Key fb = txn.get(from).value_or(0);
+          if (fb < amount) break;
+          ++attempts;
+          const Key tb = txn.get(to).value_or(0);
+          txn.put(from, fb - amount);
+          txn.put(to, tb + amount);
+          committed = txn.commit().has_value();
+          if (stop.load(std::memory_order_acquire)) break;
+        }
+        if (committed) ++commits;
+      }
+      commit_counts[t].value = commits;
+      attempt_counts[t].value = attempts;
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<Key> keys(static_cast<std::size_t>(span));
+      for (Key k = 0; k < span; ++k) keys[static_cast<std::size_t>(k)] = k;
+      const Key expected = span * initial;
+      (void)t;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        Key total = 0;
+        for (const auto& v : store.multiGet(keys)) total += v.value_or(0);
+        if (total != expected) clean.store(false, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  Totals totals;
+  const double secs = run_ms / 1000.0;
+  std::uint64_t commits = 0, attempts = 0;
+  for (int t = 0; t < writers; ++t) {
+    commits += commit_counts[t].value;
+    attempts += attempt_counts[t].value;
+  }
+  totals.commits_per_sec = static_cast<double>(commits) / secs;
+  totals.attempts_per_sec = static_cast<double>(attempts) / secs;
+  totals.audits_clean = clean.load();
+  return totals;
+}
+
+template <typename Backend>
+bool run_backend(const Config& cfg, JsonReport& report) {
+  using Store = vcas::store::ShardedStore<Key, Key, Backend>;
+  constexpr Key kInitial = 1000;
+  const Key spans[] = {8, 64, 1024};
+  bool all_clean = true;
+  for (Key span : spans) {
+    for (int writers : cfg.threads) {
+      Totals avg;
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        Store store(8);
+        store.enable_background_trim(std::chrono::milliseconds(5));
+        {
+          typename Store::Batch init;
+          for (Key a = 0; a < span; ++a) init.put(a, kInitial);
+          store.applyBatch(init);
+        }
+        const Totals t = run_transfers(store, writers, span, kInitial,
+                                       cfg.run_ms, 777 + rep);
+        avg.commits_per_sec += t.commits_per_sec;
+        avg.attempts_per_sec += t.attempts_per_sec;
+        avg.audits_clean = avg.audits_clean && t.audits_clean;
+        store.disable_background_trim();
+        vcas::ebr::drain_for_tests();
+      }
+      avg.commits_per_sec /= cfg.reps;
+      avg.attempts_per_sec /= cfg.reps;
+      const double abort_rate =
+          avg.attempts_per_sec > 0
+              ? 1.0 - avg.commits_per_sec / avg.attempts_per_sec
+              : 0.0;
+      std::printf(
+          "txn-abort %-12s span=%-5lld writers=%-3d %10.0f commits/s "
+          "%10.0f attempts/s  abort=%5.1f%%%s\n",
+          Store::backend_name(), static_cast<long long>(span), writers,
+          avg.commits_per_sec, avg.attempts_per_sec, abort_rate * 100.0,
+          avg.audits_clean ? "" : "  AUDIT TORN");
+      report.add(JsonRow()
+                     .field("backend", Store::backend_name())
+                     .field("span", static_cast<long long>(span))
+                     .field("writers", static_cast<long long>(writers))
+                     .field("ops_per_sec", avg.commits_per_sec)
+                     .field("attempts_per_sec", avg.attempts_per_sec)
+                     .field("abort_rate", abort_rate));
+      all_clean = all_clean && avg.audits_clean;
+    }
+    std::printf("\n");
+  }
+  return all_clean;
+}
+
+}  // namespace
+
+int main() {
+  Config cfg = config_from_env();
+  std::printf("== Transaction abort rate vs contention ==\n");
+  std::printf("(2-read/2-write transfers over a span of hot accounts, "
+              "8 shards, 2 audit readers; %dms runs, %d reps)\n\n",
+              cfg.run_ms, cfg.reps);
+  JsonReport report("txn_abort");
+  bool clean = true;
+  clean = run_backend<vcas::store::ListBackend>(cfg, report) && clean;
+  clean = run_backend<vcas::store::BstBackend>(cfg, report) && clean;
+  clean = run_backend<vcas::store::ChromaticBackend>(cfg, report) && clean;
+  if (!clean) {
+    std::printf("FAIL: some conserved-sum audit tore\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,5 +1,5 @@
 // Shared benchmark harness: workload generation, timed multi-thread
-// drivers, and paper-style table printing.
+// drivers, paper-style table printing, and machine-readable telemetry.
 //
 // Environment knobs (all optional):
 //   VCAS_BENCH_MS    per-measurement wall time in ms        (default 300)
@@ -8,6 +8,10 @@
 //   VCAS_SIZE        "small" tree size in keys              (default 100000)
 //   VCAS_LARGE_SIZE  "large" tree size in keys              (default 1000000)
 //   VCAS_LARGE       run large-size experiments too if "1"  (default 0)
+//   VCAS_BENCH_JSON  if "1", each participating bench also writes
+//                    BENCH_<name>.json (one row per measured config) to
+//                    the working directory — CI uploads these as the
+//                    repo's perf-trajectory artifacts
 //
 // The paper's testbed is a 72-core/144-thread 4-socket Xeon with 5-second
 // runs; this harness defaults are scaled for CI-class machines. Shapes
@@ -24,6 +28,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "ebr/ebr.h"
@@ -69,6 +74,83 @@ inline Config config_from_env() {
   }
   return cfg;
 }
+
+// --- machine-readable telemetry (VCAS_BENCH_JSON=1) --------------------------
+
+// One result row: flat string/number fields, rendered as a JSON object.
+class JsonRow {
+ public:
+  JsonRow& field(const char* key, const char* value) {
+    append_key(key);
+    body_ += '"';
+    body_ += value;  // bench-controlled labels: no escaping needed
+    body_ += '"';
+    return *this;
+  }
+  JsonRow& field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    append_key(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonRow& field(const char* key, long long value) {
+    append_key(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+
+  std::string render() const { return "{" + body_ + "}"; }
+
+ private:
+  void append_key(const char* key) {
+    if (!body_.empty()) body_ += ",";
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+  }
+  std::string body_;
+};
+
+// Collects rows and, when VCAS_BENCH_JSON=1, writes BENCH_<name>.json on
+// destruction: {"bench":"<name>","rows":[{...},...]}. Disabled (all calls
+// no-ops, no file) otherwise, so benches call it unconditionally.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)),
+        enabled_(std::getenv("VCAS_BENCH_JSON") != nullptr &&
+                 std::atoi(std::getenv("VCAS_BENCH_JSON")) != 0) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add(const JsonRow& row) {
+    if (enabled_) rows_.push_back(row.render());
+  }
+
+  ~JsonReport() {
+    if (!enabled_) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"rows\":[", name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", rows_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  bool enabled_;
+  std::vector<std::string> rows_;
+};
 
 // The paper's key-range rule: with insert fraction i and delete fraction d
 // (percent), draw keys from [1, r] with r = n*(i+d)/i so the structure

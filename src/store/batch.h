@@ -1,30 +1,44 @@
-// Write batches and their commit descriptors (store layer).
+// Write batches, conditional batches, and their commit descriptors (store
+// layer).
 //
 // The paper's camera gives atomic multi-point *queries*; the store layer
 // extends the same clock into atomic multi-point *updates*. Every record a
-// batch installs carries a shared BatchTicket whose commit stamp starts
-// undecided (kTBD). The batch's records are installed first — each stamped
-// by the underlying vCAS at install time — and only then is the commit
-// stamp fixed from the camera clock. A snapshot query at handle h treats a
-// ticketed record as written at its ticket's commit stamp, not its install
-// stamp: visible iff commit <= h. Because the clock only moves forward,
-// every record's install stamp is <= the commit stamp, so a query either
-// sees all of a batch's records (h >= commit) or none (h < commit) — never
-// a partially applied batch.
+// batch installs carries a shared BatchTicket whose fate starts undecided.
+// The batch's records are installed first — each stamped by the underlying
+// vCAS at install time — then a commit stamp is fixed from the camera
+// clock, and finally a DECISION (committed or aborted) is published with
+// one CAS. A snapshot query at handle h treats a ticketed record as written
+// at its ticket's commit stamp, not its install stamp: visible iff the
+// ticket committed and commit <= h; an aborted ticket's records are
+// invisible at every handle, as if the batch never ran. Because the clock
+// only moves forward, every record's install stamp is <= the commit stamp,
+// so a query either sees all of a batch's records (committed, h >= commit)
+// or none — never a partially applied batch.
+//
+// The decision phase is what turns blind batches into optimistic
+// compare-and-batch TRANSACTIONS: a conditional descriptor validates its
+// read set against the commit stamp between the stamp CAS and the decision
+// CAS (see ShardedStore::TxnDescriptor in store.h), and the decision CAS
+// publishes COMMITTED or ABORTED for everyone at once. Plain batches use
+// the same state machine with a trivial always-commit validation.
 //
 // Cooperative helping: the ticket is a full batch *descriptor* — it
-// publishes the deduplicated per-key op list (via the store-side subclass
-// implementing install_all), so ANY thread that encounters an undecided
-// ticket — a snapshot reader resolving one of its records, a writer about
-// to install over one, a conflicting batch, the trimmer — finishes the
-// batch itself through help_commit() instead of waiting for the original
-// writer to be rescheduled. This is the store-level analogue of the paper's
-// initTS helping discipline and what keeps the batch protocol lock-free end
-// to end; see "Progress" in store.h for the full argument.
+// publishes the per-key op list (via the store-side subclass implementing
+// install_all) and the validation rule (decide), so ANY thread that
+// encounters an undecided ticket — a snapshot reader resolving one of its
+// records, a writer about to install over one, a conflicting batch, the
+// trimmer — drives the batch to its decision itself through help_decide()
+// instead of waiting for the original writer to be rescheduled. This is
+// the store-level analogue of the paper's initTS helping discipline and
+// what keeps the batch protocol lock-free end to end; see "Progress" in
+// store.h for the full argument, including why helpers racing through
+// decide() may reach different verdicts and only the decision CAS's winner
+// counts.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -33,64 +47,135 @@
 
 namespace vcas::store {
 
+// Fate of a batch/transaction. Exactly one transition ever happens:
+// kPending -> kCommitted or kPending -> kAborted, via one CAS in
+// help_decide (so the original writer and every helper agree).
+enum class Decision : std::uint8_t {
+  kPending = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
 // Commit descriptor shared (via shared_ptr) by every record of one batch.
 // The descriptor outlives the batch application: records in version lists
-// keep it alive for as long as any snapshot might need the commit stamp to
-// decide visibility. The op list itself (install targets and values) lives
-// in the store-side subclass (ShardedStore::BatchDescriptor), which
-// implements install_all(); this base carries the commit protocol.
+// keep it alive for as long as any snapshot might need the commit stamp and
+// decision to decide visibility. The op list itself (install targets and
+// values) lives in the store-side subclass (ShardedStore::BatchDescriptor /
+// TxnDescriptor), which implements install_all() and decide(); this base
+// carries the commit protocol.
 struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
+  // Stamp the batch linearizes at when it commits. Fixed (kTBD -> clock)
+  // BEFORE the decision CAS, so validation is a property of the immutable
+  // version history at stamps <= commit_ts, the same for every helper that
+  // evaluates it (see TxnDescriptor::decide).
   std::atomic<Timestamp> commit_ts{kTBD};
+  std::atomic<Decision> decision{Decision::kPending};
 
   explicit BatchTicket(Camera* camera) : camera_(camera) {}
   BatchTicket(const BatchTicket&) = delete;
   BatchTicket& operator=(const BatchTicket&) = delete;
   virtual ~BatchTicket() = default;
 
-  bool committed() const {
-    return commit_ts.load(std::memory_order_acquire) != kTBD;
+  bool decided() const {
+    return decision.load(std::memory_order_acquire) != Decision::kPending;
   }
 
-  // Finish this batch on behalf of its (possibly stalled) writer and return
-  // the commit stamp. Idempotent and lock-free: completes every remaining
-  // install from the published op list, then fixes the commit stamp with
-  // one CAS. Exactly one caller's clock read wins, and every install stamp
+  // Decided AND committed. Point reads use this alone (no helping): an
+  // undecided batch has not happened yet from their point of view, and an
+  // aborted one never happens.
+  bool committed() const {
+    return decision.load(std::memory_order_acquire) == Decision::kCommitted;
+  }
+
+  // Meaningful once the stamp phase ran (always true once decided: the
+  // stamp CAS happens-before the decision CAS, release/acquire on
+  // `decision`).
+  Timestamp commit_stamp() const {
+    return commit_ts.load(std::memory_order_acquire);
+  }
+
+  // Drive this batch to its decision on behalf of its (possibly stalled)
+  // writer and return the decision. Idempotent and lock-free; the batch's
+  // state machine is
+  //
+  //     install_all  ->  stamp CAS  ->  decide(c)  ->  decision CAS
+  //
+  // and every phase tolerates any number of threads running it
+  // concurrently: installs are per-op idempotent, exactly one stamp CAS
+  // and one decision CAS win, and decide() is read-only on shared state.
+  // Exactly one stamping thread's clock read wins, and every install stamp
   // is <= it: each install is stamped before install_all returns, the
   // stamping clock read happens-before this one (release/acquire on the
-  // per-op install state), and the clock is monotone. Replaces the old
-  // wait_commit() yield-spin — helpers make the batch's progress their own
-  // instead of waiting for its writer to be rescheduled.
-  Timestamp help_commit() {
-    Timestamp c = commit_ts.load(std::memory_order_acquire);
-    if (c != kTBD) return c;
+  // per-op install state), and the clock is monotone. Helpers make the
+  // batch's progress their own instead of waiting for its writer to be
+  // rescheduled.
+  Decision help_decide() {
+    Decision d = decision.load(std::memory_order_acquire);
+    if (d != Decision::kPending) return d;
     install_all();
-    const Timestamp fresh = camera_->current();
-    const Timestamp result =
-        commit_ts.compare_exchange_strong(c, fresh, std::memory_order_seq_cst)
-            ? fresh
-            : c;  // lost the commit race; c was reloaded with the winner's stamp
-    // The commit stamp is decided: the descriptor's install machinery (op
-    // list, per-op state) is dead weight from here on, while the records
-    // keep the descriptor itself alive for as long as any snapshot might
-    // need the stamp. Every slow-path participant offers to free it; the
-    // subclass makes the release exactly-once and EBR-safe.
+    Timestamp c = commit_ts.load(std::memory_order_acquire);
+    if (c == kTBD) {
+      const Timestamp fresh = read_commit_clock();
+      Timestamp expected = kTBD;
+      c = commit_ts.compare_exchange_strong(expected, fresh,
+                                            std::memory_order_seq_cst)
+              ? fresh
+              : expected;  // lost the stamp race; reloaded with the winner's
+    }
+    // Helpers may reach DIFFERENT verdicts here (a conservative validator
+    // can vote abort where a faster one proved commit); whichever verdict
+    // wins the CAS below is the batch's fate, and both are safe — see the
+    // soundness argument on TxnDescriptor::decide.
+    const Decision verdict = decide(c);
+    Decision expected = Decision::kPending;
+    d = decision.compare_exchange_strong(expected, verdict,
+                                         std::memory_order_seq_cst)
+            ? verdict
+            : expected;  // lost the decision race; the winner's verdict
+    // The fate is decided: the descriptor's install/validation machinery
+    // (op list, read set, per-op state) is dead weight from here on, while
+    // the records keep the descriptor itself alive for as long as any
+    // snapshot might need the stamp + decision. Every slow-path participant
+    // offers to free it; the subclass makes the release exactly-once and
+    // EBR-safe.
     release_install_state();
-    return result;
+    return d;
+  }
+
+  // Visibility of this ticket's records at handle ts, helping to a
+  // decision first. Used by snapshot reads and the trimmer.
+  bool help_visible_at(Timestamp ts) {
+    return help_decide() == Decision::kCommitted && commit_stamp() <= ts;
   }
 
  protected:
   // Idempotently complete every remaining install of the published op list,
   // in the batch's global (shard, key) order. Implemented by the store
   // (which knows the cell and record types). Must only return once every op
-  // is installed or the batch is committed; processing ops in order keeps
+  // is installed or the batch is decided; processing ops in order keeps
   // the installed set a PREFIX of the op list, which is what bounds help
   // chains between conflicting batches (see store.h).
   virtual void install_all() = 0;
 
-  // Drop whatever install_all needed, now that commit_ts is decided. Called
-  // (possibly concurrently, possibly while stale helpers still iterate the
-  // op list under their EBR pins) by every thread that ran the commit slow
-  // path.
+  // Clock read for the stamp phase. Plain batches read the current clock;
+  // conditional batches (transactions) take a snapshot instead, whose
+  // "clock > returned stamp" postcondition is what makes the validation in
+  // decide() stable: any record installed or any ticket stamped after the
+  // stamp phase necessarily lands at a timestamp ABOVE the commit stamp.
+  virtual Timestamp read_commit_clock() { return camera_->current(); }
+
+  // The verdict this helper would publish, given the (already fixed)
+  // commit stamp. Read-only on shared state; called only while the
+  // decision might still be pending, possibly by many threads at once.
+  // Plain batches always commit; transactions validate their read set.
+  virtual Decision decide(Timestamp /*commit_stamp*/) {
+    return Decision::kCommitted;
+  }
+
+  // Drop whatever install_all/decide needed, now that the fate is decided.
+  // Called (possibly concurrently, possibly while stale helpers still
+  // iterate the op list or read set under their EBR pins) by every thread
+  // that ran the decision slow path.
   virtual void release_install_state() {}
 
   Camera* camera_;

@@ -18,17 +18,33 @@
 // absent-stable cells is an open item — see ROADMAP).
 //
 // Atomic batches: applyBatch publishes a batch descriptor (batch.h) listing
-// one planned op per (deduplicated) key in global (shard, key) order, then
-// installs one ticketed record per key and fixes the descriptor's commit
-// stamp from the clock. Readers treat ticketed records as written at the
-// commit stamp. Nobody installs over a record whose ticket is still
-// undecided — doing so could order a write before a batch that commits
-// later — but nobody *waits* on one either: a reader resolving an undecided
-// record, a writer about to install over one, a conflicting batch, and the
-// trimmer all help the batch to completion from its descriptor (finish the
-// remaining installs idempotently, then CAS the commit stamp). Per-key
-// version order therefore matches batch commit order and the whole history
-// stays linearizable with each batch at its commit stamp.
+// one planned op per (deduplicated) key in global (shard, key) order,
+// installs one ticketed record per key, fixes the descriptor's commit
+// stamp from the clock, and publishes a COMMITTED decision. Readers treat
+// ticketed records as written at the commit stamp once committed, and as
+// never written at all when the decision is ABORTED. Nobody installs over
+// a record whose ticket is still undecided — doing so could order a write
+// before a batch that commits later — but nobody *waits* on one either: a
+// reader resolving an undecided record, a writer about to install over
+// one, a conflicting batch, and the trimmer all help the batch to its
+// decision from its descriptor (finish the remaining installs
+// idempotently, stamp, validate, then CAS the decision). Per-key version
+// order therefore matches batch commit order and the whole history stays
+// linearizable with each committed batch at its commit stamp.
+//
+// Transactions (compare-and-batch): beginTransaction() opens an optimistic
+// read-modify-write transaction — reads resolve against one snapshot
+// handle h and record a per-key witness; writes buffer into a batch. At
+// commit the writes go through an extended descriptor (TxnDescriptor)
+// whose decide() phase validates, at the already-fixed commit stamp c,
+// that no read key has a committed record with effective stamp in (h, c].
+// Validation passes -> decision COMMITTED (the transaction linearizes at
+// c, reads and writes together); validation fails -> decision ABORTED and
+// every installed record resolves to "no-op" for all time. Helpers run
+// the exact same install/stamp/validate/decide machinery mid-flight, so a
+// stalled transaction owner blocks no one and strangers can decide a
+// transaction ABORTED while its owner sleeps (txn_test.cc proves it).
+// transact() wraps the abort-retry loop.
 //
 // Progress: every store operation is lock-free (as the underlying
 // structures are). The former protocol's spin-waits — readers yielding
@@ -36,10 +52,13 @@
 // in-flight batch on their key was rescheduled — are gone: a stalled batch
 // writer's remaining work is finished by whoever bumps into it, the
 // store-level analogue of the paper's initTS-before-any-traversal helping
-// discipline. Help chains between conflicting batches cannot cycle: a
-// batch's installed ops always form a prefix of its (shard, key)-ordered op
-// list, so every hop in a chain of undecided batches strictly ascends that
-// global order (depth is bounded by the number of in-flight batches).
+// discipline. Help chains cannot cycle: (a) install-phase helping between
+// conflicting batches ascends the global (shard, key) op order, because a
+// batch's installed ops always form a prefix of its ordered op list;
+// (b) validation-phase helping descends (commit stamp, descriptor
+// address) lexicographically, and a stamped descriptor has already
+// completed every install, so mixed chains are a bounded run of ascending
+// install hops followed by a bounded run of descending validation hops.
 // Point reads (get/contains) never help at all — an undecided batch simply
 // has not happened yet from their point of view.
 //
@@ -61,6 +80,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -75,8 +95,8 @@
 namespace vcas::store {
 
 // K: ordered (<, ==) and hashable. V: default-constructible (tombstone and
-// batch-remove records hold a V{}), copyable, and equality-comparable
-// (records are compared by value in the update CAS).
+// batch-remove records hold a V{}) and copyable. Updates install by node
+// identity, so V never needs to be equality-comparable.
 template <typename K, typename V, typename Backend = ChromaticBackend,
           typename Hash = std::hash<K>>
 class ShardedStore {
@@ -93,11 +113,12 @@ class ShardedStore {
     V value{};
     bool present = false;
     std::shared_ptr<BatchTicket> ticket{};
-
-    friend bool operator==(const Record&, const Record&) = default;
   };
 
  private:
+  template <typename>
+  friend class Transaction;
+
   struct Cell {
     explicit Cell(Camera* cam) : rec(Record{}, cam) {}
     VersionedCAS<Record> rec;  // seeded absent: every visibility walk
@@ -105,15 +126,19 @@ class ShardedStore {
     Cell* next_all = nullptr;  // append-only per-shard registry link
   };
 
+  using VNode = typename VersionedCAS<Record>::VNode;
+
   using Map = typename Backend::template Map<K, Cell*>;
   static_assert(SnapshotMap<Map, K, Cell*>,
                 "store backend must satisfy the SnapshotMap concept");
 
-  // Full batch descriptor: the BatchTicket commit protocol plus the
+  // Full batch descriptor: the BatchTicket decision protocol plus the
   // published per-key op list. The original writer and every helper run the
   // same idempotent install machinery, so any thread can finish a stalled
-  // batch (the tentpole of the cooperative-helping protocol).
-  struct BatchDescriptor final : BatchTicket {
+  // batch (the tentpole of the cooperative-helping protocol). Blind batches
+  // use this directly (decide() defaults to COMMITTED); transactions extend
+  // it with a read set and a real validation (TxnDescriptor below).
+  struct BatchDescriptor : BatchTicket {
     using Node = typename VersionedCAS<Record>::VNode;
 
     // One planned install. `installed` is the per-op claimed/installed
@@ -167,34 +192,34 @@ class ShardedStore {
 
     // Idempotent install of one op: the writer and any number of helpers
     // agree on exactly one installed record per key. Returns once the op is
-    // installed or the whole batch has committed. Lock-free: every retry
-    // means another thread won a head CAS or committed a batch.
+    // installed or the whole batch is decided. Lock-free: every retry
+    // means another thread won a head CAS or decided a batch.
     void install_one(PlannedOp& op) {
       if (op.installed.load(std::memory_order_acquire) != nullptr) return;
       for (;;) {
         Node* head = op.cell->rec.vReadNode();  // timestamp helped
         if (head->val.ticket.get() == this) {
           // Our record is in (installed by us or a helper) and still at
-          // head. The release pairs with the committing helper's acquire,
+          // head. The release pairs with the deciding helper's acquire,
           // so the commit clock read dominates this node's install stamp.
           op.installed.store(head, std::memory_order_release);
           return;
         }
-        // Not at head. An uncommitted batch's record stays at head until
-        // the commit (nobody installs over an undecided record), so if the
-        // batch is committed by now, this op was installed — and possibly
+        // Not at head. An undecided batch's record stays at head until
+        // the decision (nobody installs over an undecided record), so if
+        // the batch is decided by now, this op was installed — and possibly
         // already overwritten — by someone else. Checked AFTER the head
-        // read: the other order would race a commit landing in between.
-        if (this->committed()) return;
+        // read: the other order would race a decision landing in between.
+        if (this->decided()) return;
         const Record& hv = head->val;
-        if (hv.ticket != nullptr && !hv.ticket->committed()) {
+        if (hv.ticket != nullptr && !hv.ticket->decided()) {
           // Blocked by another in-flight batch: finish it ourselves rather
           // than wait for its writer. Termination: installed ops form a
           // prefix of each batch's (shard, key)-ordered list, so the
           // blocker's first pending op is strictly ABOVE this cell in the
-          // global order — help chains ascend, never cycle, and their
-          // depth is bounded by the number of in-flight batches.
-          hv.ticket->help_commit();
+          // global order — install help chains ascend, never cycle, and
+          // their depth is bounded by the number of in-flight batches.
+          hv.ticket->help_decide();
           continue;
         }
         // Decided head: install over it by node identity. Node addresses
@@ -217,6 +242,190 @@ class ShardedStore {
 
    private:
     std::atomic<OpList*> ops_;
+  };
+
+  // Conditional-batch (transaction) descriptor: BatchDescriptor's install
+  // machinery plus the transaction's read set and snapshot handle, with a
+  // real validation in decide(). Everything a helper needs to decide the
+  // transaction mid-flight is published here before the first record is
+  // installed.
+  //
+  // Validation soundness. The stamp phase uses takeSnapshot(), whose
+  // postcondition is clock > c before the stamp is visible to anyone; so
+  // every record INSTALLED after validation begins is install-stamped
+  // above c (initTS reads the clock fresh, after the append, and the
+  // seq_cst total order chains that read after the clock bump). A
+  // validator walks each read key's version list from the head (or from
+  // just below the transaction's own installed record, for keys it also
+  // writes), skipping records that can never be visible at or below c —
+  // aborted ones, and undecided ones stamped above c — and stops at the
+  // first committed (or unticketed) record. Undecided UNSTAMPED tickets
+  // can neither be skipped (their owner may have read the clock before
+  // our stamp phase and still publish a commit stamp <= c — the clock
+  // read and the stamp CAS are not one atomic step) nor helped (their
+  // install phase may be blocked on one of OUR records, and helping would
+  // re-enter this validation unchanged): they are an immediate ABORT
+  // vote, which is always safe. Once the walk stops: if the stop
+  // record's effective stamp (commit stamp for ticketed records, install
+  // stamp otherwise) is <= h, then NO committed record with effective
+  // stamp in (h, c] exists on that key, now or ever — records above the
+  // stop point were decided aborted or bound above c, later installs
+  // stamp above c, and records below the stop point have effective
+  // stamps <= the stop point's (install-over only happens over decided
+  // records, so a record's install stamp bounds every effective stamp
+  // below it). A validator that instead finds a committed stamp in
+  // (h, c] — or any committed stamp > h it cannot rule out — votes ABORT,
+  // which is always safe. Different helpers may therefore vote
+  // differently; the decision CAS arbitrates, and both outcomes preserve
+  // linearizability: COMMITTED only wins if some validator proved every
+  // read key unchanged through c, and ABORTED only costs a retry.
+  //
+  // Helping order. Validators only help STAMPED descriptors: helping a
+  // ticket stamped at c' < c descends the commit stamps, and on the
+  // equal-stamp tie only the lower-addressed descriptor is helped (the
+  // other side votes ABORT) — so mutual helping cannot cycle. A stamped
+  // descriptor has completed every install, so these recursive helps
+  // never re-enter the install phase's blocking paths; unstamped
+  // descriptors (whose installs may block on us) are abort votes, never
+  // help targets.
+  struct TxnDescriptor final : BatchDescriptor {
+    using Node = typename VersionedCAS<Record>::VNode;
+    using PlannedOp = typename BatchDescriptor::PlannedOp;
+
+    // One read-key witness. `op` non-null means the key is also in the
+    // write set: validate the history strictly below the transaction's own
+    // installed record. `cell` null means the key had no cell when read
+    // (witnessed absent on a key nobody had ever written).
+    struct ReadWitness {
+      K key;
+      Cell* cell;
+      const PlannedOp* op;
+      bool witnessed_present;
+    };
+    using ReadSet = std::vector<ReadWitness>;
+
+    TxnDescriptor(Camera* cam, ShardedStore* store, Timestamp handle,
+                  typename BatchDescriptor::OpList planned)
+        : BatchDescriptor(cam, std::move(planned)),
+          store_(store),
+          handle_(handle),
+          reads_(new ReadSet) {}
+
+    ~TxnDescriptor() override { delete reads_.load(std::memory_order_relaxed); }
+
+    // Filled by the owner BEFORE the first install publishes the
+    // descriptor; read-only afterwards until release retires it.
+    ReadSet* reads() { return reads_.load(std::memory_order_acquire); }
+
+    Timestamp handle() const { return handle_; }
+
+    // takeSnapshot instead of current(): the clock is strictly above the
+    // commit stamp before any validator can see it (see soundness note).
+    Timestamp read_commit_clock() override {
+      return this->camera_->takeSnapshot();
+    }
+
+    Decision decide(Timestamp c) override {
+      ReadSet* reads = reads_.load(std::memory_order_acquire);
+      if (reads == nullptr) return Decision::kAborted;  // decided elsewhere
+      for (const ReadWitness& w : *reads) {
+        if (!validate_one(w, c)) return Decision::kAborted;
+      }
+      return Decision::kCommitted;
+    }
+
+    void release_install_state() override {
+      BatchDescriptor::release_install_state();
+      if (ReadSet* reads = reads_.exchange(nullptr, std::memory_order_acq_rel)) {
+        ebr::retire(reads);
+      }
+    }
+
+   private:
+    // True iff this read key is provably unchanged between the snapshot
+    // handle and the commit stamp c (or equal-by-absence at both ends).
+    bool validate_one(const ReadWitness& w, Timestamp c) {
+      Node* node;
+      if (w.op != nullptr) {
+        Node* mine = w.op->installed.load(std::memory_order_acquire);
+        if (mine == nullptr) return false;  // decision landed; vote discarded
+        node = mine->nextv.load(std::memory_order_acquire);
+        // Our undecided record cannot be installed over or serve as a trim
+        // pivot, so pre-decision its nextv is intact; a null here means the
+        // decision landed and trimming moved on — the vote is discarded.
+        if (node == nullptr) return false;
+      } else {
+        // Keys first written after the snapshot get their cell created
+        // then; re-finding it here (instead of witnessing null forever)
+        // lets the walk below judge that later write.
+        Cell* cell = w.cell != nullptr ? w.cell : store_->find_cell(w.key);
+        if (cell == nullptr) return true;  // never written by anyone
+        node = cell->rec.vReadNode();
+      }
+      // Walk down to the newest record that did (or still can) take effect
+      // at a stamp <= c.
+      for (;;) {
+        BatchTicket* t = node->val.ticket.get();
+        if (t == nullptr) break;  // plain record: effective at install stamp
+        if (!t->decided()) {
+          const Timestamp ct = t->commit_stamp();
+          if (ct != kTBD && ct > c) {
+            // Stamped above c: if it ever commits it serializes after this
+            // transaction. Not a conflict at <= c.
+            node = older(node);
+            continue;
+          }
+          if (ct == kTBD) {
+            // Unstamped: it cannot be SKIPPED (its owner may have read the
+            // clock before our stamp phase and still publish a commit
+            // stamp <= c — the clock read and the stamp CAS are not one
+            // atomic step), and it cannot be HELPED (its install phase may
+            // itself be blocked on one of OUR undecided records, so
+            // helping would re-enter this decide() with nothing changed —
+            // unbounded mutual recursion). Vote ABORT, which is always
+            // safe; the blocker's unstamped window is one install phase.
+            return false;
+          }
+          // Stamped at or below c: its decision determines visibility at
+          // <= c, so help it to one and re-examine. A stamped descriptor
+          // has completed every install, so this never re-enters the
+          // install phase's blocking paths, and help descends the
+          // (commit stamp, descriptor address) order — acyclic — except
+          // on the equal-stamp address tie we must not take, where we
+          // vote ABORT instead (safe; the symmetric peer aborts or helps
+          // us).
+          if (ct == c && !std::less<const BatchTicket*>{}(
+                             t, static_cast<const BatchTicket*>(this))) {
+            return false;
+          }
+          t->help_decide();
+          continue;  // re-examine the same record, now decided
+        }
+        if (t->committed()) break;
+        node = older(node);  // aborted: logically never happened
+      }
+      const Record& r = node->val;
+      const Timestamp eff = r.ticket != nullptr
+                                ? r.ticket->commit_stamp()
+                                : node->ts.load(std::memory_order_acquire);
+      if (eff <= handle_) return true;  // unchanged since the snapshot
+      // Absent when read and absent at the commit stamp is equality too:
+      // tombstones (and fresh cells' absent seeds) stamped in (h, c] do
+      // not change what the transaction observed. Cuts the false aborts a
+      // head-stamp-only rule would charge to absent-stable keys.
+      return !w.witnessed_present && !r.present && eff <= c;
+    }
+
+    static Node* older(Node* node) {
+      Node* next = node->nextv.load(std::memory_order_acquire);
+      assert(next != nullptr &&
+             "transaction validation walked past the initial version");
+      return next;
+    }
+
+    ShardedStore* store_;
+    const Timestamp handle_;
+    std::atomic<ReadSet*> reads_;
   };
 
   struct Shard {
@@ -269,14 +478,18 @@ class ShardedStore {
 
   // --- single-key operations (live state) ----------------------------------
 
-  // Upsert. Returns true when the key was previously absent.
+  // Upsert. Returns true when the key was previously absent. Installs by
+  // node identity over a decided head (an aborted record at head is a
+  // legitimate install target — it never happened, so the return value is
+  // judged against the logical record at or below it).
   bool put(const K& key, const V& value) {
     ebr::Guard g;
     Cell* cell = live_cell(key);
     const Record next{value, true, nullptr};
     for (;;) {
-      Record head = help_head_decided(cell);
-      if (cell->rec.vCAS(head, next)) return !head.present;
+      VNode* head = help_head_decided(cell);
+      const bool was_present = logical_record(head).present;
+      if (cell->rec.install_over(head, next) != nullptr) return !was_present;
     }
   }
 
@@ -286,9 +499,9 @@ class ShardedStore {
     Cell* cell = find_cell(key);
     if (cell == nullptr) return false;
     for (;;) {
-      Record head = help_head_decided(cell);
-      if (!head.present) return false;
-      if (cell->rec.vCAS(head, Record{})) return true;
+      VNode* head = help_head_decided(cell);
+      if (!logical_record(head).present) return false;
+      if (cell->rec.install_over(head, Record{}) != nullptr) return true;
     }
   }
 
@@ -296,72 +509,49 @@ class ShardedStore {
     ebr::Guard g;
     Cell* cell = find_cell(key);
     if (cell == nullptr) return std::nullopt;
-    Record r = resolve_current(cell);
+    const Record& r = resolve_current(cell);  // borrow under the EBR pin
     if (!r.present) return std::nullopt;
-    return std::move(r.value);
+    return r.value;
   }
 
   bool contains(const K& key) { return get(key).has_value(); }
+
+  // --- optimistic read-modify-write transactions ----------------------------
+
+  using Txn = Transaction<ShardedStore>;
+
+  // Open a transaction: reads resolve against one snapshot handle and are
+  // witnessed; writes buffer until commit() validates-and-installs them as
+  // one conditional batch (all-or-nothing, ABORTED if any read key changed
+  // since the snapshot). Single-threaded use; scope tightly — the
+  // transaction announces its snapshot, pinning version GC, until commit.
+  Txn beginTransaction() { return Txn(*this); }
+
+  // Run `fn(txn)` under beginTransaction/commit with abort-retry until a
+  // commit sticks; returns the commit stamp. fn must be safe to re-run
+  // (it sees a fresh snapshot each attempt).
+  template <typename Fn>
+  Timestamp transact(Fn&& fn) {
+    for (;;) {
+      Txn txn = beginTransaction();
+      fn(txn);
+      if (std::optional<Timestamp> ts = txn.commit()) return *ts;
+    }
+  }
 
   // --- atomic multi-key updates --------------------------------------------
 
   // Apply every op in the batch so that any snapshot query observes either
   // all of them or none. Within the batch, the last op on a key wins.
-  // Returns the batch's commit stamp (its linearization point).
+  // Returns the batch's commit stamp (its linearization point). A blind
+  // batch always commits (its decide() is trivially COMMITTED).
   Timestamp applyBatch(const Batch& batch) {
     ebr::Guard g;
-    const auto& ops = batch.ops();
-    if (ops.empty()) return camera_.current();
-
-    // Op order: (shard, key) ascending, globally. Installed ops then form
-    // a prefix of this order (install_all/install_one preserve it), which
-    // is what lets conflicting batches help each other without cycles.
-    std::vector<std::size_t> order(ops.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       const std::size_t sa = shard_index(ops[a].key);
-                       const std::size_t sb = shard_index(ops[b].key);
-                       if (sa != sb) return sa < sb;
-                       return ops[a].key < ops[b].key;
-                     });
-
-    // Build the full descriptor — cells resolved up front — so any thread
-    // that bumps into one of our records can finish the batch without us.
-    typename BatchDescriptor::OpList planned;
-    planned.reserve(order.size());
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      // Last op per key wins: skip unless this is the final (stable-sorted)
-      // entry for its key.
-      if (i + 1 < order.size() && ops[order[i + 1]].key == ops[order[i]].key) {
-        continue;
-      }
-      const auto& op = ops[order[i]];
-      // Removes install a ticketed tombstone even when the key has no cell
-      // yet (unlike single-key remove(), which may no-op at its read):
-      // every op of the batch must take effect at the commit stamp, and a
-      // put of this key committing between our absence check and our
-      // commit would otherwise survive a remove that linearizes after it.
-      // Reclaiming absent-stable cells is the "cell GC" ROADMAP item.
-      planned.emplace_back(live_cell(op.key),
-                           op.is_put ? op.value : V{}, op.is_put);
-    }
-    auto desc = std::make_shared<BatchDescriptor>(&camera_, std::move(planned));
-
-    // Install in order, then commit — the same idempotent machinery every
-    // helper runs, so a stall anywhere below (the test hook simulates one)
-    // leaves a batch that any reader or writer can finish without us. The
-    // raw list pointer stays valid across a concurrent help-driven commit
-    // (which retires it) because our EBR pin predates the retire.
-    auto* list = desc->ops();
-    const std::size_t total = list->size();
-    std::size_t done = 0;
-    for (auto& op : *list) {
-      desc->install_one(op);
-      ++done;
-      if (batch_pause_for_tests_) batch_pause_for_tests_(done, total);
-    }
-    return desc->help_commit();
+    if (batch.ops().empty()) return camera_.current();
+    auto desc =
+        std::make_shared<BatchDescriptor>(&camera_, make_planned(batch));
+    run_descriptor(*desc);
+    return desc->commit_stamp();
   }
 
   // --- cross-shard atomic queries ------------------------------------------
@@ -398,9 +588,9 @@ class ShardedStore {
     Shard& shard = shard_for(key);
     std::optional<Cell*> cell = shard.map.find_at(ts, key);
     if (!cell.has_value()) return std::nullopt;
-    Record r = resolve_at(*cell, ts);
+    const Record& r = resolve_at(*cell, ts);
     if (!r.present) return std::nullopt;
-    return std::move(r.value);
+    return r.value;
   }
 
   std::vector<std::optional<V>> multiGet_at(Timestamp ts,
@@ -424,8 +614,8 @@ class ShardedStore {
       std::vector<std::pair<K, V>> run;
       run.reserve(entries.size());
       for (auto& [key, cell] : entries) {
-        Record r = resolve_at(cell, ts);
-        if (r.present) run.emplace_back(key, std::move(r.value));
+        const Record& r = resolve_at(cell, ts);
+        if (r.present) run.emplace_back(key, r.value);
       }
       if (!run.empty()) runs.push_back(std::move(run));
     }
@@ -458,9 +648,10 @@ class ShardedStore {
         detached += cell->rec.trim_where(horizon, [&](const Record& r) {
           // Help-then-check: deciding an undecided batch here (a) keeps
           // the trimmer off the stalled writer's schedule and (b) judges
-          // the record by its real commit stamp instead of conservatively
-          // skipping it until the writer reappears.
-          return r.ticket == nullptr || r.ticket->help_commit() <= horizon;
+          // the record by its real fate instead of conservatively skipping
+          // it until the writer reappears. Aborted records are never
+          // visible, so they never pivot (and get detached below one).
+          return r.ticket == nullptr || r.ticket->help_visible_at(horizon);
         });
       }
     }
@@ -509,12 +700,13 @@ class ShardedStore {
     return n;
   }
 
-  // Test-only hook: invoked by the ORIGINAL writer inside applyBatch after
-  // each of its installs (`installed` runs 1..total; installed == total
-  // fires just before the commit attempt). Helpers never invoke it. Set it
-  // before any concurrent use; the stalled-writer regression tests
-  // (batch_helping_test.cc) use it to park a writer mid-batch and assert
-  // that nobody else blocks.
+  // Test-only hook: invoked by the ORIGINAL writer inside applyBatch or a
+  // transaction's commit() after each of its installs (`installed` runs
+  // 1..total; installed == total fires just before the stamp/decide
+  // attempt). Helpers never invoke it. Set it before any concurrent use;
+  // the stalled-writer regression tests (batch_helping_test.cc) park a
+  // writer mid-batch with it, and txn_test.cc parks a transaction owner so
+  // a stranger decides its ABORT.
   void set_batch_pause_for_tests(
       std::function<void(std::size_t installed, std::size_t total)> hook) {
     batch_pause_for_tests_ = std::move(hook);
@@ -559,39 +751,197 @@ class ShardedStore {
     }
   }
 
-  // Head record with its batch (if any) linearized. Writers must not
-  // install over an undecided record: doing so could order their write
-  // before a batch that commits later, tearing that batch. Instead of
-  // waiting for the batch's writer to be rescheduled, finish the batch
+  // The batch's planned op list: one op per key (last op wins), cells
+  // resolved up front, in global (shard, key) ascending order. Installed
+  // ops then form a prefix of this order (install_all/install_one preserve
+  // it), which is what lets conflicting batches help each other without
+  // cycles.
+  typename BatchDescriptor::OpList make_planned(const Batch& batch) {
+    const auto& ops = batch.ops();
+    std::vector<std::size_t> order(ops.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const std::size_t sa = shard_index(ops[a].key);
+                       const std::size_t sb = shard_index(ops[b].key);
+                       if (sa != sb) return sa < sb;
+                       return ops[a].key < ops[b].key;
+                     });
+    typename BatchDescriptor::OpList planned;
+    planned.reserve(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      // Last op per key wins: skip unless this is the final (stable-sorted)
+      // entry for its key.
+      if (i + 1 < order.size() && ops[order[i + 1]].key == ops[order[i]].key) {
+        continue;
+      }
+      const auto& op = ops[order[i]];
+      // Removes install a ticketed tombstone even when the key has no cell
+      // yet (unlike single-key remove(), which may no-op at its read):
+      // every op of the batch must take effect at the commit stamp, and a
+      // put of this key committing between our absence check and our
+      // commit would otherwise survive a remove that linearizes after it.
+      // Reclaiming absent-stable cells is the "cell GC" ROADMAP item.
+      planned.emplace_back(live_cell(op.key),
+                           op.is_put ? op.value : V{}, op.is_put);
+    }
+    return planned;
+  }
+
+  // Owner-side drive of a published descriptor: install in order (firing
+  // the test pause hook after each install), then help to the decision —
+  // the same idempotent machinery every helper runs, so a stall anywhere
+  // (the hook simulates one) leaves a batch that any reader or writer can
+  // finish, or a transaction that any of them can ABORT, without us. The
+  // raw list pointer stays valid across a concurrent help-driven decision
+  // (which retires it) because the caller's EBR pin predates the retire.
+  Decision run_descriptor(BatchDescriptor& desc) {
+    auto* list = desc.ops();
+    const std::size_t total = list->size();
+    std::size_t done = 0;
+    for (auto& op : *list) {
+      desc.install_one(op);
+      ++done;
+      if (batch_pause_for_tests_) batch_pause_for_tests_(done, total);
+    }
+    return desc.help_decide();
+  }
+
+  // One transaction-read witness, recorded by Transaction::get via
+  // txn_read. `cell` is null when the key had no cell at read time.
+  struct TxnRead {
+    K key;
+    Cell* cell;
+    bool witnessed_present;
+  };
+
+  // Snapshot read at the transaction's handle, recording a witness (first
+  // read of a key stands; the handle makes re-reads identical anyway).
+  std::optional<V> txn_read(const K& key, Timestamp ts,
+                            std::vector<TxnRead>& reads) {
+    Shard& shard = shard_for(key);
+    bool present = false;
+    std::optional<V> out;
+    // Value: resolve only through a cell that already existed at the
+    // handle (find_at, exactly like get_at) — a cell born after the
+    // snapshot has no version at or below ts, so resolving it would walk
+    // past its seed; the key simply read as absent at the handle.
+    if (std::optional<Cell*> at = shard.map.find_at(ts, key)) {
+      const Record& r = resolve_at(*at, ts);
+      present = r.present;
+      if (present) out = r.value;
+    }
+    for (const TxnRead& w : reads) {
+      if (w.key == key) return out;  // already witnessed
+    }
+    // Witness: the key's CURRENT cell (if any; null = witnessed "no cell")
+    // so validation also judges writes that created the cell after the
+    // snapshot.
+    reads.push_back(
+        TxnRead{key, shard.map.find(key).value_or(nullptr), present});
+    return out;
+  }
+
+  // Commit a transaction's buffered writes conditioned on its read set.
+  // Returns the commit stamp, or nullopt when the transaction ABORTED
+  // (some read key changed between the snapshot and the commit stamp).
+  // Caller (Transaction::commit) holds the snapshot guard's EBR pin.
+  std::optional<Timestamp> commit_transaction(
+      Timestamp handle, const Batch& writes,
+      const std::vector<TxnRead>& reads) {
+    if (writes.ops().empty()) {
+      // Read-only transaction: its snapshot reads were already atomic at
+      // the handle; it commits there, nothing to validate or install.
+      return handle;
+    }
+    auto desc = std::make_shared<TxnDescriptor>(&camera_, this, handle,
+                                                make_planned(writes));
+    // Publish the read witnesses (pointing into the descriptor's stable op
+    // list for keys that are also written) before the first install makes
+    // the descriptor reachable by helpers.
+    auto* list = desc->ops();
+    auto* read_set = desc->reads();
+    read_set->reserve(reads.size());
+    // Match read keys -> planned ops by cell identity (cells are unique
+    // per key; a key we also wrote has its cell created by make_planned
+    // even if it was absent when read). One hash pass keeps an n-read /
+    // n-write commit linear.
+    std::unordered_map<Cell*, const typename BatchDescriptor::PlannedOp*>
+        op_by_cell(list->size() * 2);
+    for (const auto& p : *list) op_by_cell.emplace(p.cell, &p);
+    for (const TxnRead& w : reads) {
+      const typename BatchDescriptor::PlannedOp* op = nullptr;
+      if (Cell* cell = w.cell != nullptr ? w.cell : find_cell(w.key)) {
+        if (auto it = op_by_cell.find(cell); it != op_by_cell.end()) {
+          op = it->second;
+        }
+      }
+      read_set->push_back(
+          typename TxnDescriptor::ReadWitness{w.key, w.cell, op,
+                                              w.witnessed_present});
+    }
+    if (run_descriptor(*desc) != Decision::kCommitted) return std::nullopt;
+    return desc->commit_stamp();
+  }
+
+  // Head NODE with its batch (if any) decided. Writers must not install
+  // over an undecided record: doing so could order their write before a
+  // batch that commits later, tearing that batch. Instead of waiting for
+  // the batch's writer to be rescheduled, drive the batch to its decision
   // ourselves from its descriptor — a preempted writer can no longer block
-  // this key. Lock-free: every retry means some batch just committed.
-  static Record help_head_decided(Cell* cell) {
+  // this key. Lock-free: every retry means some batch just got decided.
+  static VNode* help_head_decided(Cell* cell) {
     for (;;) {
-      Record head = cell->rec.vRead();
-      if (head.ticket == nullptr || head.ticket->committed()) return head;
-      head.ticket->help_commit();
+      VNode* head = cell->rec.vReadNode();
+      const Record& r = head->val;
+      if (r.ticket == nullptr || r.ticket->decided()) return head;
+      r.ticket->help_decide();
     }
   }
 
+  // Logical current record at or below a DECIDED head: skip aborted
+  // records (they never happened) down to the newest committed or
+  // unticketed one. The walk never crosses a committed record, so it can
+  // never run past a trim pivot.
+  static const Record& logical_record(VNode* head) {
+    VNode* node = head;
+    while (node->val.ticket != nullptr && !node->val.ticket->committed()) {
+      node = node->nextv.load(std::memory_order_acquire);
+      assert(node != nullptr &&
+             "logical_record walked past the initial version");
+    }
+    return node->val;
+  }
+
   // The key's state at handle ts: newest version installed at or before ts
-  // whose batch (if any) committed at or before ts. An undecided ticket is
-  // helped to its commit stamp — not waited out — so equal handles always
-  // agree on the batch's visibility and a stalled batch writer never
-  // blocks snapshot queries (see batch.h).
-  static Record resolve_at(Cell* cell, Timestamp ts) {
-    return cell->rec.readSnapshotWhere(ts, [ts](const Record& r) {
-      return r.ticket == nullptr || r.ticket->help_commit() <= ts;
-    });
+  // whose batch (if any) COMMITTED at or before ts; aborted records are
+  // invisible at every handle. An undecided ticket is helped to its
+  // decision — not waited out — so equal handles always agree on the
+  // batch's visibility and a stalled batch writer never blocks snapshot
+  // queries (see batch.h). Returns a borrow: valid while the caller's EBR
+  // pin is in effect.
+  static const Record& resolve_at(Cell* cell, Timestamp ts) {
+    return cell->rec
+        .readSnapshotNodeWhere(ts,
+                               [ts](const Record& r) {
+                                 return r.ticket == nullptr ||
+                                        r.ticket->help_visible_at(ts);
+                               })
+        ->val;
   }
 
   // The key's current committed state (point reads): newest record whose
-  // batch, if any, has linearized. Never blocks — an undecided batch simply
-  // hasn't happened yet from this read's point of view.
-  static Record resolve_current(Cell* cell) {
-    return cell->rec.readSnapshotWhere(
-        kNoSnapshot, [](const Record& r) {
-          return r.ticket == nullptr || r.ticket->committed();
-        });
+  // batch, if any, committed. Never helps — an undecided batch simply
+  // hasn't happened yet from this read's point of view, and an aborted one
+  // never happens.
+  static const Record& resolve_current(Cell* cell) {
+    return cell->rec
+        .readSnapshotNodeWhere(kNoSnapshot,
+                               [](const Record& r) {
+                                 return r.ticket == nullptr ||
+                                        r.ticket->committed();
+                               })
+        ->val;
   }
 
   // K-way merge of disjoint sorted runs via repeated min-selection over run

@@ -1,4 +1,4 @@
-// Store-wide read views.
+// Store-wide read views and transaction handles.
 //
 // ShardedStore::snapshotAll() returns a StoreView: one SnapshotGuard-backed
 // handle under which any number of reads — point gets, multi-gets, merged
@@ -7,15 +7,22 @@
 // the background trimmer) never reclaims a version the view can still
 // reach, and pins an epoch so structurally unlinked nodes stay readable.
 //
-// Views are cheap to create (one clock read + at most one CAS) but hold a
-// trim pin for their lifetime: a long-lived view makes every version
-// written after it un-trimmable. Scope views tightly.
+// ShardedStore::beginTransaction() returns a Transaction: the same
+// snapshot-backed read surface plus a buffered write set, committed as one
+// conditional batch (compare-and-batch) that ABORTS if any read key
+// changed after the snapshot — see store.h for the protocol.
+//
+// Views and transactions are cheap to create (one clock read + at most one
+// CAS) but hold a trim pin for their lifetime: a long-lived one makes
+// every version written after it un-trimmable. Scope them tightly.
 //
 // Nested views on one thread are safe: the camera's announcement slot is
 // reference-counted, so an inner view never un-pins an outer one.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -61,6 +68,117 @@ class StoreView {
  private:
   Store& store_;
   SnapshotGuard snap_;  // EBR pin + announced handle, for the whole lifetime
+};
+
+// An optimistic read-modify-write transaction on a ShardedStore (created
+// by Store::beginTransaction, retried by Store::transact).
+//
+//   auto txn = store.beginTransaction();
+//   auto v = txn.get(k);              // snapshot read, witnessed
+//   txn.put(k, f(v));                 // buffered
+//   if (auto ts = txn.commit()) ...   // nullopt: conflict, retry
+//
+// Reads resolve at one snapshot handle (so a transaction's view of the
+// store is itself atomic); every read key is witnessed and re-validated at
+// commit, which installs the buffered writes as one conditional batch —
+// COMMITTED all-or-nothing at the commit stamp, ABORTED (writes resolve to
+// no-ops, forever) if any witnessed key changed after the snapshot.
+// Aborts surface as nullopt from commit(); they leave no visible trace.
+//
+// A Transaction is single-threaded and single-shot: use it on the thread
+// that created it, commit (or drop) it once. Dropping without commit
+// writes nothing. Reads of keys the transaction already wrote return the
+// buffered value (read-your-writes) and witness nothing — only reads that
+// reach the store constrain the commit.
+//
+// Sizing: per-operation bookkeeping (read-your-writes lookup, witness
+// dedup) is linear in the transaction's own size — transactions are meant
+// to touch a handful of keys. For large unconditional write sets use
+// applyBatch, which has no read set to validate.
+template <typename Store>
+class Transaction {
+ public:
+  using key_type = typename Store::key_type;
+  using mapped_type = typename Store::mapped_type;
+
+  // Moving finishes the source: a moved-from transaction has no snapshot
+  // pin left, so letting it keep reading would walk version lists
+  // unprotected from trimming.
+  Transaction(Transaction&& o) noexcept
+      : store_(o.store_),
+        snap_(std::move(o.snap_)),
+        handle_(o.handle_),
+        writes_(std::move(o.writes_)),
+        reads_(std::move(o.reads_)),
+        finished_(std::exchange(o.finished_, true)) {}
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  Transaction& operator=(Transaction&&) = delete;
+
+  // The snapshot handle every read of this transaction observes; on
+  // commit, the transaction linearizes at a stamp whose read view of the
+  // witnessed keys is provably identical. Remains valid after commit().
+  Timestamp snapshot_ts() const { return handle_; }
+
+  std::optional<mapped_type> get(const key_type& key) {
+    assert(!finished_ && "read on a finished transaction");
+    // Read-your-writes: the last buffered op on the key wins, and buffered
+    // reads witness nothing.
+    const auto& ops = writes_.ops();
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      if (it->key == key) {
+        if (it->is_put) return it->value;
+        return std::nullopt;
+      }
+    }
+    return store_->txn_read(key, handle_, reads_);
+  }
+
+  bool contains(const key_type& key) { return get(key).has_value(); }
+
+  void put(key_type key, mapped_type value) {
+    assert(!finished_ && "write on a finished transaction");
+    writes_.put(std::move(key), std::move(value));
+  }
+
+  void remove(key_type key) {
+    assert(!finished_ && "write on a finished transaction");
+    writes_.remove(std::move(key));
+  }
+
+  std::size_t read_set_size() const { return reads_.size(); }
+  std::size_t write_set_size() const { return writes_.size(); }
+
+  // Validate-and-install. Returns the commit stamp, or nullopt when a
+  // witnessed key changed after the snapshot (the transaction ABORTED and
+  // left no visible trace — rebuild it from a fresh snapshot and retry,
+  // or use Store::transact for the loop). Finishes the transaction and
+  // releases its snapshot pin either way.
+  std::optional<Timestamp> commit() {
+    assert(!finished_ && "commit on a finished transaction");
+    finished_ = true;
+    const std::optional<Timestamp> result =
+        store_->commit_transaction(handle_, writes_, reads_);
+    snap_.reset();  // release the announced handle + EBR pin
+    return result;
+  }
+
+  bool finished() const { return finished_; }
+
+ private:
+  friend Store;
+
+  explicit Transaction(Store& store)
+      : store_(&store),
+        snap_(std::make_unique<SnapshotGuard>(store.camera())),
+        handle_(snap_->ts()) {}
+
+  Store* store_;
+  std::unique_ptr<SnapshotGuard> snap_;
+  Timestamp handle_;
+  typename Store::Batch writes_;
+  std::vector<typename Store::TxnRead> reads_;
+  bool finished_ = false;
 };
 
 }  // namespace vcas::store

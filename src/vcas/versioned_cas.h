@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <utility>
 
 #include "ebr/ebr.h"
 #include "vcas/camera.h"
@@ -137,16 +138,29 @@ class VersionedCAS {
   // store layer seeds every object with an unconditionally visible value).
   template <typename Pred>
   T readSnapshotWhere(Timestamp ts, Pred&& visible) {
+    return readSnapshotNodeWhere(ts, std::forward<Pred>(visible))->val;
+  }
+
+  // readSnapshotWhere exposing the version NODE — the record pointer and
+  // its install stamp — instead of a value copy. This is the store layer's
+  // version-observation read: snapshot resolution borrows the value by
+  // reference (no copy of embedded shared state), and transaction
+  // validation walks onward from the returned node. The node (and, via
+  // nextv, everything the walk can reach: trimming never detaches below a
+  // node a `visible`-satisfying reader can stop at) stays readable while
+  // the caller is EBR-pinned.
+  template <typename Pred>
+  VNode* readSnapshotNodeWhere(Timestamp ts, Pred&& visible) {
     VNode* node = vhead_.load(std::memory_order_seq_cst);
     initTS(node);
     while (node->ts.load(std::memory_order_acquire) > ts ||
            !visible(static_cast<const T&>(node->val))) {
       node = node->nextv.load(std::memory_order_acquire);
       assert(node != nullptr &&
-             "readSnapshotWhere walked past the initial version: no visible "
-             "version at or below ts (precondition violation)");
+             "readSnapshotNodeWhere walked past the initial version: no "
+             "visible version at or below ts (precondition violation)");
     }
-    return node->val;
+    return node;
   }
 
   // --- introspection / GC extension (not part of the paper's interface) ---

@@ -1,0 +1,579 @@
+// Compare-and-batch transactions: optimistic read-modify-write on the
+// ticket protocol (store.h, TxnDescriptor).
+//
+// Covers the sequential semantics (read-your-writes, witnessing, abort on
+// conflict, absent-key witnesses), the linearizability-critical concurrent
+// cases — a conserved sum maintained by fully overlapping writers with NO
+// key partitioning, and a forced abort DECIDED BY A HELPER while the
+// transaction's owner sleeps mid-commit (the test hook parks the owner
+// after its installs; a snapshot reader bumping into an installed record
+// must drive the transaction to ABORTED without the owner) — and
+// abort-then-retry progress under contention. The short-running suites
+// here also run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "store/backend.h"
+#include "store/batch.h"
+#include "store/store.h"
+#include "util/rng.h"
+
+namespace {
+
+using K = std::int64_t;
+using V = std::int64_t;
+
+template <typename Backend>
+class TxnTest : public ::testing::Test {
+ public:
+  using Store = vcas::store::ShardedStore<K, V, Backend>;
+};
+
+using Backends =
+    ::testing::Types<vcas::store::ListBackend, vcas::store::BstBackend,
+                     vcas::store::ChromaticBackend>;
+TYPED_TEST_SUITE(TxnTest, Backends);
+
+// --- sequential semantics ----------------------------------------------------
+
+TYPED_TEST(TxnTest, ReadYourWritesAndBasicCommit) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);
+
+  auto txn = store.beginTransaction();
+  EXPECT_EQ(txn.get(1), std::optional<V>(10));
+  EXPECT_FALSE(txn.get(2).has_value());
+  txn.put(2, 20);
+  EXPECT_EQ(txn.get(2), std::optional<V>(20));  // buffered, not in store yet
+  EXPECT_FALSE(store.get(2).has_value());
+  txn.put(2, 21);
+  EXPECT_EQ(txn.get(2), std::optional<V>(21));  // last buffered op wins
+  txn.remove(1);
+  EXPECT_FALSE(txn.get(1).has_value());
+
+  const auto ts = txn.commit();
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_GE(*ts, txn.snapshot_ts());
+  EXPECT_EQ(store.get(2), std::optional<V>(21));
+  EXPECT_FALSE(store.get(1).has_value());
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(TxnTest, ReadOnlyTransactionAlwaysCommits) {
+  typename TestFixture::Store store(4);
+  store.put(1, 10);
+  auto txn = store.beginTransaction();
+  EXPECT_EQ(txn.get(1), std::optional<V>(10));
+  store.put(1, 11);  // conflicting write — irrelevant without a write set
+  const auto ts = txn.commit();
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(*ts, txn.snapshot_ts());  // read-only commits at its snapshot
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(TxnTest, DroppedTransactionWritesNothing) {
+  typename TestFixture::Store store(4);
+  {
+    auto txn = store.beginTransaction();
+    txn.put(7, 70);
+  }  // dropped without commit
+  EXPECT_FALSE(store.get(7).has_value());
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(TxnTest, ConflictOnReadKeyAborts) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);
+
+  auto txn = store.beginTransaction();
+  EXPECT_EQ(txn.get(1), std::optional<V>(10));
+  store.put(1, 99);  // the witnessed key changes after the snapshot
+  txn.put(2, 20);
+  EXPECT_FALSE(txn.commit().has_value());
+  EXPECT_FALSE(store.get(2).has_value());  // the aborted write never happened
+  EXPECT_EQ(store.get(1), std::optional<V>(99));
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(TxnTest, RemoveOfReadKeyAborts) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);
+  auto txn = store.beginTransaction();
+  EXPECT_EQ(txn.get(1), std::optional<V>(10));
+  store.remove(1);
+  txn.put(2, 20);
+  EXPECT_FALSE(txn.commit().has_value());
+  EXPECT_FALSE(store.get(2).has_value());
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(TxnTest, UntouchedReadSetCommits) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);
+  auto txn = store.beginTransaction();
+  EXPECT_EQ(txn.get(1), std::optional<V>(10));
+  store.put(5, 50);  // unrelated key: no conflict
+  txn.put(2, 20);
+  EXPECT_TRUE(txn.commit().has_value());
+  EXPECT_EQ(store.get(2), std::optional<V>(20));
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(TxnTest, RmwConflictOnOwnWriteKeyAborts) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);
+  auto txn = store.beginTransaction();
+  const V v = txn.get(1).value();
+  store.put(1, 500);  // lands between the read and the install
+  txn.put(1, v + 1);  // read-modify-write of the same key
+  EXPECT_FALSE(txn.commit().has_value());
+  EXPECT_EQ(store.get(1), std::optional<V>(500));  // the RMW never happened
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(TxnTest, RmwWithoutInterferenceCommits) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);
+  auto txn = store.beginTransaction();
+  txn.put(1, txn.get(1).value() + 1);
+  EXPECT_TRUE(txn.commit().has_value());
+  EXPECT_EQ(store.get(1), std::optional<V>(11));
+  vcas::ebr::drain_for_tests();
+}
+
+// Witnessing a key that has no cell at all must still catch a later put —
+// and a read-then-write of such a key must not falsely abort on its own
+// freshly created cell.
+TYPED_TEST(TxnTest, AbsentKeyWitness) {
+  typename TestFixture::Store store(8);
+  {
+    auto txn = store.beginTransaction();
+    EXPECT_FALSE(txn.get(42).has_value());  // no cell anywhere
+    store.put(42, 1);                       // key springs into existence
+    txn.put(7, 70);
+    EXPECT_FALSE(txn.commit().has_value());
+    EXPECT_FALSE(store.get(7).has_value());
+  }
+  {
+    auto txn = store.beginTransaction();
+    EXPECT_FALSE(txn.get(43).has_value());
+    txn.put(43, 2);  // creates the cell at commit; must not self-abort
+    EXPECT_TRUE(txn.commit().has_value());
+    EXPECT_EQ(store.get(43), std::optional<V>(2));
+  }
+  vcas::ebr::drain_for_tests();
+}
+
+// Absent when read and still absent at the commit stamp is equality, even
+// if a tombstone (or a fresh cell's absent seed) landed in between: batch
+// removes install tombstones on keys with no cell, and those must not
+// abort a transaction that only ever saw "absent".
+TYPED_TEST(TxnTest, AbsentStableKeySurvivesTombstoneTraffic) {
+  typename TestFixture::Store store(8);
+  auto txn = store.beginTransaction();
+  EXPECT_FALSE(txn.get(42).has_value());
+  {
+    typename TestFixture::Store::Batch b;
+    b.remove(42);  // creates the cell, installs a committed tombstone
+    store.applyBatch(b);
+  }
+  txn.put(7, 70);
+  EXPECT_TRUE(txn.commit().has_value());
+  EXPECT_EQ(store.get(7), std::optional<V>(70));
+  vcas::ebr::drain_for_tests();
+}
+
+// A cell created AFTER the transaction's snapshot has no version at or
+// below the handle; the read must report absent (not walk past the seed),
+// and the witnessed creation must still abort the commit.
+TYPED_TEST(TxnTest, CellBornAfterSnapshotReadsAbsentAndConflicts) {
+  typename TestFixture::Store store(8);
+  store.put(0, 1);
+  auto txn = store.beginTransaction();
+  store.put(7, 70);  // first-ever write to key 7: cell born after the handle
+  EXPECT_FALSE(txn.get(7).has_value());  // absent at the snapshot
+  txn.put(8, 80);
+  EXPECT_FALSE(txn.commit().has_value());  // witnessed key 7 changed
+  EXPECT_FALSE(store.get(8).has_value());
+  EXPECT_EQ(store.get(7), std::optional<V>(70));
+  vcas::ebr::drain_for_tests();
+}
+
+// A validator that meets an UNSTAMPED undecided record on a read key must
+// vote abort, not help: the blocker's install phase may itself be blocked
+// on the validator's own undecided record, and mutual helping would
+// recurse forever. Before the fix this test deadlocked (stack-overflowed);
+// now the transaction aborts while the blocker is still parked.
+TYPED_TEST(TxnTest, UnstampedBlockerAbortsInsteadOfDeadlock) {
+  typename TestFixture::Store store(8);
+  // Two keys in distinct shards with shard_index(ka) < shard_index(kb), so
+  // the blocker batch {ka, kb} installs ka FIRST and parks before kb.
+  K ka = -1, kb = -1;
+  for (K k = 0; k < 4096 && kb < 0; ++k) {
+    const std::size_t s = store.shard_index(k);
+    if (ka < 0 && s == 0) {
+      ka = k;
+    } else if (ka >= 0 && s > 0) {
+      kb = k;
+    }
+  }
+  ASSERT_GE(ka, 0);
+  ASSERT_GE(kb, 0);
+  store.put(ka, 1);
+  store.put(kb, 2);
+
+  auto txn = store.beginTransaction();
+  EXPECT_EQ(txn.get(ka), std::optional<V>(1));  // read-only witness of ka
+
+  std::atomic<bool> parked{false}, release{false}, armed{true};
+  store.set_batch_pause_for_tests(
+      [&](std::size_t installed, std::size_t) {
+        if (installed == 1 && armed.exchange(false)) {
+          parked.store(true);
+          while (!release.load()) std::this_thread::yield();
+        }
+      });
+  std::thread blocker([&] {
+    typename TestFixture::Store::Batch b;
+    b.put(ka, 10);
+    b.put(kb, 20);
+    store.applyBatch(b);  // installs ka (unstamped, undecided), parks
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  // Commit installs at kb, stamps, then validates ka: the blocker's
+  // unstamped record there is an immediate abort vote. Helping it instead
+  // would re-enter this commit through the blocker's pending kb install.
+  txn.put(kb, 99);
+  EXPECT_FALSE(txn.commit().has_value());
+  ASSERT_TRUE(parked.load());  // decided our own abort without the blocker
+
+  release.store(true);
+  blocker.join();
+  // The blocker's batch then installed over our aborted record and won.
+  EXPECT_EQ(store.get(ka), std::optional<V>(10));
+  EXPECT_EQ(store.get(kb), std::optional<V>(20));
+  vcas::ebr::drain_for_tests();
+}
+
+TYPED_TEST(TxnTest, ConflictingBatchAbortsTransaction) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);
+  auto txn = store.beginTransaction();
+  EXPECT_EQ(txn.get(1), std::optional<V>(10));
+  {
+    typename TestFixture::Store::Batch b;
+    b.put(1, 11);
+    b.put(2, 22);
+    store.applyBatch(b);
+  }
+  txn.put(3, 30);
+  EXPECT_FALSE(txn.commit().has_value());
+  EXPECT_FALSE(store.get(3).has_value());
+  vcas::ebr::drain_for_tests();
+}
+
+// Aborted records stay in version lists as no-ops: snapshot reads before,
+// at, and after the abort see the surviving value; a later put installs
+// over the aborted head and wins.
+TYPED_TEST(TxnTest, AbortedRecordsAreInvisibleToEveryRead) {
+  typename TestFixture::Store store(4);
+  store.put(1, 10);
+  store.put(2, 20);
+
+  auto view_before = store.snapshotAll();
+  {
+    auto txn = store.beginTransaction();
+    EXPECT_EQ(txn.get(2), std::optional<V>(20));
+    store.put(2, 21);  // force the abort
+    txn.put(1, 999);
+    EXPECT_FALSE(txn.commit().has_value());
+  }
+  // Point read, snapshot-at-now, and the pre-abort view all skip the
+  // aborted record on key 1.
+  EXPECT_EQ(store.get(1), std::optional<V>(10));
+  EXPECT_EQ(view_before.get(1), std::optional<V>(10));
+  EXPECT_EQ(store.multiGet({1, 2})[0], std::optional<V>(10));
+  // Installing over the aborted head works and reports "was present".
+  EXPECT_FALSE(store.put(1, 11));
+  EXPECT_EQ(store.get(1), std::optional<V>(11));
+  // remove() of a key whose head is an aborted record sees the logical
+  // value below it.
+  {
+    auto txn = store.beginTransaction();
+    EXPECT_EQ(txn.get(2), std::optional<V>(21));
+    store.put(2, 22);
+    txn.put(1, 998);
+    EXPECT_FALSE(txn.commit().has_value());
+  }
+  EXPECT_TRUE(store.remove(1));  // logical value below the aborted head
+  EXPECT_FALSE(store.get(1).has_value());
+  vcas::ebr::drain_for_tests();
+}
+
+// trim_all must neither pivot on an aborted record nor let one pin old
+// versions below a newer committed value.
+TYPED_TEST(TxnTest, TrimSkipsAbortedRecords) {
+  typename TestFixture::Store store(1);
+  store.put(1, 10);
+  store.put(2, 20);
+  for (V i = 0; i < 8; ++i) store.put(1, 100 + i);
+  {
+    auto txn = store.beginTransaction();
+    EXPECT_EQ(txn.get(2), std::optional<V>(20));
+    store.put(2, 21);
+    txn.put(1, 999);  // aborted record lands at key 1's head
+    EXPECT_FALSE(txn.commit().has_value());
+  }
+  store.camera().takeSnapshot();
+  store.trim_all();
+  EXPECT_EQ(store.get(1), std::optional<V>(107));
+  EXPECT_EQ(store.get(2), std::optional<V>(21));
+  // The aborted head plus the committed pivot below it may remain; the
+  // seven older versions of key 1 must be gone.
+  EXPECT_LE(store.total_versions(), 4u);
+  vcas::ebr::drain_for_tests();
+}
+
+// --- forced abort decided by a helper while the owner sleeps ----------------
+
+// The ISSUE's stalled-owner case: the transaction owner installs its write
+// record, then parks (test hook) BEFORE stamping/validating/deciding. A
+// conflicting single-key put lands while it sleeps, then a snapshot reader
+// bumps into the installed record and must drive the transaction to
+// ABORTED — the owner wakes to find strangers decided its fate.
+TYPED_TEST(TxnTest, HelperDecidesAbortWhileOwnerParked) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);  // the read key
+  store.put(2, 20);  // the write key
+
+  std::atomic<bool> parked{false}, release{false}, armed{true};
+  store.set_batch_pause_for_tests(
+      [&](std::size_t installed, std::size_t total) {
+        if (installed == total && armed.exchange(false)) {
+          parked.store(true);
+          while (!release.load()) std::this_thread::yield();
+        }
+      });
+
+  std::optional<vcas::Timestamp> owner_result;
+  std::thread owner([&] {
+    auto txn = store.beginTransaction();
+    EXPECT_EQ(txn.get(1), std::optional<V>(10));
+    store.put(1, 99);  // the conflict, in place before commit starts
+    txn.put(2, 777);
+    owner_result = txn.commit();  // parks after its install, pre-decision
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  // Point reads never help: the undecided transaction has not happened.
+  EXPECT_EQ(store.get(2), std::optional<V>(20));
+
+  // A snapshot reader resolving key 2 hits the installed record, helps:
+  // stamp, validate (key 1 changed after the snapshot!), decide ABORTED.
+  EXPECT_EQ(store.multiGet({2})[0], std::optional<V>(20));
+  ASSERT_TRUE(parked.load());  // owner still asleep — a stranger decided
+
+  // The abort is total and permanent: nothing of the write is visible.
+  EXPECT_EQ(store.get(2), std::optional<V>(20));
+  EXPECT_EQ(store.size(), 2u);
+
+  release.store(true);
+  owner.join();
+  EXPECT_FALSE(owner_result.has_value());  // owner observed its own abort
+  EXPECT_EQ(store.get(2), std::optional<V>(20));
+  EXPECT_EQ(store.get(1), std::optional<V>(99));
+  vcas::ebr::drain_for_tests();
+}
+
+// Same parked-owner shape, but with NO conflict: the helper must decide
+// COMMITTED and the batch becomes fully visible while the owner sleeps.
+TYPED_TEST(TxnTest, HelperCommitsCleanTransactionWhileOwnerParked) {
+  typename TestFixture::Store store(8);
+  store.put(1, 10);
+  store.put(2, 20);
+
+  std::atomic<bool> parked{false}, release{false}, armed{true};
+  store.set_batch_pause_for_tests(
+      [&](std::size_t installed, std::size_t total) {
+        if (installed == total && armed.exchange(false)) {
+          parked.store(true);
+          while (!release.load()) std::this_thread::yield();
+        }
+      });
+
+  std::optional<vcas::Timestamp> owner_result;
+  std::thread owner([&] {
+    auto txn = store.beginTransaction();
+    const V v = txn.get(1).value();
+    txn.put(2, v + 100);
+    owner_result = txn.commit();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  EXPECT_EQ(store.multiGet({2})[0], std::optional<V>(20));  // helps + decides
+  ASSERT_TRUE(parked.load());
+  EXPECT_EQ(store.get(2), std::optional<V>(110));  // committed by the helper
+
+  release.store(true);
+  owner.join();
+  ASSERT_TRUE(owner_result.has_value());
+  EXPECT_EQ(store.get(2), std::optional<V>(110));
+  vcas::ebr::drain_for_tests();
+}
+
+// --- concurrent stress -------------------------------------------------------
+
+// Abort-then-retry progress: two threads RMW-increment the same counter
+// through transact(); every increment must land exactly once despite
+// aborts, so the final count is the total number of transact() calls.
+TYPED_TEST(TxnTest, AbortThenRetryProgress) {
+  typename TestFixture::Store store(4);
+  store.put(0, 0);
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.transact([](typename TestFixture::Store::Txn& txn) {
+          txn.put(0, txn.get(0).value() + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.get(0), std::optional<V>(2 * kPerThread));
+  vcas::ebr::drain_for_tests();
+}
+
+// The headline: a conserved sum maintained by FULLY OVERLAPPING writers —
+// no key partitioning, every writer transfers between any two accounts —
+// with concurrent snapshot audits and the background trimmer running.
+// Blind batches cannot do this (the PR-1/PR-2 example had to partition
+// writers); compare-and-batch must.
+TYPED_TEST(TxnTest, ConservedSumWithUnpartitionedWriters) {
+  using Store = typename TestFixture::Store;
+  constexpr K kAccounts = 32;
+  constexpr V kInitial = 100;
+  constexpr V kTotal = kAccounts * kInitial;
+  constexpr int kWriters = 4;
+
+  Store store(8);
+  store.enable_background_trim(std::chrono::milliseconds(2));
+  {
+    typename Store::Batch init;
+    for (K a = 0; a < kAccounts; ++a) init.put(a, kInitial);
+    store.applyBatch(init);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      vcas::util::Xoshiro256 rng(91 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const K from = static_cast<K>(rng.next_in(kAccounts));
+        const K to = static_cast<K>(rng.next_in(kAccounts));
+        if (from == to) continue;
+        const V amount = 1 + static_cast<V>(rng.next_in(10));
+        store.transact([&](typename Store::Txn& txn) {
+          const V fb = txn.get(from).value();
+          const V tb = txn.get(to).value();
+          if (fb < amount) return;  // insufficient funds: read-only commit
+          txn.put(from, fb - amount);
+          txn.put(to, tb + amount);
+        });
+      }
+    });
+  }
+
+  int bad = 0;
+  for (int audit = 0; audit < 300; ++audit) {
+    auto view = store.snapshotAll();
+    V total = 0;
+    for (const auto& [a, bal] : view.range(0, kAccounts - 1)) {
+      (void)a;
+      total += bal;
+    }
+    if (total != kTotal) ++bad;
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(bad, 0);
+
+  V final_total = 0;
+  for (const auto& [a, bal] : store.rangeQuery(0, kAccounts - 1)) {
+    (void)a;
+    final_total += bal;
+  }
+  EXPECT_EQ(final_total, kTotal);
+  store.disable_background_trim();
+  vcas::ebr::drain_for_tests();
+}
+
+// Randomized stalls injected into every owner (writers AND transactions),
+// all parties helping all others, trimmer in the loop: the conserved sum
+// must hold in every audit. Exercises racing helpers validating the same
+// descriptor under TSan.
+TYPED_TEST(TxnTest, RandomStallsConservedSumUnderContention) {
+  using Store = typename TestFixture::Store;
+  constexpr K kAccounts = 8;
+  constexpr V kInitial = 50;
+  constexpr V kTotal = kAccounts * kInitial;
+
+  Store store(4);
+  {
+    typename Store::Batch init;
+    for (K a = 0; a < kAccounts; ++a) init.put(a, kInitial);
+    store.applyBatch(init);
+  }
+  std::atomic<std::uint64_t> hook_calls{0};
+  store.set_batch_pause_for_tests([&](std::size_t, std::size_t) {
+    if (hook_calls.fetch_add(1, std::memory_order_relaxed) % 17 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      vcas::util::Xoshiro256 rng(7 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const K from = static_cast<K>(rng.next_in(kAccounts));
+        const K to = static_cast<K>((from + 1 + rng.next_in(kAccounts - 1)) %
+                                    kAccounts);
+        store.transact([&](typename Store::Txn& txn) {
+          const V fb = txn.get(from).value();
+          const V tb = txn.get(to).value();
+          if (fb < 1) return;
+          txn.put(from, fb - 1);
+          txn.put(to, tb + 1);
+        });
+      }
+    });
+  }
+
+  int bad = 0;
+  for (int audit = 0; audit < 400; ++audit) {
+    auto view = store.snapshotAll();
+    V total = 0;
+    for (K a = 0; a < kAccounts; ++a) total += view.get(a).value_or(0);
+    if (total != kTotal) ++bad;
+    if (audit % 100 == 0) store.trim_all();
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(bad, 0);
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace
