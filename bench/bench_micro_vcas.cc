@@ -1,10 +1,12 @@
-// Microbenchmarks (google-benchmark) for the core vCAS operations and the
-// Section 5 indirection ablation at the object level.
+// Microbenchmarks (google-benchmark) for the core vCAS operations, the
+// Section 5 indirection ablation at the object level, and the ISSUE 4
+// write-path ablation (clock-gated coalescing + VNode recycling).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <vector>
 
+#include "ebr/ebr.h"
 #include "vcas/camera.h"
 #include "vcas/versioned_cas.h"
 #include "vcas/versioned_ptr.h"
@@ -74,6 +76,42 @@ void BM_ReadSnapshotByAge(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_ReadSnapshotByAge)->Range(1, 1 << 12)->Complexity();
+
+// Write-path ablation (ISSUE 4): the same update stream with the version
+// chain left to grow (chained; nodes still come from the recycling pool)
+// vs coalesced in place (each write unlinks its equal-stamped predecessor
+// and recycles it — with no snapshots the chain stays at one node and the
+// pool serves every allocation from the just-retired nodes).
+void BM_InstallOverChained(benchmark::State& state) {
+  vcas::Camera cam;
+  vcas::VersionedCAS<std::int64_t> obj(0, &cam);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    // Per-op pin, like the store's put(): the realistic write-path cost.
+    vcas::ebr::Guard g;
+    auto* head = obj.vReadNode();
+    benchmark::DoNotOptimize(obj.install_over(head, ++v));
+  }
+  state.counters["versions"] = static_cast<double>(obj.version_count());
+}
+BENCHMARK(BM_InstallOverChained);
+
+void BM_InstallOverCoalesced(benchmark::State& state) {
+  vcas::Camera cam;
+  vcas::VersionedCAS<std::int64_t> obj(0, &cam);
+  std::int64_t v = 0;
+  const auto drop_all = [](const std::int64_t&) { return true; };
+  for (auto _ : state) {
+    vcas::ebr::Guard g;
+    auto* head = obj.vReadNode();
+    if (auto* mine = obj.install_over(head, ++v)) {
+      obj.try_coalesce_below(mine, drop_all);
+    }
+  }
+  state.counters["versions"] = static_cast<double>(obj.version_count());
+  vcas::ebr::drain_for_tests();
+}
+BENCHMARK(BM_InstallOverCoalesced);
 
 // Indirection ablation: reading the current value through a VNode
 // (Algorithm 1) vs through the node itself (Figure 9).

@@ -35,6 +35,7 @@
 #include "util/barrier.h"
 #include "util/padded.h"
 #include "util/rng.h"
+#include "util/slab_pool.h"
 #include "util/timing.h"
 
 namespace vcas::bench {
@@ -151,6 +152,43 @@ class JsonReport {
   bool enabled_;
   std::vector<std::string> rows_;
 };
+
+// --- memory telemetry --------------------------------------------------------
+
+// Snapshot of the process-wide memory counters: EBR reclamation state plus
+// the VNode recycling pool (util::SlabPool). Sample before and after a
+// measured phase; add_memory_fields() emits the deltas so BENCH_*.json
+// rows capture allocation behavior alongside throughput.
+struct MemorySample {
+  ebr::Stats ebr;
+  util::PoolStats pool;
+};
+
+inline MemorySample memory_sample() {
+  return MemorySample{ebr::stats(), util::pool_stats()};
+}
+
+// Append the phase's memory behavior to a JSON row:
+//   ebr_pending      objects retired but not yet reclaimed (absolute)
+//   ebr_freed        objects reclaimed during the phase
+//   pool_allocs      version nodes handed out during the phase
+//   pool_frees       version nodes recycled back during the phase
+//   pool_slab_bytes  fresh OS memory the pool carved during the phase —
+//                    THE allocation-churn number: a warm recycling write
+//                    path keeps it near zero regardless of write volume
+inline void add_memory_fields(JsonRow& row, const MemorySample& before) {
+  const MemorySample now = memory_sample();
+  row.field("ebr_pending", static_cast<long long>(now.ebr.pending));
+  row.field("ebr_freed",
+            static_cast<long long>(now.ebr.freed - before.ebr.freed));
+  row.field("pool_allocs",
+            static_cast<long long>(now.pool.allocs - before.pool.allocs));
+  row.field("pool_frees",
+            static_cast<long long>(now.pool.frees - before.pool.frees));
+  row.field("pool_slab_bytes",
+            static_cast<long long>(now.pool.slab_bytes -
+                                   before.pool.slab_bytes));
+}
 
 // The paper's key-range rule: with insert fraction i and delete fraction d
 // (percent), draw keys from [1, r] with r = n*(i+d)/i so the structure

@@ -40,6 +40,14 @@ class Guard {
 // 3-epoch rule proves no reader can hold a reference.
 void retire(void* p, void (*deleter)(void*));
 
+// Batch form: ONE limbo entry covering `count` unlinked objects reachable
+// from `p`; `deleter` is invoked once with `p` and must dispose of all of
+// them (e.g. walk a detached version-list suffix). Stats (pending/freed)
+// account all `count` objects, but the limbo bookkeeping — entry push,
+// sweep test, deleter dispatch — is paid once per run instead of once per
+// object. This is how trim retires whole version-list suffixes.
+void retire_batch(void* p, void (*deleter)(void*), std::size_t count);
+
 template <typename T>
 void retire(T* p) {
   retire(static_cast<void*>(p), +[](void* q) { delete static_cast<T*>(q); });

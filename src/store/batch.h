@@ -181,6 +181,24 @@ struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
   Camera* camera_;
 };
 
+// Coalescing eligibility (ISSUE 4): may a version node holding this record
+// be unlinked by clock-gated coalescing (VersionedCAS::try_coalesce_below)
+// once an equal-stamped plain record sits above it? Ticketed records NEVER
+// coalesce, decided or not: the helper protocol addresses them by node
+// identity — install_one witnesses the exact installed node in
+// PlannedOp::installed, and transaction validation walks onward from that
+// witnessed node — so their nodes must keep their place in the chain for
+// as long as the descriptor can be re-entered. A PENDING record could not
+// even reach the eligibility check (writers help an undecided head to its
+// decision before installing over it), but the predicate rejects it
+// outright rather than lean on that; coalescing_test.cc pins the behavior.
+// Plain single-key records carry no descriptor and nobody holds their node
+// identity across an install, so they are fair game.
+template <typename Ticket>
+inline bool record_keeps_node_identity(const std::shared_ptr<Ticket>& ticket) {
+  return ticket != nullptr;
+}
+
 // An ordered list of puts/removes applied atomically by
 // ShardedStore::applyBatch. Within one batch, later operations on a key win
 // over earlier ones (read-modify-write batch semantics).

@@ -66,6 +66,13 @@
 // across all shards (batch-commit aware — a record only counts as old once
 // its COMMIT stamp is below the horizon); enable_background_trim runs it on
 // a timer. Announced readers (SnapshotGuard / StoreView) are never broken.
+//
+// Write-path memory (ISSUE 4): version nodes come from a recycling slab
+// pool, and single-key writes coalesce — a put/remove whose install stamp
+// equals the previous plain record's stamp unlinks that record instead of
+// keeping it, so per-key chains and allocation grow with snapshots taken,
+// not writes issued (set_coalescing toggles it; ticketed records are never
+// coalesced — helpers address them by node identity).
 #pragma once
 
 #include <algorithm>
@@ -120,10 +127,15 @@ class ShardedStore {
   friend class Transaction;
 
   struct Cell {
-    explicit Cell(Camera* cam) : rec(Record{}, cam) {}
+    Cell(Camera* cam, bool pooled) : rec(Record{}, cam, pooled) {}
     VersionedCAS<Record> rec;  // seeded absent: every visibility walk
                                // terminates on an un-ticketed record
     Cell* next_all = nullptr;  // append-only per-shard registry link
+    // Writes since this cell's last coalesce attempt. Deliberately racy
+    // (plain load+store, lost updates harmless): it only paces how often
+    // the write path pays the coalesce lock — correctness never depends
+    // on it.
+    std::atomic<std::uint32_t> churn{0};
   };
 
   using VNode = typename VersionedCAS<Record>::VNode;
@@ -489,7 +501,10 @@ class ShardedStore {
     for (;;) {
       VNode* head = help_head_decided(cell);
       const bool was_present = logical_record(head).present;
-      if (cell->rec.install_over(head, next) != nullptr) return !was_present;
+      if (VNode* mine = cell->rec.install_over(head, next)) {
+        coalesce_below(cell, mine);
+        return !was_present;
+      }
     }
   }
 
@@ -501,7 +516,10 @@ class ShardedStore {
     for (;;) {
       VNode* head = help_head_decided(cell);
       if (!logical_record(head).present) return false;
-      if (cell->rec.install_over(head, Record{}) != nullptr) return true;
+      if (VNode* mine = cell->rec.install_over(head, Record{})) {
+        coalesce_below(cell, mine);
+        return true;
+      }
     }
   }
 
@@ -632,6 +650,43 @@ class ShardedStore {
     return n;
   }
 
+  // --- write-path coalescing (ISSUE 4) -------------------------------------
+
+  // Clock-gated version coalescing, ON by default: a single-key write that
+  // lands while the camera clock has not moved since the previous plain
+  // record replaces it instead of growing the version chain, so per-key
+  // version counts (and allocation, via the recycling pool) track SNAPSHOT
+  // activity, not write volume. No snapshot can tell the difference — see
+  // VersionedCAS::try_coalesce_below for the equal-stamp argument and
+  // record_keeps_node_identity (batch.h) for why ticketed records are
+  // exempt. The toggle exists for benches (ablation) and history-shape
+  // tests; flipping it only affects future writes.
+  void set_coalescing(bool on) {
+    coalesce_.store(on, std::memory_order_relaxed);
+  }
+  bool coalescing() const {
+    return coalesce_.load(std::memory_order_relaxed);
+  }
+
+  // How many writes a cell absorbs between coalesce attempts. The default
+  // amortizes the per-attempt cost (try-lock + run splice + one retire)
+  // over a batch of writes — the run-based unlink reclaims the whole
+  // accumulated backlog in one go, so chains stay bounded by roughly this
+  // value per stamp. 1 = coalesce eagerly on every write (tests that pin
+  // exact history shapes use this).
+  void set_coalesce_every(std::uint32_t n) {
+    coalesce_every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
+  // Whether cells created from now on draw version nodes from the
+  // recycling slab pool (default) or the heap. Per-cell and fixed at cell
+  // creation, so flipping mid-run is safe (each cell reclaims through its
+  // own origin). Exists for the write-path ablation in bench_write_churn;
+  // production leaves it on.
+  void set_node_pooling(bool pooled) {
+    node_pooling_.store(pooled, std::memory_order_relaxed);
+  }
+
   // --- version-list trimming (GC) ------------------------------------------
 
   // Detach versions below the camera's min_active() horizon in every cell
@@ -700,6 +755,28 @@ class ShardedStore {
     return n;
   }
 
+  // Mean version-list length over at most `max_cells` cells (spread across
+  // shards). Bounded introspection for benches: total_versions() walks
+  // EVERY version, which against an un-reclaimed write-heavy history means
+  // millions of cold nodes. O(max_cells x chain length).
+  double sampled_versions_per_cell(std::size_t max_cells) const {
+    std::size_t cells = 0;
+    std::size_t versions = 0;
+    const std::size_t per_shard =
+        max_cells / shards_.size() + 1;
+    for (const auto& shard : shards_) {
+      std::size_t taken = 0;
+      for (Cell* cell = shard->cells.load(std::memory_order_acquire);
+           cell != nullptr && taken < per_shard && cells < max_cells;
+           cell = cell->next_all, ++taken, ++cells) {
+        versions += cell->rec.version_count();
+      }
+    }
+    return cells == 0 ? 0.0
+                      : static_cast<double>(versions) /
+                            static_cast<double>(cells);
+  }
+
   // Test-only hook: invoked by the ORIGINAL writer inside applyBatch or a
   // transaction's commit() after each of its installs (`installed` runs
   // 1..total; installed == total fires just before the stamp/decide
@@ -735,7 +812,8 @@ class ShardedStore {
     Shard& shard = shard_for(key);
     for (;;) {
       if (std::optional<Cell*> cell = shard.map.find(key)) return *cell;
-      Cell* fresh = new Cell(&camera_);
+      Cell* fresh =
+          new Cell(&camera_, node_pooling_.load(std::memory_order_relaxed));
       if (shard.map.insert(key, fresh)) {
         // Registry push (append-only, lock-free) AFTER the structural
         // insert wins, so losers are simply deleted.
@@ -884,6 +962,30 @@ class ShardedStore {
     return desc->commit_stamp();
   }
 
+  // Coalesce the run of equal-stamped records directly below the freshly
+  // installed plain record `mine`. try_coalesce_below's preconditions hold
+  // here: the caller's ebr::Guard is in effect, every store read path pins
+  // (point reads take a Guard, snapshot queries a SnapshotGuard), and
+  // `mine` is a plain record — unconditionally visible to every
+  // resolve/trim/validation predicate in the store, so no predicate-guided
+  // walk can need to stop below it at an equal stamp. Ticketed records are
+  // rejected by the droppable predicate: their nodes are addressed by
+  // identity for the descriptor's lifetime (batch.h).
+  void coalesce_below(Cell* cell, VNode* mine) {
+    if (!coalesce_.load(std::memory_order_relaxed)) return;
+    const std::uint32_t every = coalesce_every_.load(std::memory_order_relaxed);
+    if (every > 1) {
+      const std::uint32_t c =
+          cell->churn.load(std::memory_order_relaxed) + 1;
+      cell->churn.store(c, std::memory_order_relaxed);
+      if (c < every) return;  // let the backlog build; one splice drains it
+      cell->churn.store(0, std::memory_order_relaxed);
+    }
+    cell->rec.try_coalesce_below(mine, [](const Record& r) {
+      return !record_keeps_node_identity(r.ticket);
+    });
+  }
+
   // Head NODE with its batch (if any) decided. Writers must not install
   // over an undecided record: doing so could order their write before a
   // batch that commits later, tearing that batch. Instead of waiting for
@@ -971,6 +1073,9 @@ class ShardedStore {
 
   Camera camera_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> coalesce_{true};
+  std::atomic<std::uint32_t> coalesce_every_{8};
+  std::atomic<bool> node_pooling_{true};
 
   // Test-only (see set_batch_pause_for_tests). Empty in production.
   std::function<void(std::size_t, std::size_t)> batch_pause_for_tests_;

@@ -1,0 +1,235 @@
+// Per-thread slab freelists for fixed-size blocks (the write-path recycling
+// substrate; ISSUE 4).
+//
+// Every successful vCAS allocates one VNode and every trim/coalesce retires
+// one, so under write-heavy load the old `new`/`delete` pair was a
+// malloc/free round-trip per update. SlabPool turns that into pointer pops
+// on a thread-local freelist:
+//
+//   allocate():  pop the calling thread's cache; refill from the shared
+//                freelist; only when both are empty carve a fresh SLAB
+//                (kBlocksPerSlab blocks in one operator-new call).
+//   deallocate(): push onto the calling thread's cache; overflow and
+//                thread exit flush to the shared freelist, so blocks freed
+//                by one thread feed every other thread's allocations.
+//
+// Reclamation-safety contract: SlabPool recycles ADDRESSES immediately —
+// it must only ever be fed blocks whose grace period has already passed.
+// VersionedCAS routes every retired VNode through ebr::retire, whose
+// 3-epoch rule guarantees no pinned reader still holds the pointer by the
+// time the deleter pushes it here; that is what keeps install_over's
+// pointer-identity (ABA) argument intact even though addresses recur.
+// (Unpublished nodes — a lost CAS's scratch node — may be pushed directly:
+// no other thread ever saw the address in its current life.)
+//
+// Slabs themselves are never returned to the OS mid-run; they are owned by
+// a per-size-class registry and freed at process exit, so a long run's
+// memory footprint is the high-water mark of LIVE blocks, not of total
+// allocations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "util/padded.h"
+#include "util/threading.h"
+
+namespace vcas::util {
+
+// Aggregated over every block size class. Monotone counters; sample before
+// and after a phase and diff (benches do exactly that).
+struct PoolStats {
+  std::uint64_t allocs;      // blocks handed out
+  std::uint64_t frees;       // blocks returned (recycled for future allocs)
+  std::uint64_t slabs;       // slabs carved from the OS allocator
+  std::uint64_t slab_bytes;  // bytes obtained from the OS allocator
+};
+
+namespace detail {
+
+// Counters are per thread slot, summed on read: alloc/free run once per
+// WRITE on the store's hot path, and a shared fetch_add there would put a
+// contended cache line in every writer's critical path (measured as a
+// multi-writer throughput collapse in bench_write_churn). Each slot is
+// written by its owning thread only (relaxed atomics make the cross-thread
+// sum race-free); slot recycling keeps the totals exact because counters
+// are cumulative per slot, not per thread.
+struct PoolCounterSlot {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> slabs{0};
+  std::atomic<std::uint64_t> slab_bytes{0};
+};
+
+inline Padded<PoolCounterSlot>* pool_counters() {
+  static Padded<PoolCounterSlot> counters[kMaxThreads];
+  return counters;
+}
+
+inline PoolCounterSlot& my_pool_counter() {
+  return pool_counters()[thread_slot()].value;
+}
+
+}  // namespace detail
+
+inline PoolStats pool_stats() {
+  PoolStats s{0, 0, 0, 0};
+  const Padded<detail::PoolCounterSlot>* counters = detail::pool_counters();
+  const int live = slot_high_water();
+  for (int i = 0; i < live; ++i) {
+    s.allocs += counters[i].value.allocs.load(std::memory_order_relaxed);
+    s.frees += counters[i].value.frees.load(std::memory_order_relaxed);
+    s.slabs += counters[i].value.slabs.load(std::memory_order_relaxed);
+    s.slab_bytes +=
+        counters[i].value.slab_bytes.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+// One pool per (BlockSize, Align) pair; all VersionedCAS<T> instantiations
+// with equal VNode size share a pool.
+//
+// Free blocks are tracked as POINTER VECTORS, not intrusive linked lists:
+// pushing and popping never touches the block itself, so a cold block
+// (retired an epoch-stall ago and long evicted) costs no cache miss until
+// the caller actually constructs in it — and the pop path prefetches the
+// next block's line one allocation ahead, hiding even that. An intrusive
+// list, by contrast, takes a dependent-load miss per hop the moment the
+// freelist goes cold (measured as most of the coalescing write path's
+// overhead in bench_write_churn).
+template <std::size_t BlockSize, std::size_t Align = alignof(std::max_align_t)>
+class SlabPool {
+  static constexpr std::size_t kPayload = BlockSize > 1 ? BlockSize : 1;
+  static constexpr std::size_t kStride = (kPayload + Align - 1) / Align * Align;
+  static constexpr std::size_t kBlocksPerSlab = 64;
+  // Local-cache overflow threshold; donating the COLD half (the bottom of
+  // the LIFO) keeps recently freed, still-warm blocks local while feeding
+  // cross-thread consumers.
+  static constexpr std::size_t kLocalMax = 512;
+
+ public:
+  static void* allocate() {
+    LocalCache& c = local();
+    if (c.blocks.empty()) refill(c);
+    void* b = c.blocks.back();
+    c.blocks.pop_back();
+    // Warm the next pop's target while the caller works on this one.
+    if (!c.blocks.empty()) __builtin_prefetch(c.blocks.back(), 1);
+    bump_counter(detail::my_pool_counter().allocs);
+    return b;
+  }
+
+  static void deallocate(void* p) {
+    LocalCache& c = local();
+    c.blocks.push_back(p);
+    if (c.blocks.size() > kLocalMax) flush_cold_half(c);
+    bump_counter(detail::my_pool_counter().frees);
+  }
+
+  // Test/bench introspection: blocks sitting idle in this thread's cache.
+  static std::size_t local_cached_for_tests() { return local().blocks.size(); }
+
+ private:
+  struct Global {
+    std::mutex mu;
+    std::vector<void*> blocks;
+    std::vector<void*> slabs;
+
+    ~Global() {
+      // Process exit; every thread_local cache has flushed (thread-local
+      // destructors run before static destructors). Freeing the slabs here
+      // keeps ASan/LSan output clean without tracking per-block liveness.
+      for (void* s : slabs) {
+        if constexpr (Align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+          ::operator delete(s, std::align_val_t{Align});
+        } else {
+          ::operator delete(s);
+        }
+      }
+    }
+  };
+
+  struct LocalCache {
+    std::vector<void*> blocks;  // LIFO: back = most recently freed
+
+    ~LocalCache() {
+      // Thread exit: hand every cached block to the shared freelist so a
+      // short-lived thread's slabs are adopted instead of stranded
+      // (recycling_test.cc: ThreadExitOrphanedBlocksAreAdopted).
+      if (blocks.empty()) return;
+      Global& g = global();
+      std::lock_guard<std::mutex> lock(g.mu);
+      g.blocks.insert(g.blocks.end(), blocks.begin(), blocks.end());
+      blocks.clear();
+      blocks.shrink_to_fit();
+    }
+  };
+
+  static Global& global() {
+    static Global g;
+    return g;
+  }
+
+  static LocalCache& local() {
+    thread_local LocalCache c;
+    return c;
+  }
+
+  // Grab a batch from the shared freelist, or carve a fresh slab. Fresh
+  // slabs enter the cache in address order, so first use walks memory
+  // sequentially (hardware-prefetch friendly), exactly like a bump
+  // allocator would.
+  static void refill(LocalCache& c) {
+    Global& g = global();
+    {
+      std::lock_guard<std::mutex> lock(g.mu);
+      if (!g.blocks.empty()) {
+        const std::size_t take =
+            g.blocks.size() < kBlocksPerSlab ? g.blocks.size()
+                                             : kBlocksPerSlab;
+        c.blocks.insert(c.blocks.end(), g.blocks.end() - take,
+                        g.blocks.end());
+        g.blocks.resize(g.blocks.size() - take);
+        return;
+      }
+    }
+    void* slab;
+    if constexpr (Align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      slab = ::operator new(kStride * kBlocksPerSlab, std::align_val_t{Align});
+    } else {
+      slab = ::operator new(kStride * kBlocksPerSlab);
+    }
+    bump_counter(detail::my_pool_counter().slabs);
+    bump_counter(detail::my_pool_counter().slab_bytes,
+                 kStride * kBlocksPerSlab);
+    {
+      std::lock_guard<std::mutex> lock(g.mu);
+      g.slabs.push_back(slab);
+    }
+    char* base = static_cast<char*>(slab);
+    // Reverse order: back() pops lowest address first, ascending from there.
+    for (std::size_t i = kBlocksPerSlab; i-- > 0;) {
+      c.blocks.push_back(base + i * kStride);
+    }
+  }
+
+  static void flush_cold_half(LocalCache& c) {
+    // Donate the BOTTOM half — the blocks that have sat longest and are
+    // least likely to still be cached here.
+    const std::size_t donate = c.blocks.size() / 2;
+    Global& g = global();
+    {
+      std::lock_guard<std::mutex> lock(g.mu);
+      g.blocks.insert(g.blocks.end(), c.blocks.begin(),
+                      c.blocks.begin() + static_cast<std::ptrdiff_t>(donate));
+    }
+    c.blocks.erase(c.blocks.begin(),
+                   c.blocks.begin() + static_cast<std::ptrdiff_t>(donate));
+  }
+};
+
+}  // namespace vcas::util

@@ -27,6 +27,15 @@ inline std::atomic<bool>& slot_in_use(int i) {
   return slots[i].value;
 }
 
+// Highest slot index ever claimed, plus one. Lets the O(kMaxThreads) scans
+// (EBR reservations, camera announcements) touch only slots that have ever
+// been live instead of the full table — a process that peaks at 8 threads
+// scans 8 slots, not 192.
+inline std::atomic<int>& slot_high_water_atomic() {
+  static std::atomic<int> hw{0};
+  return hw;
+}
+
 struct SlotHandle {
   int id = -1;
   SlotHandle() {
@@ -43,6 +52,18 @@ struct SlotHandle {
         if (slot_in_use(i).compare_exchange_strong(
                 expected, true, std::memory_order_acq_rel)) {
           id = i;
+          // seq_cst RMW: the bump must precede, in the seq_cst total order,
+          // everything this thread later publishes through its slot
+          // (announcements, epoch reservations). Scanners exploit that: a
+          // scan that misses this bump proves the slot's first publication
+          // is ordered after the scan, which every scanner tolerates (see
+          // Camera::min_active). One RMW per thread lifetime — not hot.
+          std::atomic<int>& hw = slot_high_water_atomic();
+          int seen = hw.load(std::memory_order_relaxed);
+          while (seen < i + 1 &&
+                 !hw.compare_exchange_weak(seen, i + 1,
+                                           std::memory_order_seq_cst)) {
+          }
           return;
         }
       }
@@ -63,11 +84,29 @@ struct SlotHandle {
 
 }  // namespace detail
 
+// Increment for slot-local stats counters: written only by the slot's
+// owning thread, read cross-thread by stats aggregators, so a relaxed
+// load+store is race-free and keeps the hot path off shared RMWs. If a
+// counter ever gains multiple writers, switch ITS call sites to
+// fetch_add.
+inline void bump_counter(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
+  c.store(c.load(std::memory_order_relaxed) + by, std::memory_order_relaxed);
+}
+
 // Dense id in [0, kMaxThreads) for the calling thread, stable until exit.
 // Aborts (loudly) if the registry is exhausted — see SlotHandle.
 inline int thread_slot() {
   thread_local detail::SlotHandle handle;
   return handle.id;
+}
+
+// Upper bound (exclusive) on every slot id ever handed out. Slot ids are
+// claimed lowest-free-first and the mark never decreases, so scanning
+// [0, slot_high_water()) covers every slot that can carry a published
+// announcement or reservation; see the seq_cst note in SlotHandle for why
+// a concurrent first-time claimant missed by the load is harmless.
+inline int slot_high_water() {
+  return detail::slot_high_water_atomic().load(std::memory_order_seq_cst);
 }
 
 }  // namespace vcas::util

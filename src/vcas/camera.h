@@ -105,10 +105,35 @@ class Camera {
   // Oldest snapshot any announced query may still be reading. Every version
   // with timestamp strictly below this — except the newest such version per
   // object — is unreachable by all current and future readSnapshots.
+  //
+  // Scan cost (audited for ISSUE 4): only slots that have ever been claimed
+  // are visited (util::slot_high_water), and the per-slot loads are acquire
+  // behind ONE seq_cst fence instead of kMaxThreads seq_cst loads. Safety
+  // argument, recorded because trimming against a too-high horizon would
+  // free versions a live reader still needs:
+  //   * A slot above the high-water mark has never been claimed, so its
+  //     announcement is the initial kNoSnapshot — skipping it reads the
+  //     same value. A first-time claimant bumps the mark with a seq_cst RMW
+  //     before its first announcement; if this scan's mark load (seq_cst)
+  //     missed the bump, the bump — and therefore the claimant's later
+  //     announcement store and later takeSnapshot clock read — follows this
+  //     scan's earlier clock load in the seq_cst order S, so the missed
+  //     reader's handle is >= our clock read >= the returned horizon.
+  //   * For a visited slot, the announcer's store is seq_cst and the fence
+  //     below is seq_cst, so they are ordered in S. Store before fence:
+  //     the acquire load after the fence must observe it ([atomics.order]:
+  //     a load that follows a seq_cst fence cannot read a value overwritten
+  //     before an S-earlier store). Fence before store: the announcer's
+  //     takeSnapshot clock read follows the fence — hence our clock load —
+  //     in S, and same-location seq_cst reads are monotone along S, so its
+  //     handle is >= our clock read >= the horizon. Either way no announced
+  //     reader's handle is below the returned value.
   Timestamp min_active() const {
     Timestamp min = timestamp_.load(std::memory_order_seq_cst);
-    for (const auto& a : announce_) {
-      const Timestamp t = a.value.load(std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const int live = util::slot_high_water();
+    for (int i = 0; i < live; ++i) {
+      const Timestamp t = announce_[i].value.load(std::memory_order_acquire);
       if (t < min) min = t;
     }
     return min;

@@ -11,20 +11,54 @@
 // observes a TBD head calls initTS to install a timestamp before relying on
 // it; the vCAS linearizes at the clock read of whichever initTS wins.
 //
-// Extension beyond the paper's pseudocode: optional version-list trimming.
-// Old versions below the camera's min_active() announcement can never be
-// read again, so they may be detached and EBR-retired (see trim()).
+// Extensions beyond the paper's pseudocode (this repo's write-path memory
+// system, ISSUE 4):
+//
+//   * Version-list trimming. Old versions below the camera's min_active()
+//     announcement can never be read again, so they may be detached and
+//     EBR-retired (see trim()). The detached suffix is retired as ONE limbo
+//     entry (ebr::retire_batch) whose deleter walks the dead run — not one
+//     entry per version.
+//
+//   * Clock-gated version coalescing (try_coalesce_below). Two adjacent
+//     versions stamped with the SAME timestamp are indistinguishable to
+//     every snapshot: a reader with handle h >= ts stops at the newer one,
+//     a reader with h < ts skips both. The older node is therefore dead
+//     weight the instant the newer one is stamped equal, and may be
+//     unlinked and recycled. Under a write-heavy, snapshot-light load the
+//     clock barely moves, so this bounds version-list length (and hence
+//     readSnapshot walk length, Theorem 2's bound) by the number of
+//     snapshots taken instead of the number of writes.
+//
+//   * VNode recycling. Nodes come from a per-thread slab pool
+//     (util::SlabPool) instead of the global allocator, and every retired
+//     node is handed back to the pool by its EBR deleter. Addresses recur
+//     only after the 3-epoch grace period, which is exactly the guarantee
+//     install_over's pointer-identity (ABA) argument needs.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <utility>
 
 #include "ebr/ebr.h"
+#include "util/slab_pool.h"
 #include "vcas/camera.h"
 
 namespace vcas {
+
+// Process-wide default for whether VersionedCAS objects draw their VNodes
+// from the recycling slab pool (the PR's write path) or the heap (the
+// seed's). Per-object and fixed at construction, so every node of an
+// object has one allocation origin and the EBR deleters stay trivial.
+// Benches flip the default between phases to ablate the whole write-path
+// memory system; production leaves it on.
+inline std::atomic<bool>& default_node_pooling() {
+  static std::atomic<bool> pooled{true};
+  return pooled;
+}
 
 template <typename T>
 class VersionedCAS {
@@ -32,17 +66,24 @@ class VersionedCAS {
   struct VNode {
     T val;                     // immutable once initialized
     std::atomic<VNode*> nextv; // next older version; written once by vCAS,
-                               // then only by trim() at the pivot
+                               // then only by trim()/coalescing at the
+                               // newer neighbor
     std::atomic<Timestamp> ts; // TBD until initTS installs a clock value
 
-    VNode(T v, VNode* next) : val(v), nextv(next), ts(kTBD) {}
+    VNode(T v, VNode* next) : val(std::move(v)), nextv(next), ts(kTBD) {}
   };
 
   // Precondition (paper, Initialization): the camera's constructor has
   // completed. The initial version is stamped immediately so that every
   // snapshot taken after construction can read it.
   VersionedCAS(T initial, Camera* camera)
-      : vhead_(new VNode(initial, nullptr)), camera_(camera) {
+      : VersionedCAS(std::move(initial), camera,
+                     default_node_pooling().load(std::memory_order_relaxed)) {}
+
+  VersionedCAS(T initial, Camera* camera, bool pooled_nodes)
+      : camera_(camera), pooled_(pooled_nodes) {
+    vhead_.store(make_node(std::move(initial), nullptr),
+                 std::memory_order_relaxed);
     initTS(vhead_.load(std::memory_order_relaxed));
   }
 
@@ -53,12 +94,19 @@ class VersionedCAS {
     VNode* node = vhead_.load(std::memory_order_relaxed);
     while (node != nullptr) {
       VNode* next = node->nextv.load(std::memory_order_relaxed);
-      delete node;
+      destroy_node(node);
       node = next;
     }
   }
 
   // Algorithm 1, lines 36-39. O(1).
+  //
+  // Memory-order note (audited for ISSUE 4): the head load stays seq_cst.
+  // The linearization argument orders this load against initTS clock reads
+  // and takeSnapshot clock CASes through the seq_cst total order S — an
+  // acquire load has no position in S, so a vRead could return a head that
+  // a real-time-earlier write already replaced. (On x86 the downgrade would
+  // be free but unjustifiable; on ARM it would be an actual reordering.)
   T vRead() {
     VNode* head = vhead_.load(std::memory_order_seq_cst);
     initTS(head);
@@ -81,16 +129,22 @@ class VersionedCAS {
   // nullptr if the head is no longer `expected`. Precondition: `expected`
   // came from this object's vReadNode under an EBR pin still in effect —
   // the pin is what rules out address reuse (pointer ABA) and guarantees
-  // `expected` was stamped before the new node is.
+  // `expected` was stamped before the new node is. Node addresses DO recur
+  // through the recycling pool, but only via ebr deleters, i.e. only after
+  // every pin from the address's previous life has been released.
   VNode* install_over(VNode* expected, const T& new_v) {
-    VNode* node = new VNode(new_v, expected);
+    VNode* node = make_node(new_v, expected);
     VNode* e = expected;
     if (vhead_.compare_exchange_strong(e, node, std::memory_order_seq_cst)) {
       initTS(node);
       return node;
     }
-    delete node;  // never published; safe to free immediately
-    initTS(vhead_.load(std::memory_order_seq_cst));  // help the winner
+    destroy_node(node);  // never published; no grace period needed
+    // Helping-only re-load: stamping whatever head we see is idempotent and
+    // best-effort (the winner, and every reader, also stamps), so this load
+    // needs no position in the seq_cst order — acquire suffices to read the
+    // node's fields.
+    initTS(vhead_.load(std::memory_order_acquire));
     return nullptr;
   }
 
@@ -101,22 +155,31 @@ class VersionedCAS {
     initTS(head);
     if (head->val != old_v) return false;
     if (new_v == old_v) return true;
-    VNode* new_node = new VNode(new_v, head);
+    VNode* new_node = make_node(std::move(new_v), head);
     if (vhead_.compare_exchange_strong(head, new_node,
                                        std::memory_order_seq_cst)) {
       initTS(new_node);
       return true;
     }
-    delete new_node;  // never published; safe to free immediately
-    initTS(vhead_.load(std::memory_order_seq_cst));
+    destroy_node(new_node);  // never published; no grace period needed
+    initTS(vhead_.load(std::memory_order_acquire));  // helping-only; see above
     return false;
   }
 
   // Algorithm 1, lines 31-35. Wait-free: the walk is bounded by the number
-  // of successful vCASes with timestamps greater than ts (Theorem 2).
+  // of successful vCASes with timestamps greater than ts (Theorem 2) — and,
+  // with coalescing, by the number of DISTINCT timestamps above ts.
   // Precondition: ts came from the associated camera's takeSnapshot, taken
-  // after this object was constructed; with trimming enabled the snapshot
-  // must be announced (SnapshotGuard does both).
+  // after this object was constructed; with trimming or coalescing enabled
+  // the snapshot must be announced (SnapshotGuard does both).
+  //
+  // Memory-order note: the head load stays seq_cst for the same reason as
+  // vRead's — a node stamped <= ts must be found by this walk, and the
+  // proof runs through the seq_cst order (takeSnapshot's clock CAS follows
+  // the stamping initTS's clock read in S, and this load follows the
+  // takeSnapshot). The per-node ts/nextv loads are acquire: they only need
+  // to observe fields published by the install/stamp releases of nodes the
+  // head load already anchored.
   T readSnapshot(Timestamp ts) {
     VNode* node = vhead_.load(std::memory_order_seq_cst);
     initTS(node);
@@ -147,8 +210,9 @@ class VersionedCAS {
   // reference (no copy of embedded shared state), and transaction
   // validation walks onward from the returned node. The node (and, via
   // nextv, everything the walk can reach: trimming never detaches below a
-  // node a `visible`-satisfying reader can stop at) stays readable while
-  // the caller is EBR-pinned.
+  // node a `visible`-satisfying reader can stop at, and coalescing never
+  // unlinks a node any predicate-guided walk can stop at — see
+  // try_coalesce_below) stays readable while the caller is EBR-pinned.
   template <typename Pred>
   VNode* readSnapshotNodeWhere(Timestamp ts, Pred&& visible) {
     VNode* node = vhead_.load(std::memory_order_seq_cst);
@@ -161,6 +225,102 @@ class VersionedCAS {
              "visible version at or below ts (precondition violation)");
     }
     return node;
+  }
+
+  // --- write-path memory system (not part of the paper's interface) --------
+
+  // Clock-gated coalescing: unlink and recycle the run of versions directly
+  // below `node` that carry the SAME timestamp as `node`. Called by the
+  // thread that just installed `node` (via install_over or vCAS), after the
+  // install stamped it.
+  //
+  // Preconditions:
+  //   * the caller holds an ebr::Guard, and every concurrent reader of this
+  //     object is EBR-pinned (same contract as trim(); plain unpinned
+  //     readSnapshot use is only legal on objects that never trim or
+  //     coalesce);
+  //   * `node`'s value is unconditionally visible to every predicate any
+  //     reader of this object passes to readSnapshot[Node]Where — the
+  //     caller installed the value, so it knows (the store only coalesces
+  //     under plain, un-ticketed records);
+  //   * `droppable(below.val)` returns true only for values whose version
+  //     node no helper protocol needs to find by identity (the store
+  //     rejects every ticketed record — see store.h).
+  //
+  // Correctness: let c = node->ts. Every unlinked node B satisfies
+  // B.ts == c with `node` (always-visible, stamped c) above it. A reader
+  // with handle h >= c stops at `node` or newer, never reaching B; a reader
+  // with h < c skips both node and B (both stamped c > h). B's unique
+  // predecessor is `node` (each version's nextv is written once, to the
+  // node it was installed over), so redirecting node->nextv removes B from
+  // every future walk, and in-flight walkers already at B still read its
+  // intact fields under their pins. Handles can never "land between" two
+  // equal stamps: a handle h >= c is only issued after the clock passed c,
+  // after which no initTS can stamp c anymore — so the order of equal-
+  // stamped versions is unobservable, which is what makes the replaced
+  // history indistinguishable from the chained one.
+  //
+  // Mutual exclusion: the unlink serializes with trim_where and with other
+  // coalescers on this object through the trimming_ try-lock (skip, never
+  // wait — a skipped coalesce just leaves the chain for the next writer,
+  // whose loop drains the backlog). Holding the lock, `vhead_ == node`
+  // proves `node` itself was never unlinked: unlinking requires the lock,
+  // prior holders' observations are visible here (lock release/acquire +
+  // read-read coherence), and an unlinked or trimmed `node` implies a
+  // head past `node` that can never return to it while we hold a pin.
+  //
+  // Returns the number of versions unlinked (each retired through EBR into
+  // the recycling pool).
+  template <typename Pred>
+  std::size_t try_coalesce_below(VNode* node, Pred&& droppable) {
+    const Timestamp ts = node->ts.load(std::memory_order_acquire);
+    assert(ts != kTBD && "coalesce before the installed node was stamped");
+    VNode* below = node->nextv.load(std::memory_order_acquire);
+    if (below == nullptr || below->ts.load(std::memory_order_acquire) != ts) {
+      return 0;  // clock moved (or seed reached): nothing equal-stamped
+    }
+    bool expected = false;
+    if (!trimming_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire)) {
+      return 0;  // trimmer or another coalescer active: skip, don't wait
+    }
+    std::size_t unlinked = 0;
+    if (vhead_.load(std::memory_order_acquire) == node) {
+      // Collect the droppable equal-stamp run (up to kMaxRun per attempt —
+      // pacing means backlogs drain across attempts) under the lock, while
+      // the nodes are still warm, then remove it with ONE pointer swing
+      // and ONE limbo entry. The run's internal links are left untouched:
+      // in-flight pinned walkers already inside it keep walking through to
+      // the live continuation; future walkers are routed around it by the
+      // swing.
+      VNode* first = node->nextv.load(std::memory_order_acquire);
+      VNode* cur = first;
+      VNode* cont = first;
+      VNode* run_nodes[kMaxRun];
+      while (unlinked < kMaxRun && cur != nullptr &&
+             cur->ts.load(std::memory_order_acquire) == ts &&
+             droppable(static_cast<const T&>(cur->val))) {
+        run_nodes[unlinked++] = cur;
+        cont = cur->nextv.load(std::memory_order_acquire);
+        cur = cont;
+      }
+      if (unlinked > 0) {
+        node->nextv.store(cont, std::memory_order_release);
+        if (unlinked == 1) {
+          ebr::retire(first, pooled_ ? &delete_one : &delete_one_heap);
+        } else {
+          auto* run = new (RunPool::allocate()) DeadRun;
+          run->count = unlinked;
+          run->pooled = pooled_;
+          for (std::size_t i = 0; i < unlinked; ++i) {
+            run->nodes[i] = run_nodes[i];
+          }
+          ebr::retire_batch(run, &delete_dead_run, unlinked);
+        }
+      }
+    }
+    trimming_.store(false, std::memory_order_release);
+    return unlinked;
   }
 
   // --- introspection / GC extension (not part of the paper's interface) ---
@@ -206,8 +366,10 @@ class VersionedCAS {
                                            std::memory_order_acquire)) {
       return 0;
     }
-    std::size_t detached = 0;
-    VNode* node = vhead_.load(std::memory_order_seq_cst);
+    // Memory-order note: an acquire head load suffices here (unlike the
+    // read paths): a stale head only starts the pivot search lower, which
+    // picks an older (still correct, merely conservative) pivot.
+    VNode* node = vhead_.load(std::memory_order_acquire);
     // Find the pivot: newest node with a valid ts <= min_active that is
     // visible at min_active. A TBD head is treated as "too new" — its
     // eventual timestamp is unknown here.
@@ -219,13 +381,22 @@ class VersionedCAS {
       }
       node = node->nextv.load(std::memory_order_acquire);
     }
+    std::size_t detached = 0;
     if (node != nullptr) {
       VNode* old = node->nextv.exchange(nullptr, std::memory_order_acq_rel);
-      while (old != nullptr) {
-        VNode* next = old->nextv.load(std::memory_order_relaxed);
-        ebr::retire(old);
+      // Count the dead run, then retire it as ONE limbo entry: the suffix
+      // keeps its internal links (in-flight pinned walkers may still be
+      // inside it and walk through to its end, the initial version), so a
+      // single deleter can walk it again at reclamation time. One
+      // entry per trim instead of one per version is what keeps trim's
+      // limbo bookkeeping O(1).
+      for (VNode* n = old; n != nullptr;
+           n = n->nextv.load(std::memory_order_relaxed)) {
         ++detached;
-        old = next;
+      }
+      if (old != nullptr) {
+        ebr::retire_batch(
+            old, pooled_ ? &delete_run<true> : &delete_run<false>, detached);
       }
     }
     trimming_.store(false, std::memory_order_release);
@@ -233,8 +404,82 @@ class VersionedCAS {
   }
 
  private:
+  using Pool = util::SlabPool<sizeof(VNode), alignof(VNode)>;
+
+  // Header describing a coalesced-away run. The nodes are recorded BY
+  // ADDRESS (not walked via nextv) for two reasons: the run's last node
+  // still points into the live chain (a link walk would need a count bound
+  // anyway), and by reclamation time the nodes are cache-cold — an array
+  // lets the deleter prefetch them all up front instead of taking a
+  // dependent-load miss per hop. Pool-allocated: one small header per run
+  // is the only allocation coalescing ever adds, amortized over the run.
+  static constexpr std::size_t kMaxRun = 16;
+  struct DeadRun {
+    std::size_t count;
+    bool pooled;  // allocation origin of the nodes (matches the object's)
+    VNode* nodes[kMaxRun];
+  };
+  using RunPool = util::SlabPool<sizeof(DeadRun), alignof(DeadRun)>;
+
+  VNode* make_node(T v, VNode* next) {
+    if (pooled_) return new (Pool::allocate()) VNode(std::move(v), next);
+    return new VNode(std::move(v), next);
+  }
+
+  void destroy_node(VNode* node) {
+    destroy_node_as(node, pooled_);
+  }
+
+  static void destroy_node_as(VNode* node, bool pooled) {
+    if (pooled) {
+      node->~VNode();
+      Pool::deallocate(node);
+    } else {
+      delete node;
+    }
+  }
+
+  // EBR deleters (plain function pointers — no per-retire thunk state).
+  // Chosen by the retiring object's allocation origin.
+  static void delete_one(void* p) {
+    destroy_node_as(static_cast<VNode*>(p), true);
+  }
+  static void delete_one_heap(void* p) {
+    destroy_node_as(static_cast<VNode*>(p), false);
+  }
+
+  // Trim suffixes end at the original oldest version (nextv == nullptr).
+  template <bool Pooled>
+  static void delete_run(void* p) {
+    VNode* node = static_cast<VNode*>(p);
+    while (node != nullptr) {
+      VNode* next = node->nextv.load(std::memory_order_relaxed);
+      destroy_node_as(node, Pooled);
+      node = next;
+    }
+  }
+
+  static void delete_dead_run(void* p) {
+    DeadRun* run = static_cast<DeadRun*>(p);
+    for (std::size_t i = 0; i < run->count; ++i) {
+      __builtin_prefetch(run->nodes[i], 1);
+    }
+    for (std::size_t i = 0; i < run->count; ++i) {
+      destroy_node_as(run->nodes[i], run->pooled);
+    }
+    run->~DeadRun();
+    RunPool::deallocate(run);
+  }
+
   // Algorithm 1, lines 19-22. Idempotent; at most one CAS ever succeeds
   // because ts only transitions TBD -> valid.
+  //
+  // Memory-order note: the clock read (Camera::current, seq_cst) and the
+  // stamp CAS stay seq_cst — together they ARE the vCAS's linearization
+  // point, and the snapshot-stability proof positions them in the seq_cst
+  // order against takeSnapshot's clock ops ("append happens-before
+  // stamp-read" + "clock > handle at takeSnapshot return" is what makes
+  // equal-stamped runs unobservable, which coalescing then exploits).
   void initTS(VNode* node) {
     if (node->ts.load(std::memory_order_acquire) == kTBD) {
       Timestamp cur = camera_->current();
@@ -244,9 +489,10 @@ class VersionedCAS {
     }
   }
 
-  std::atomic<VNode*> vhead_;
+  std::atomic<VNode*> vhead_{nullptr};
   Camera* camera_;
   std::atomic<bool> trimming_{false};
+  const bool pooled_;  // allocation origin of every node of this object
 };
 
 }  // namespace vcas

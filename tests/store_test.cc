@@ -296,6 +296,11 @@ TYPED_TEST(StoreTest, OverlappingConcurrentBatchesStayAtomic) {
 
 TYPED_TEST(StoreTest, TrimAllDropsHistoryNoReaderNeeds) {
   typename TestFixture::Store store(4);
+  // This test exercises trim on long per-key chains, so the history must
+  // actually accumulate: pin write-path coalescing off (with it on, these
+  // equal-stamped rounds would collapse as they are written — that shape
+  // is covered by coalescing_test.cc).
+  store.set_coalescing(false);
   for (int round = 0; round < 50; ++round) {
     for (K k = 0; k < 8; ++k) store.put(k, round);
   }

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare freshly produced BENCH_*.json files against a committed baseline.
+
+Usage: tools/bench_compare.py <baseline_dir> [<current_dir>]
+
+For every BENCH_<name>.json present in BOTH directories, rows are matched
+by their identity fields (every string-valued field, e.g. mix/backend/
+write_path, plus thread/shard counts) and the throughput-like metrics are
+compared. A current value more than --threshold (default 20%) below the
+baseline prints a warning; on GitHub Actions it becomes a ::warning::
+annotation. ALWAYS exits 0 — bench boxes are noisy, so this step informs,
+it does not gate. Machine-shape differences between the baseline recording
+machine and CI runners are expected; watch trends, not absolutes.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Higher-is-better metrics worth flagging. Anything else (counts, bytes,
+# versions) is context, not a gate.
+THROUGHPUT_KEYS = (
+    "put_mops",
+    "burst_mops",
+    "total_mops",
+    "update_mops",
+    "mops",
+    "rq_per_sec",
+    "commits_per_sec",
+    "ops_per_sec",
+)
+
+# Row fields that identify a configuration (ints that are knobs, not
+# results).
+IDENTITY_INT_KEYS = ("threads", "writers", "shards", "rq_size", "size")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def row_key(row):
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if isinstance(v, str) or k in IDENTITY_INT_KEYS:
+            parts.append(f"{k}={v}")
+    return ",".join(parts)
+
+
+def warn(msg):
+    if os.environ.get("GITHUB_ACTIONS"):
+        print(f"::warning title=bench regression::{msg}")
+    else:
+        print(f"WARNING: {msg}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline_dir")
+    ap.add_argument("current_dir", nargs="?", default=".")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="relative drop that triggers a warning")
+    args = ap.parse_args()
+
+    names = sorted(
+        n for n in os.listdir(args.baseline_dir)
+        if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}")
+        return 0
+
+    warned = compared = 0
+    for name in names:
+        cur_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(cur_path):
+            print(f"{name}: no current run (skipped)")
+            continue
+        try:
+            base = load(os.path.join(args.baseline_dir, name))
+            cur = load(cur_path)
+        except (json.JSONDecodeError, OSError) as e:
+            warn(f"{name}: unreadable ({e})")
+            continue
+        base_rows = {row_key(r): r for r in base.get("rows", [])}
+        for row in cur.get("rows", []):
+            b = base_rows.get(row_key(row))
+            if b is None:
+                continue
+            for key in THROUGHPUT_KEYS:
+                if key not in row or key not in b:
+                    continue
+                try:
+                    bv, cv = float(b[key]), float(row[key])
+                except (TypeError, ValueError):
+                    continue
+                if bv <= 0:
+                    continue
+                compared += 1
+                drop = (bv - cv) / bv
+                if drop > args.threshold:
+                    warned += 1
+                    warn(f"{name} [{row_key(row)}] {key}: "
+                         f"{cv:.3g} vs baseline {bv:.3g} "
+                         f"({drop * 100:.0f}% drop)")
+    print(f"bench_compare: {compared} metrics compared, {warned} warnings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
