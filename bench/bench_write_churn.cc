@@ -15,6 +15,13 @@
 //                         it O(1).
 //   snapshot_heavy        writers plus dedicated back-to-back fresh
 //                         multiGet readers (snapshot-rate-bound)
+//   delete_heavy          (ISSUE 5, separate section below) a fixed live
+//                         set plus put/remove churn over a large transient
+//                         key space, with the maintenance pool's tombstone
+//                         cell GC on vs a trim-only loop — the acceptance
+//                         metric is the STEADY-STATE CELL COUNT, which GC
+//                         bounds near the live set and trim-only grows
+//                         with every key ever touched
 //
 // Each mix runs with clock-gated coalescing off and on, in the store's
 // production configuration: background trimming ENABLED. Trimming is what
@@ -193,6 +200,143 @@ Result run_mix(const MixSpec& mix, bool optimized, int writers, int run_ms,
   return r;
 }
 
+// --- delete-heavy mix (ISSUE 5): does tombstone cell GC bound the store? ----
+//
+// Writers keep a fixed LIVE key set hot while churning a large TRANSIENT
+// key space with put-then-remove pairs; a reader thread takes periodic
+// multiGet snapshots (which is also what moves the clock, and hence the GC
+// horizon). Without cell GC every transient key leaves an immortal
+// tombstone cell — the store's footprint grows with keys EVER touched.
+// With the maintenance pool the steady-state cell count stays near the
+// live set. `gc` off reproduces the PR-4 world: reclamation is a
+// 1ms trim_all loop (versions shrink, cells never do).
+struct ChurnResult {
+  double write_mops = 0;
+  std::size_t keys_touched = 0;
+  std::size_t cells_at_stop = 0;     // steady-state footprint (the metric)
+  std::size_t cells_after_digest = 0;
+};
+
+ChurnResult run_delete_heavy(bool gc_on, int writers, int run_ms,
+                             JsonReport& report) {
+  Store store(kShards);
+  constexpr Key kLivePerWriter = 64;
+  constexpr Key kTransientPerWriter = 4096;
+  constexpr Key kStride = kLivePerWriter + kTransientPerWriter;
+
+  const MemorySample mem_before = memory_sample();
+  const vcas::maint::Stats maint_before = store.maintenance_stats();
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+
+  std::thread trim_only;
+  if (gc_on) {
+    store.enable_maintenance(2, std::chrono::milliseconds(1));
+  } else {
+    trim_only = std::thread([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        store.trim_all();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  vcas::util::Padded<std::uint64_t> write_ops[vcas::util::kMaxThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      const Key base = static_cast<Key>(t) * kStride;
+      std::uint64_t ops = 0;
+      std::uint64_t i = 0;
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        store.put(base + static_cast<Key>(i % kLivePerWriter),
+                  static_cast<std::int64_t>(i));
+        const Key tk = base + kLivePerWriter +
+                     static_cast<Key>(i % kTransientPerWriter);
+        store.put(tk, static_cast<std::int64_t>(i));
+        store.remove(tk);
+        ops += 3;
+        ++i;
+      }
+      write_ops[t].value = ops;
+    });
+  }
+  std::thread reader([&] {
+    vcas::util::Xoshiro256 rng(4242);
+    std::vector<Key> sample(8);
+    while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+    while (!stop.load(std::memory_order_acquire)) {
+      for (Key& k : sample) {
+        // Draw from the writers' ACTUAL live windows (each writer's keys
+        // start at t * kStride), so the reads hit hot cells rather than
+        // tombstoned transient keys.
+        const std::uint64_t w = rng.next_in(
+            static_cast<std::uint64_t>(writers > 0 ? writers : 1));
+        k = static_cast<Key>(w) * kStride +
+            static_cast<Key>(
+                rng.next_in(static_cast<std::uint64_t>(kLivePerWriter)));
+      }
+      store.multiGet(sample);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  vcas::util::Timer timer;
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  reader.join();
+  const double secs = timer.elapsed_seconds();
+
+  ChurnResult r;
+  // Steady-state footprint, sampled with the maintenance still configured
+  // exactly as it ran (the pool keeps working; that IS the steady state).
+  r.cells_at_stop = store.total_cells();
+  if (gc_on) {
+    store.disable_maintenance();
+  } else {
+    trim_only.join();
+  }
+  std::uint64_t ops = 0;
+  for (int t = 0; t < writers; ++t) ops += write_ops[t].value;
+  r.write_mops = static_cast<double>(ops) / secs / 1e6;
+  // Every writer's live window plus however much of the transient space
+  // its op count covered.
+  for (int t = 0; t < writers; ++t) {
+    const std::uint64_t iters = write_ops[t].value / 3;
+    r.keys_touched +=
+        kLivePerWriter +
+        static_cast<std::size_t>(
+            iters < static_cast<std::uint64_t>(kTransientPerWriter)
+                ? iters
+                : static_cast<std::uint64_t>(kTransientPerWriter));
+  }
+  // Digest to a fixed point (horizon moved one last time so every
+  // tombstone ages out), then measure the reclaimable floor.
+  store.camera().takeSnapshot();
+  if (gc_on) store.maintain_all();
+  while (store.trim_all() > 0) {
+  }
+  r.cells_after_digest = store.total_cells();
+  const vcas::maint::Stats maint_now = store.maintenance_stats();
+
+  JsonRow row;
+  row.field("mix", "delete_heavy")
+      .field("gc", gc_on ? "on" : "off")
+      .field("writers", static_cast<long long>(writers))
+      .field("write_mops", r.write_mops)
+      .field("keys_touched", static_cast<long long>(r.keys_touched))
+      .field("cells_at_stop", static_cast<long long>(r.cells_at_stop))
+      .field("cells_after_digest",
+             static_cast<long long>(r.cells_after_digest));
+  add_memory_fields(row, mem_before);
+  add_maintenance_fields(row, maint_before, maint_now);
+  report.add(row);
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -241,6 +385,30 @@ int main() {
                       (on.versions_per_key > 0 ? on.versions_per_key : 1));
     }
     std::printf("\n");
+  }
+
+  std::printf("== Delete-heavy churn: tombstone cell GC (maintenance pool) "
+              "==\n");
+  std::printf("fixed live set + transient put/remove churn; gc off = 1ms "
+              "trim_all loop (PR 4's reclamation: versions shrink, cells "
+              "never do), gc on = 2-worker maintenance pool\n\n");
+  for (int writers : cfg.threads) {
+    std::printf("-- %d writer(s), %d ms --\n", writers, cfg.run_ms);
+    std::printf("%-4s %12s %14s %15s %18s\n", "gc", "write Mops/s",
+                "keys_touched", "cells_at_stop", "cells_after_digest");
+    ChurnResult results[2];
+    const bool modes[2] = {false, true};
+    for (int m = 0; m < 2; ++m) {
+      results[m] = run_delete_heavy(modes[m], writers, cfg.run_ms, report);
+      std::printf("%-4s %12.3f %14zu %15zu %18zu\n", modes[m] ? "on" : "off",
+                  results[m].write_mops, results[m].keys_touched,
+                  results[m].cells_at_stop, results[m].cells_after_digest);
+    }
+    std::printf("-> cell GC: %.1fx fewer steady-state cells\n\n",
+                static_cast<double>(results[0].cells_at_stop) /
+                    static_cast<double>(results[1].cells_at_stop > 0
+                                            ? results[1].cells_at_stop
+                                            : 1));
   }
   vcas::ebr::drain_for_tests();
   return 0;

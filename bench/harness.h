@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "maint/maintenance.h"
 #include "util/barrier.h"
 #include "util/padded.h"
 #include "util/rng.h"
@@ -188,6 +189,48 @@ inline void add_memory_fields(JsonRow& row, const MemorySample& before) {
   row.field("pool_slab_bytes",
             static_cast<long long>(now.pool.slab_bytes -
                                    before.pool.slab_bytes));
+}
+
+// Append the maintenance subsystem's behavior over a phase (deltas vs a
+// Stats sampled before it, absolutes where a delta is meaningless):
+//   maint_tasks            janitor tasks run
+//   maint_tasks_dropped    stale-generation tasks dropped unrun
+//   maint_hints            write-path hints enqueued
+//   maint_trimmed          versions detached by incremental trim
+//   maint_coalesced        versions unlinked by horizon-side coalescing
+//   maint_cells_gcd        tombstone cells structurally reclaimed
+//   maint_aborts_unlinked  decided-aborted records spliced out
+//   maint_queue_depth      tasks waiting at sample time (absolute)
+//   maint_task_us_avg      mean per-task latency over the phase (delta)
+//   maint_task_us_max      slowest task since pool creation (ABSOLUTE —
+//                          a running max cannot be delta'd; phases after
+//                          the first inherit earlier outliers)
+inline void add_maintenance_fields(JsonRow& row, const maint::Stats& before,
+                                   const maint::Stats& now) {
+  const std::uint64_t tasks = now.tasks_run - before.tasks_run;
+  row.field("maint_tasks", static_cast<long long>(tasks));
+  row.field("maint_tasks_dropped",
+            static_cast<long long>(now.tasks_dropped - before.tasks_dropped));
+  row.field("maint_hints",
+            static_cast<long long>(now.hints - before.hints));
+  row.field("maint_trimmed", static_cast<long long>(now.versions_trimmed -
+                                                    before.versions_trimmed));
+  row.field("maint_coalesced",
+            static_cast<long long>(now.versions_coalesced -
+                                   before.versions_coalesced));
+  row.field("maint_cells_gcd", static_cast<long long>(now.cells_detached -
+                                                      before.cells_detached));
+  row.field("maint_aborts_unlinked",
+            static_cast<long long>(now.aborted_unlinked -
+                                   before.aborted_unlinked));
+  row.field("maint_queue_depth", static_cast<long long>(now.queue_depth));
+  const std::uint64_t ns = now.task_ns_total - before.task_ns_total;
+  row.field("maint_task_us_avg",
+            tasks > 0 ? static_cast<double>(ns) /
+                            static_cast<double>(tasks) / 1e3
+                      : 0.0);
+  row.field("maint_task_us_max",
+            static_cast<double>(now.task_ns_max) / 1e3);
 }
 
 // The paper's key-range rule: with insert fraction i and delete fraction d

@@ -218,6 +218,24 @@ class ChromaticTreeT {
   }
 
   bool remove(const K& key) {
+    return remove_if(key, [](const V&) { return true; });
+  }
+
+  // Conditional unlink hook for the store's tombstone cell GC (ISSUE 5):
+  // remove the key's entry iff it currently maps to `expected` (leaves are
+  // immutable — inserts and clones install fresh leaves). False means
+  // absent or mapped elsewhere at the validated descent's linearization
+  // point; the store only erases values that are never re-inserted
+  // (detached cells), which makes that verdict permanent, so the caller
+  // may then retire `expected`.
+  template <typename U>
+  bool erase(const K& key, const U& expected) {
+    return remove_if(key, [&](const V& v) { return v == expected; });
+  }
+
+ private:
+  template <typename Pred>
+  bool remove_if(const K& key, Pred&& value_ok) {
     ebr::Guard g;
     for (;;) {
       Node* gp = nullptr;
@@ -230,6 +248,16 @@ class ChromaticTreeT {
       }
       if (!(l->inf == 0 && l->key == key)) {
         // Validate absence against a stable parent before reporting false.
+        Llx rp = llx(p);
+        if (!rp.ok) continue;
+        const bool go_left = key_less_node(key, p);
+        if ((go_left ? rp.left : rp.right) != l) continue;
+        return false;
+      }
+      if (!value_ok(l->value)) {
+        // Same stable-parent validation before reporting a value mismatch:
+        // a stale descent must not turn into a (permanent, to the GC
+        // caller) "maps elsewhere" verdict.
         Llx rp = llx(p);
         if (!rp.ok) continue;
         const bool go_left = key_less_node(key, p);
@@ -266,6 +294,7 @@ class ChromaticTreeT {
     }
   }
 
+ public:
   // --- snapshot queries (versioned flavor only) ----------------------------
 
   std::vector<std::pair<K, V>> range(const K& lo, const K& hi)

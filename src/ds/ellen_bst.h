@@ -283,10 +283,29 @@ class EllenBST {
   }
 
   bool remove(const K& key) {
+    return remove_if(key, [](const V&) { return true; });
+  }
+
+  // Conditional unlink hook for the store's tombstone cell GC (ISSUE 5):
+  // remove the key's entry iff it currently maps to `expected` (leaves are
+  // immutable — inserts install fresh leaves — so the check is a plain
+  // read on the search-result leaf). False means absent or mapped
+  // elsewhere at the search's linearization point; the store only erases
+  // values that are never re-inserted (detached cells), which makes that
+  // verdict permanent, so the caller may then retire `expected`.
+  template <typename U>
+  bool erase(const K& key, const U& expected) {
+    return remove_if(key, [&](const V& v) { return v == expected; });
+  }
+
+ private:
+  template <typename Pred>
+  bool remove_if(const K& key, Pred&& value_ok) {
     ebr::Guard g;
     for (;;) {
       SearchResult s = search(key);
       if (!(s.l->inf == 0 && s.l->key == key)) return false;
+      if (!value_ok(s.l->value)) return false;
       if (state_of(s.gpupdate) != kClean) {
         help(s.gpupdate);
         continue;
@@ -316,6 +335,7 @@ class EllenBST {
     }
   }
 
+ public:
   // --- snapshot queries (versioned flavor only) ----------------------------
 
   // All (key, value) with key in [lo, hi], atomic at the snapshot.

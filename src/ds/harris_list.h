@@ -84,21 +84,43 @@ class VcasHarrisList {
 
   // Removes key; returns false if absent. Linearizes at the marking vCAS.
   bool remove(const K& key) {
+    return remove_if(key, [](const V&) { return true; });
+  }
+
+  // Conditional unlink hook for the store's tombstone cell GC (ISSUE 5):
+  // remove the key's entry iff it currently maps to `expected` (node
+  // values are immutable, so the check is a plain read). Returns true when
+  // THIS call removed the mapping. A false return means the key is absent
+  // or maps to a different value at the operation's linearization point;
+  // the store only erases values that can never be re-inserted (a detached
+  // cell is never re-used), which upgrades that point-in-time verdict to a
+  // permanent one — the caller may then retire `expected`.
+  template <typename U>
+  bool erase(const K& key, const U& expected) {
+    return remove_if(key, [&](const V& v) { return v == expected; });
+  }
+
+ private:
+  // Shared delete protocol (mark, then eager physical unlink; a failed
+  // unlink is cleaned up — and the node retired — by a later search).
+  template <typename Pred>
+  bool remove_if(const K& key, Pred&& value_ok) {
     ebr::Guard g;
     for (;;) {
       auto [left, right] = search(key);
       if (right == tail_ || right->key != key) return false;
+      if (!value_ok(right->val)) return false;
       Node* right_next = right->next.vRead();
       if (!is_marked(right_next)) {
         if (right->next.vCAS(right_next, with_mark(right_next))) {
-          // Attempt eager physical removal; on failure a later search
-          // cleans up (and retires the node).
           if (left->next.vCAS(right, right_next)) ebr::retire(right);
           return true;
         }
       }
     }
   }
+
+ public:
 
   // Membership in the current state (no snapshot), same cost as original.
   bool contains(const K& key) {

@@ -226,6 +226,17 @@ void retire_batch(void* p, void (*deleter)(void*), std::size_t count) {
   }
 }
 
+std::size_t flush() {
+  ThreadState& ts = self();
+  arm_exit_hook();
+  ts.retire_count = 0;
+  const std::uint64_t before =
+      ts.freed_objects.load(std::memory_order_relaxed);
+  scan(ts);
+  return static_cast<std::size_t>(
+      ts.freed_objects.load(std::memory_order_relaxed) - before);
+}
+
 std::size_t drain_for_tests() {
   // Advance the epoch enough times that everything retired so far clears
   // the 3-epoch rule, then sweep every bag. Caller guarantees quiescence.

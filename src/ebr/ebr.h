@@ -53,6 +53,15 @@ void retire(T* p) {
   retire(static_cast<void*>(p), +[](void* q) { delete static_cast<T*>(q); });
 }
 
+// Opportunistic scan: try to advance the epoch and sweep the calling
+// thread's limbo (adopting orphans if uncontended). For long-lived
+// background threads — maintenance workers retire in bursts (whole trim
+// suffixes, coalesced runs, detached cells) and then idle, and without
+// this their last sub-bags would wait for the next burst's retire count
+// to trip a scan. Safe from any thread at any time (a pinned caller
+// simply bounds the sweep by its own reservation). Returns objects freed.
+std::size_t flush();
+
 // Force reclamation of everything retired so far. Only valid when the
 // caller knows no thread is pinned (test teardown, single-threaded phases).
 // Returns the number of objects freed.

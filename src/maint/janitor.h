@@ -1,0 +1,136 @@
+// CellJanitor: the fused per-shard maintenance pass (ISSUE 5).
+//
+// One bounded walk over a shard's cell registry does four jobs per cell,
+// in an order where each job widens the next one's reach:
+//
+//   1. abort-chain cleanup — splice the run of decided-ABORTED records
+//      capping the version chain (VersionedCAS::try_unlink_head_run with
+//      the record_is_aborted_cap predicate, batch.h). Aborted records are
+//      invisible at every handle, so removing them is unobservable; doing
+//      it FIRST can expose a plain tombstone at the head for job 4.
+//   2. incremental trim — detach versions below Camera::min_active(),
+//      batch-commit aware (identical predicate to the old trim_all loop,
+//      now shard-sliced and resumable instead of stop-the-world-ish).
+//   3. horizon-side coalescing — collapse equal-stamp runs ABOVE the
+//      horizon that trim cannot legally touch but coalescing can
+//      (VersionedCAS::maintain_coalesce; the write path's
+//      try_coalesce_below proof extended to interior nodes). This is what
+//      reclaims history pinned by a long-lived analytical view. Gated on
+//      the store's coalescing knob so the seed-faithful ablation mode
+//      stays faithful.
+//   4. tombstone cell GC — structurally unlink absent-stable cells whose
+//      plain tombstone's install stamp is older than min_active(): seal
+//      the cell with a DETACHED sentinel record (one install_over, so a
+//      racing writer loses the head CAS and observes the seal), erase the
+//      (key -> cell) mapping from the backend (conditional erase hook),
+//      unlink the cell from the registry, and EBR-retire cell + remaining
+//      versions as one batch entry. See store.h ("cell GC protocol") for
+//      the full race matrix.
+//
+// Budget & resumability: at most `max_cells` cells are PROCESSED per pass;
+// the next unprocessed cell AND its registry predecessor park in the
+// shard, so a continuation resumes in O(1) — task latency is O(budget),
+// not O(shard size). Both parked pointers stay valid across passes
+// because only janitor passes unlink/retire registry cells, passes on one
+// shard are serialized by the shard's janitor_busy claim, pushes happen
+// strictly at the registry head, and a pass never parks a cell it
+// unlinked.
+//
+// Epochs: the whole pass runs under one ebr::Guard — every splice target
+// an in-flight reader may still hold stays readable until the reader
+// unpins, and everything the pass unlinks retires through EBR batch
+// entries (one per trim suffix / coalesced run / detached cell).
+#pragma once
+
+#include <cstddef>
+
+#include "ebr/ebr.h"
+#include "maint/maintenance.h"
+#include "store/batch.h"
+#include "vcas/camera.h"
+
+namespace vcas::maint {
+
+template <typename Store>
+class CellJanitor {
+  using Cell = typename Store::Cell;
+  using Record = typename Store::Record;
+  using Shard = typename Store::Shard;
+
+ public:
+  // One bounded pass; see the header comment. Skip-don't-wait: a shard
+  // already claimed by another pass returns kBusy untouched.
+  static PassStatus pass(Store& store, std::size_t shard_idx, Counters& c,
+                         std::size_t max_cells) {
+    Shard& shard = *store.shards_[shard_idx];
+    bool expected = false;
+    if (!shard.janitor_busy.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      return PassStatus::kBusy;
+    }
+    ebr::Guard g;
+    const Timestamp horizon = store.camera_.min_active();
+    // Resume in O(1): the previous pass parked the next unprocessed cell
+    // AND its registry predecessor (unlinks need the predecessor, and
+    // re-walking from the head would make task latency O(shard size)
+    // instead of O(budget)). Both pointers are still valid: only
+    // claim-serialized janitor passes unlink/retire registry cells,
+    // pushes happen at the head, and no pass parks a cell it unlinked.
+    // The busy claim's release/acquire pairing publishes the stores.
+    Cell* cell = shard.janitor_cursor.load(std::memory_order_relaxed);
+    Cell* prev = shard.janitor_cursor_prev.load(std::memory_order_relaxed);
+    if (cell == nullptr) {  // fresh cycle: start at the (current) head
+      prev = nullptr;
+      cell = shard.cells.load(std::memory_order_acquire);
+    }
+    std::size_t processed = 0;
+    while (cell != nullptr && processed < max_cells) {
+      Cell* next = cell->next_all.load(std::memory_order_acquire);
+      ++processed;
+      c.cells_visited.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t aborted =
+          cell->rec.try_unlink_head_run([](const Record& r) {
+            return store::record_is_aborted_cap(r.ticket);
+          });
+      if (aborted != 0) {
+        c.aborted_unlinked.fetch_add(aborted, std::memory_order_relaxed);
+      }
+      const std::size_t trimmed =
+          cell->rec.trim_where(horizon, [&](const Record& r) {
+            // The one shared pivot rule (Store::trim_pivot_visible):
+            // foreground and background trim must never diverge.
+            return Store::trim_pivot_visible(r, horizon);
+          });
+      if (trimmed != 0) {
+        c.versions_trimmed.fetch_add(trimmed, std::memory_order_relaxed);
+      }
+      if (store.coalescing()) {
+        const std::size_t coalesced =
+            cell->rec.maintain_coalesce([](const Record& r) {
+              // Keeper/droppable rule: plain, non-detached records are the
+              // ones EVERY store predicate accepts (and none addresses by
+              // node identity) — see maintain_coalesce's proof.
+              return r.ticket == nullptr && !r.detached;
+            });
+        if (coalesced != 0) {
+          c.versions_coalesced.fetch_add(coalesced,
+                                         std::memory_order_relaxed);
+        }
+      }
+      if (store.try_detach_cell(shard, prev, cell, horizon)) {
+        c.cells_detached.fetch_add(1, std::memory_order_relaxed);
+        cell = next;  // prev unchanged: `cell` left the registry
+        continue;
+      }
+      prev = cell;
+      cell = next;
+    }
+    shard.janitor_cursor.store(cell, std::memory_order_relaxed);
+    shard.janitor_cursor_prev.store(cell == nullptr ? nullptr : prev,
+                                    std::memory_order_relaxed);
+    shard.janitor_busy.store(false, std::memory_order_release);
+    return cell == nullptr ? PassStatus::kWrapped : PassStatus::kMore;
+  }
+};
+
+}  // namespace vcas::maint

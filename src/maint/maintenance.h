@@ -1,0 +1,436 @@
+// Shard-parallel background maintenance engine (ISSUE 5).
+//
+// The store's version-history upkeep — incremental trim, horizon-side
+// coalescing, tombstone cell GC, abort-chain cleanup (see maint/janitor.h
+// for the fused per-cell pass) — all schedules through ONE MaintenancePool:
+// N worker threads draining an MPMC queue of per-shard MaintTasks. This
+// replaces the former single trimmer thread whose every tick re-walked
+// every cell of every shard; work now arrives per shard, in bounded
+// resumable slices, from two sources:
+//
+//   * hints — the write path enqueues a shard when it creates work worth
+//     reacting to (a tombstone that GC could reclaim, a churn threshold
+//     crossed). Hints are deduplicated per shard (at most one queued task)
+//     and carry a GENERATION stamp: each hint bumps the shard's
+//     enqueued_gen, each completed pass records the generation it covered
+//     in done_gen, and a popped task whose generation is already covered
+//     drops on the floor instead of re-scanning a clean shard.
+//   * sweeps — a periodic tick (claimed by whichever worker's wait expires
+//     first) enqueues every shard, so quiet shards still trim and a pass
+//     that exhausted its per-task cell budget resumes from its cursor.
+//
+// Progress/locking honesty: the queue is lock-free (Michael–Scott on EBR)
+// and the hinter's wake is a bare notify_one with no mutex, so enqueueing
+// a hint never blocks the write path — a missed wakeup (worker between
+// its empty-queue check and its wait) costs at most one tick of latency,
+// never correctness. The only mutexes in the subsystem guard worker
+// sleep (condvar) and lifecycle (start/stop), which no data-path
+// operation ever touches.
+//
+// The pool is deliberately store-agnostic: it schedules opaque per-shard
+// passes (a PassFn returning whether the shard's cursor wrapped) and owns
+// the counters every pass reports into. Later subsystems (NUMA-aware
+// placement, adaptive backend migration, persistence flushing) are
+// expected to schedule through the same engine.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ebr/ebr.h"
+
+namespace vcas::maint {
+
+enum class TaskKind : std::uint8_t {
+  kHint = 0,   // write-path enqueue (tombstone created, churn threshold)
+  kSweep = 1,  // periodic tick, or the continuation of a budget-bounded pass
+};
+
+struct MaintTask {
+  std::size_t shard = 0;
+  std::uint64_t gen = 0;
+  TaskKind kind = TaskKind::kSweep;
+};
+
+// What one janitor pass did with its shard slice.
+enum class PassStatus {
+  kBusy,     // another pass holds the shard; nothing ran
+  kMore,     // budget exhausted mid-shard; cursor parked, continuation due
+  kWrapped,  // reached the end of the shard's registry
+};
+
+// Live counters, bumped (relaxed) by workers and passes; read via stats().
+struct Counters {
+  std::atomic<std::uint64_t> tasks_run{0};
+  std::atomic<std::uint64_t> tasks_dropped{0};  // stale generation
+  std::atomic<std::uint64_t> hints{0};
+  std::atomic<std::uint64_t> sweeps{0};
+  std::atomic<std::uint64_t> cells_visited{0};
+  std::atomic<std::uint64_t> versions_trimmed{0};
+  std::atomic<std::uint64_t> versions_coalesced{0};
+  std::atomic<std::uint64_t> aborted_unlinked{0};
+  std::atomic<std::uint64_t> cells_detached{0};  // tombstone cells GC'd
+  std::atomic<std::uint64_t> task_ns_total{0};
+  std::atomic<std::uint64_t> task_ns_max{0};
+};
+
+// Plain-value snapshot of Counters for telemetry rows and tests.
+struct Stats {
+  std::uint64_t tasks_run = 0;
+  std::uint64_t tasks_dropped = 0;
+  std::uint64_t hints = 0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t cells_visited = 0;
+  std::uint64_t versions_trimmed = 0;
+  std::uint64_t versions_coalesced = 0;
+  std::uint64_t aborted_unlinked = 0;
+  std::uint64_t cells_detached = 0;
+  std::uint64_t task_ns_total = 0;
+  std::uint64_t task_ns_max = 0;
+  std::size_t queue_depth = 0;
+};
+
+namespace detail {
+
+// Michael–Scott MPMC queue of MaintTasks. Nodes are EBR-retired (push/pop
+// run pinned), so a dequeuer racing another dequeuer can safely read
+// through a node the winner just unlinked — the same reclamation contract
+// as every other lock-free structure in the repo.
+class TaskQueue {
+  struct Node {
+    MaintTask task;
+    std::atomic<Node*> next{nullptr};
+  };
+
+ public:
+  TaskQueue() {
+    Node* dummy = new Node;
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  // Quiescent destruction (pool joined its workers first).
+  ~TaskQueue() {
+    Node* node = head_.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  void push(const MaintTask& t) {
+    ebr::Guard g;
+    Node* node = new Node;
+    node->task = t;
+    for (;;) {
+      Node* last = tail_.load(std::memory_order_acquire);
+      Node* next = last->next.load(std::memory_order_acquire);
+      if (last != tail_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        if (last->next.compare_exchange_weak(next, node,
+                                             std::memory_order_acq_rel)) {
+          tail_.compare_exchange_strong(last, node,
+                                        std::memory_order_acq_rel);
+          return;
+        }
+      } else {
+        tail_.compare_exchange_strong(last, next, std::memory_order_acq_rel);
+      }
+    }
+  }
+
+  bool pop(MaintTask& out) {
+    ebr::Guard g;
+    for (;;) {
+      Node* first = head_.load(std::memory_order_acquire);
+      Node* last = tail_.load(std::memory_order_acquire);
+      Node* next = first->next.load(std::memory_order_acquire);
+      if (first != head_.load(std::memory_order_acquire)) continue;
+      if (first == last) {
+        if (next == nullptr) return false;
+        tail_.compare_exchange_strong(last, next, std::memory_order_acq_rel);
+      } else {
+        out = next->task;  // read before the CAS: the pin keeps next alive
+        if (head_.compare_exchange_strong(first, next,
+                                          std::memory_order_acq_rel)) {
+          ebr::retire(first);
+          return true;
+        }
+      }
+    }
+  }
+
+ private:
+  std::atomic<Node*> head_;
+  std::atomic<Node*> tail_;
+};
+
+}  // namespace detail
+
+class MaintenancePool {
+ public:
+  // One bounded pass over `shard`. Returns what happened; the pool
+  // schedules continuations for kMore and retries (after other work) for
+  // kBusy.
+  using PassFn = std::function<PassStatus(std::size_t shard)>;
+
+  MaintenancePool(std::size_t shards, PassFn pass)
+      : pass_(std::move(pass)),
+        shards_(shards),
+        sched_(std::make_unique<Sched[]>(shards)) {}
+
+  MaintenancePool(const MaintenancePool&) = delete;
+  MaintenancePool& operator=(const MaintenancePool&) = delete;
+
+  ~MaintenancePool() { stop(); }
+
+  // Spawn `workers` threads; every `tick` a full sweep (one task per
+  // shard) is enqueued. Idempotent while running; restartable after
+  // stop().
+  void start(std::size_t workers, std::chrono::milliseconds tick) {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    if (!workers_.empty()) return;
+    tick_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tick).count(),
+        std::memory_order_relaxed);
+    last_tick_ns_.store(0, std::memory_order_relaxed);  // sweep immediately
+    {
+      std::lock_guard<std::mutex> cv_lk(cv_mu_);
+      stop_ = false;
+    }
+    stopping_.store(false, std::memory_order_release);
+    if (workers == 0) workers = 1;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  // Drain-and-join exactly once: workers finish their in-flight pass and
+  // exit; already-queued tasks are kept (they run on a restart, and a
+  // stopped queue costs nothing). Idempotent, and safe against concurrent
+  // stop()/start() calls (dtor + explicit disable + re-enable): the JOIN
+  // happens under lifecycle_mu_, so a racing start() cannot reset the
+  // stop flags while old workers are still reading them, and a second
+  // stop() returns only after the first one's workers are really gone
+  // (the destructor relies on that). Workers never take lifecycle_mu_,
+  // so holding it across the join cannot deadlock.
+  void stop() {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    if (workers_.empty()) return;
+    stopping_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> cv_lk(cv_mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    return !workers_.empty();
+  }
+
+  // Write-path enqueue: lock-free dedup + queue push; wakes a worker only
+  // if one is asleep (see the progress note in the header comment).
+  void hint(std::size_t shard) {
+    counters_.hints.fetch_add(1, std::memory_order_relaxed);
+    enqueue(shard, TaskKind::kHint);
+  }
+
+  // Enqueue a sweep task for every shard (periodic tick; also handy for
+  // tests that want the pool, not the caller, to do the work).
+  void sweep_all() {
+    counters_.sweeps.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < shards_; ++s) enqueue(s, TaskKind::kSweep);
+  }
+
+  Counters& counters() { return counters_; }
+
+  std::size_t queue_depth() const {
+    const std::int64_t d = depth_.load(std::memory_order_relaxed);
+    return d > 0 ? static_cast<std::size_t>(d) : 0;
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.tasks_run = counters_.tasks_run.load(std::memory_order_relaxed);
+    s.tasks_dropped = counters_.tasks_dropped.load(std::memory_order_relaxed);
+    s.hints = counters_.hints.load(std::memory_order_relaxed);
+    s.sweeps = counters_.sweeps.load(std::memory_order_relaxed);
+    s.cells_visited = counters_.cells_visited.load(std::memory_order_relaxed);
+    s.versions_trimmed =
+        counters_.versions_trimmed.load(std::memory_order_relaxed);
+    s.versions_coalesced =
+        counters_.versions_coalesced.load(std::memory_order_relaxed);
+    s.aborted_unlinked =
+        counters_.aborted_unlinked.load(std::memory_order_relaxed);
+    s.cells_detached =
+        counters_.cells_detached.load(std::memory_order_relaxed);
+    s.task_ns_total = counters_.task_ns_total.load(std::memory_order_relaxed);
+    s.task_ns_max = counters_.task_ns_max.load(std::memory_order_relaxed);
+    s.queue_depth = queue_depth();
+    return s;
+  }
+
+ private:
+  // Per-shard scheduling state. `queued` dedups (at most one task per
+  // shard in the queue); the generation pair is what lets stale tasks
+  // drop: work is covered by the pass that READ enqueued_gen after the
+  // state change the hint announced.
+  struct Sched {
+    std::atomic<std::uint64_t> enqueued_gen{0};
+    std::atomic<std::uint64_t> done_gen{0};
+    std::atomic<bool> queued{false};
+  };
+
+  void enqueue(std::size_t shard, TaskKind kind) {
+    Sched& s = sched_[shard];
+    const std::uint64_t gen =
+        s.enqueued_gen.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (!s.queued.exchange(true, std::memory_order_acq_rel)) {
+      queue_.push(MaintTask{shard, gen, kind});
+      depth_.fetch_add(1, std::memory_order_relaxed);
+      wake_one();
+    }
+    // Already queued: the queued task's runner clears `queued` BEFORE it
+    // reads enqueued_gen, so either it observes our bump (covered) or a
+    // later hint re-enqueues. Nothing to do.
+  }
+
+  void wake_one() {
+    if (sleepers_.load(std::memory_order_acquire) == 0) return;
+    // Deliberately NO cv_mu_ here: taking it would let a worker preempted
+    // inside its sleep/wake critical section block the hinting writer —
+    // the stalled-thread-blocks-writers class the store's helping
+    // protocol exists to avoid. The cost is the classic missed-wakeup
+    // window (a worker between its empty-queue check and its wait misses
+    // this notify), which is bounded by the wait's tick timeout and
+    // already tolerated everywhere hints are: a hint's only contract is
+    // "the sweep would have gotten there anyway, just later".
+    cv_.notify_one();
+  }
+
+  void run_task(const MaintTask& task) {
+    Sched& s = sched_[task.shard];
+    s.queued.store(false, std::memory_order_release);
+    const std::uint64_t gen = s.enqueued_gen.load(std::memory_order_acquire);
+    if (task.gen <= s.done_gen.load(std::memory_order_acquire)) {
+      counters_.tasks_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const PassStatus status = pass_(task.shard);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    counters_.tasks_run.fetch_add(1, std::memory_order_relaxed);
+    counters_.task_ns_total.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t prev_max =
+        counters_.task_ns_max.load(std::memory_order_relaxed);
+    while (prev_max < ns && !counters_.task_ns_max.compare_exchange_weak(
+                                prev_max, ns, std::memory_order_relaxed)) {
+    }
+    switch (status) {
+      case PassStatus::kBusy:
+        // Another pass holds the shard and may not have seen task.gen;
+        // requeue so the generation is eventually covered. The competing
+        // holder is making progress, so this cannot livelock — worst case
+        // the task cycles through the queue until the holder finishes.
+        std::this_thread::yield();
+        enqueue(task.shard, task.kind);
+        return;
+      case PassStatus::kMore:
+        // Budget-bounded slice: schedule the continuation ourselves rather
+        // than waiting for the next tick — incremental, not slower.
+        enqueue(task.shard, TaskKind::kSweep);
+        break;
+      case PassStatus::kWrapped:
+        break;
+    }
+    // Record coverage: monotone max (two passes can finish out of order
+    // only across different claims, but stay safe regardless).
+    std::uint64_t done = s.done_gen.load(std::memory_order_relaxed);
+    while (done < gen && !s.done_gen.compare_exchange_weak(
+                             done, gen, std::memory_order_acq_rel)) {
+    }
+  }
+
+  void maybe_tick() {
+    const std::int64_t tick = tick_ns_.load(std::memory_order_relaxed);
+    const std::int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    std::int64_t last = last_tick_ns_.load(std::memory_order_acquire);
+    if (now - last < tick) return;
+    if (last_tick_ns_.compare_exchange_strong(last, now,
+                                              std::memory_order_acq_rel)) {
+      sweep_all();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      // Checked every iteration, not just when idle: writers may keep
+      // hinting (and continuations keep re-enqueueing) while stop() wants
+      // the workers out, so "drain the queue first" would never return.
+      if (stopping_.load(std::memory_order_acquire)) return;
+      MaintTask task;
+      if (queue_.pop(task)) {
+        depth_.fetch_sub(1, std::memory_order_relaxed);
+        run_task(task);
+        continue;
+      }
+      maybe_tick();
+      if (queue_depth() > 0) continue;  // a tick just enqueued work
+      // Idle: opportunistically advance the epoch and sweep our limbo —
+      // a maintenance worker retires in bursts (whole trim suffixes,
+      // coalesced runs, detached cells) and would otherwise sit on its
+      // last sub-bags until the next burst.
+      ebr::flush();
+      std::unique_lock<std::mutex> lk(cv_mu_);
+      if (stop_) return;
+      sleepers_.fetch_add(1, std::memory_order_release);
+      const std::int64_t tick = tick_ns_.load(std::memory_order_relaxed);
+      cv_.wait_for(lk, std::chrono::nanoseconds(tick > 0 ? tick : 1000000));
+      sleepers_.fetch_sub(1, std::memory_order_release);
+      if (stop_) return;
+    }
+  }
+
+  PassFn pass_;
+  const std::size_t shards_;
+  std::unique_ptr<Sched[]> sched_;
+  detail::TaskQueue queue_;
+  std::atomic<std::int64_t> depth_{0};
+  Counters counters_;
+
+  std::atomic<std::int64_t> tick_ns_{0};
+  std::atomic<std::int64_t> last_tick_ns_{0};
+
+  mutable std::mutex lifecycle_mu_;
+  std::vector<std::thread> workers_;
+
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by cv_mu_ (condvar predicate)
+  std::atomic<bool> stopping_{false};  // lock-free mirror for the work loop
+  std::atomic<std::int64_t> sleepers_{0};
+};
+
+}  // namespace vcas::maint

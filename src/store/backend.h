@@ -37,13 +37,18 @@ struct NoopVisit {
 }  // namespace detail
 
 // What the store needs from a shard structure: camera-shared construction,
-// lock-free point updates on the live state, and handle-explicit snapshot
-// reads (the *_at family) for cross-shard atomic queries.
+// lock-free point updates on the live state, handle-explicit snapshot
+// reads (the *_at family) for cross-shard atomic queries, and a
+// conditional unlink hook — erase(k, v) removes the mapping iff the key
+// currently maps to v — for the maintenance subsystem's tombstone cell GC
+// (detached cells are never re-inserted, so a false return is a permanent
+// "not mapped to v" and the cell may be retired).
 template <typename MapT, typename K, typename M>
 concept SnapshotMap =
     std::constructible_from<MapT, Camera*> &&
     requires(MapT m, const K& k, M v, Timestamp ts, detail::NoopVisit visit) {
       { m.insert(k, v) } -> std::same_as<bool>;
+      { m.erase(k, v) } -> std::same_as<bool>;
       { m.find(k) } -> std::same_as<std::optional<M>>;
       { m.find_at(ts, k) } -> std::same_as<std::optional<M>>;
       { m.range_at(ts, k, k) } -> std::same_as<std::vector<std::pair<K, M>>>;

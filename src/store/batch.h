@@ -199,6 +199,26 @@ inline bool record_keeps_node_identity(const std::shared_ptr<Ticket>& ticket) {
   return ticket != nullptr;
 }
 
+// Abort-chain cleanup eligibility (ISSUE 5): is a version node holding this
+// record dead at EVERY handle — decided ABORTED, so the batch it belonged
+// to logically never happened? This is the inverse carve-out from
+// record_keeps_node_identity above: a LIVE ticketed record's node must keep
+// its chain position because helpers address it by identity, but once the
+// decision CAS lands ABORTED that machinery is over — help_decide returns
+// at the decision load without touching the op list, and every
+// resolve/validation predicate in the store SKIPS decided-aborted records
+// rather than stopping at them. Stale helpers pinned mid-decide may still
+// LOAD the node through the descriptor's (EBR-retired, pin-protected) op
+// list, but they only read its fields, which structural unlinking
+// preserves. So the maintenance pass may splice aborted records capping a
+// chain (VersionedCAS::try_unlink_head_run) exactly when this returns
+// true. The decision is immutable once published, so the predicate is
+// stable — required by the splice protocol.
+template <typename Ticket>
+inline bool record_is_aborted_cap(const std::shared_ptr<Ticket>& ticket) {
+  return ticket != nullptr && ticket->decided() && !ticket->committed();
+}
+
 // An ordered list of puts/removes applied atomically by
 // ShardedStore::applyBatch. Within one batch, later operations on a key win
 // over earlier ones (read-modify-write batch semantics).

@@ -14,8 +14,8 @@
 // head, which (a) gives the Harris-list backend in-place updates it lacks
 // natively, and (b) gives every key a timestamped value history that
 // snapshot reads resolve with readSnapshot semantics. Removed keys keep a
-// tombstone record; cells are never structurally deleted (GC of
-// absent-stable cells is an open item — see ROADMAP).
+// tombstone record until the maintenance subsystem's cell GC structurally
+// unlinks the whole cell (see "Background maintenance" below).
 //
 // Atomic batches: applyBatch publishes a batch descriptor (batch.h) listing
 // one planned op per (deduplicated) key in global (shard, key) order,
@@ -62,10 +62,43 @@
 // Point reads (get/contains) never help at all — an undecided batch simply
 // has not happened yet from their point of view.
 //
-// Trimming: trim_all() detaches cell versions below Camera::min_active()
-// across all shards (batch-commit aware — a record only counts as old once
-// its COMMIT stamp is below the horizon); enable_background_trim runs it on
-// a timer. Announced readers (SnapshotGuard / StoreView) are never broken.
+// Background maintenance (ISSUE 5): all version-history upkeep runs
+// through a shard-parallel MaintenancePool (src/maint/) instead of the
+// former dedicated trimmer thread. enable_maintenance(workers, tick)
+// starts N workers draining a work queue of per-shard tasks; each task
+// runs a CellJanitor pass (src/maint/janitor.h) fusing four jobs in one
+// bounded, cursor-resumable registry walk: incremental trim below
+// Camera::min_active() (batch-commit aware, like the old trim_all),
+// horizon-side coalescing of equal-stamp runs ABOVE the horizon (history
+// pinned by long-lived views), tombstone cell GC (below), and splicing of
+// decided-ABORTED records capping version chains. The write path enqueues
+// hints (tombstone creation, churn thresholds); a periodic tick sweeps
+// every shard. enable_background_trim(interval) survives as a
+// compatibility shim over a 1-worker pool. The synchronous trim_all()
+// remains for deterministic tests. Announced readers (SnapshotGuard /
+// StoreView) are never broken by any of it.
+//
+// Cell GC protocol: a cell whose head is a PLAIN tombstone install-stamped
+// below min_active() is absent at every announced (and every future)
+// handle, so the janitor may remove it entirely: (1) SEAL — install_over a
+// DETACHED sentinel record on the head; the install's identity CAS is the
+// linearization point, and a racing writer that loses it re-reads the head
+// and observes the seal. A sealed cell accepts no installs, ever: put()
+// and BatchDescriptor::install_one treat a detached head as "this cell is
+// being dismantled" — they help erase the stale (key -> cell) mapping
+// (conditional backend erase) and re-resolve through live_cell, which
+// inserts a FRESH cell rather than resurrecting the sealed one (a write
+// into a sealed cell would be silently unreachable). (2) UNMAP — erase the
+// key's mapping iff it still points at the sealed cell. (3) UNLINK — take
+// the cell out of the per-shard registry (janitor-exclusive, serialized by
+// the shard's janitor claim). (4) RETIRE — EBR-retire the cell and its
+// remaining versions as one batch entry; readers that found the cell
+// before the unmap are pinned for their whole query (SnapshotGuard holds
+// the pin), so a get_at(old handle) resolving through the sealed cell
+// walks sentinel -> tombstone and still answers "absent" from intact
+// memory. DETACHED records are invisible at every handle (every
+// resolve/validation/trim predicate skips them), so the seal itself is
+// unobservable.
 //
 // Write-path memory (ISSUE 4): version nodes come from a recycling slab
 // pool, and single-key writes coalesce — a put/remove whose install stamp
@@ -79,7 +112,6 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -92,6 +124,8 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "maint/janitor.h"
+#include "maint/maintenance.h"
 #include "store/backend.h"
 #include "store/batch.h"
 #include "store/view.h"
@@ -115,27 +149,41 @@ class ShardedStore {
 
   // One key's state at one instant. `ticket` is null for single-key writes
   // and for the absent seed record every cell starts with; ticketed records
-  // defer their visibility to the ticket's commit stamp.
+  // defer their visibility to the ticket's commit stamp. `detached` marks
+  // the sealing sentinel cell GC installs as a cell's final record: it is
+  // invisible at every handle (all predicates skip it) and its presence at
+  // the head tells writers the cell may never be installed into again —
+  // see "Cell GC protocol" above.
   struct Record {
     V value{};
     bool present = false;
     std::shared_ptr<BatchTicket> ticket{};
+    bool detached = false;
   };
 
  private:
   template <typename>
   friend class Transaction;
+  friend vcas::maint::CellJanitor<ShardedStore>;
 
   struct Cell {
-    Cell(Camera* cam, bool pooled) : rec(Record{}, cam, pooled) {}
+    Cell(const K& k, Camera* cam, bool pooled)
+        : key(k), rec(Record{}, cam, pooled) {}
+    const K key;               // for the GC's conditional map erase
     VersionedCAS<Record> rec;  // seeded absent: every visibility walk
                                // terminates on an un-ticketed record
-    Cell* next_all = nullptr;  // append-only per-shard registry link
+    // Per-shard registry link. Pushes happen at the registry head
+    // (live_cell); cell GC unlinks anywhere, serialized per shard by the
+    // janitor claim, so interior links have exactly one writer at a time.
+    std::atomic<Cell*> next_all{nullptr};
     // Writes since this cell's last coalesce attempt. Deliberately racy
     // (plain load+store, lost updates harmless): it only paces how often
     // the write path pays the coalesce lock — correctness never depends
     // on it.
     std::atomic<std::uint32_t> churn{0};
+    // Same racy pacing for maintenance hints: every kHintChurn-th write on
+    // a cell nudges the pool to look at this shard.
+    std::atomic<std::uint32_t> hint_churn{0};
   };
 
   using VNode = typename VersionedCAS<Record>::VNode;
@@ -156,18 +204,25 @@ class ShardedStore {
     // One planned install. `installed` is the per-op claimed/installed
     // state machine: nullptr = pending, non-null = the exact version node
     // carrying this op (written once with the node a successful installer
-    // created, or the node a helper observed already in place).
+    // created, or the node a helper observed already in place). `cell` is
+    // atomic because cell GC may seal the planned cell mid-batch: the
+    // helper that observes the DETACHED head re-resolves the key to a live
+    // cell and moves the op over by CAS, so every helper converges on one
+    // target (see install_one). The key is copied in — the caller's
+    // WriteBatch may die while helpers still install.
     struct PlannedOp {
-      Cell* cell;
+      K key;
+      std::atomic<Cell*> cell;
       V value;
       bool is_put;
       std::atomic<Node*> installed{nullptr};
 
-      PlannedOp(Cell* c, V v, bool put)
-          : cell(c), value(std::move(v)), is_put(put) {}
+      PlannedOp(K k, Cell* c, V v, bool put)
+          : key(std::move(k)), cell(c), value(std::move(v)), is_put(put) {}
       // Moves happen only while applyBatch builds the still-private list.
       PlannedOp(PlannedOp&& o) noexcept
-          : cell(o.cell),
+          : key(std::move(o.key)),
+            cell(o.cell.load(std::memory_order_relaxed)),
             value(std::move(o.value)),
             is_put(o.is_put),
             installed(o.installed.load(std::memory_order_relaxed)) {}
@@ -175,8 +230,10 @@ class ShardedStore {
 
     using OpList = std::vector<PlannedOp>;
 
-    BatchDescriptor(Camera* cam, OpList planned)
-        : BatchTicket(cam), ops_(new OpList(std::move(planned))) {}
+    BatchDescriptor(Camera* cam, ShardedStore* store, OpList planned)
+        : BatchTicket(cam),
+          store_(store),
+          ops_(new OpList(std::move(planned))) {}
 
     ~BatchDescriptor() override { delete ops_.load(std::memory_order_relaxed); }
 
@@ -209,7 +266,8 @@ class ShardedStore {
     void install_one(PlannedOp& op) {
       if (op.installed.load(std::memory_order_acquire) != nullptr) return;
       for (;;) {
-        Node* head = op.cell->rec.vReadNode();  // timestamp helped
+        Cell* cell = op.cell.load(std::memory_order_acquire);
+        Node* head = cell->rec.vReadNode();  // timestamp helped
         if (head->val.ticket.get() == this) {
           // Our record is in (installed by us or a helper) and still at
           // head. The release pairs with the deciding helper's acquire,
@@ -224,6 +282,21 @@ class ShardedStore {
         // read: the other order would race a decision landing in between.
         if (this->decided()) return;
         const Record& hv = head->val;
+        if (hv.detached) {
+          // The planned cell was sealed by cell GC after planning (its
+          // plain tombstone aged past the horizon between make_planned and
+          // this install). Installing over the sentinel would resurrect a
+          // cell the map no longer (or soon won't) reach — a lost write.
+          // Instead: help finish the unmap (conditional on identity, so a
+          // fresh cell another helper already inserted is untouched),
+          // re-resolve the key to a live cell, and move the op over by
+          // CAS so racing helpers converge on one target.
+          store_->shard_for(op.key).map.erase(op.key, cell);
+          Cell* fresh = store_->live_cell(op.key);
+          op.cell.compare_exchange_strong(cell, fresh,
+                                          std::memory_order_acq_rel);
+          continue;  // reload op.cell (ours or the winning helper's)
+        }
         if (hv.ticket != nullptr && !hv.ticket->decided()) {
           // Blocked by another in-flight batch: finish it ourselves rather
           // than wait for its writer. Termination: installed ops form a
@@ -244,13 +317,16 @@ class ShardedStore {
         // of that.
         const Record mine{op.is_put ? op.value : V{}, op.is_put,
                           this->shared_from_this()};
-        if (Node* mine_node = op.cell->rec.install_over(head, mine)) {
+        if (Node* mine_node = cell->rec.install_over(head, mine)) {
           op.installed.store(mine_node, std::memory_order_release);
           return;
         }
         // Lost the head race; retry (a helper may have installed our op).
       }
     }
+
+   protected:
+    ShardedStore* store_;
 
    private:
     std::atomic<OpList*> ops_;
@@ -318,8 +394,7 @@ class ShardedStore {
 
     TxnDescriptor(Camera* cam, ShardedStore* store, Timestamp handle,
                   typename BatchDescriptor::OpList planned)
-        : BatchDescriptor(cam, std::move(planned)),
-          store_(store),
+        : BatchDescriptor(cam, store, std::move(planned)),
           handle_(handle),
           reads_(new ReadSet) {}
 
@@ -370,13 +445,40 @@ class ShardedStore {
         // Keys first written after the snapshot get their cell created
         // then; re-finding it here (instead of witnessing null forever)
         // lets the walk below judge that later write.
-        Cell* cell = w.cell != nullptr ? w.cell : store_->find_cell(w.key);
+        Cell* cell = w.cell != nullptr ? w.cell : this->store_->find_cell(w.key);
         if (cell == nullptr) return true;  // never written by anyone
         node = cell->rec.vReadNode();
+        // Cell GC may have sealed the witnessed cell after the read. The
+        // sealed cell's own history proves nothing about (h, c] — it was
+        // absent-stable below the horizon (<= h) when sealed, and nothing
+        // installs into it afterwards — but the key's LIVE history
+        // continues in a fresh replacement cell, where a put can commit
+        // in (h, c] and must abort us. Chase the current mapping: a
+        // replacement cell existing at this find_cell is walked like any
+        // witness; one created after it is stamped above c (stamp-phase
+        // postcondition) and cannot conflict; no mapping at all means the
+        // key is absent now AND was absent at h (a sealed head implies an
+        // aged tombstone at every announced handle), which the
+        // absent==absent rule accepts. The chase terminates: a fresh cell
+        // cannot itself be sealed while we stay announced — all its
+        // records are stamped above our handle, which bounds min_active.
+        while (node->val.detached) {
+          Cell* fresh = this->store_->find_cell(w.key);
+          if (fresh == nullptr || fresh == cell) return !w.witnessed_present;
+          cell = fresh;
+          node = cell->rec.vReadNode();
+        }
       }
       // Walk down to the newest record that did (or still can) take effect
       // at a stamp <= c.
       for (;;) {
+        if (node->val.detached) {
+          // Cell-GC sentinel: invisible at every handle, like an aborted
+          // record. It can only sit above an aged plain tombstone (the
+          // seal precondition), so the walk terminates just below.
+          node = older(node);
+          continue;
+        }
         BatchTicket* t = node->val.ticket.get();
         if (t == nullptr) break;  // plain record: effective at install stamp
         if (!t->decided()) {
@@ -435,7 +537,6 @@ class ShardedStore {
       return next;
     }
 
-    ShardedStore* store_;
     const Timestamp handle_;
     std::atomic<ReadSet*> reads_;
   };
@@ -443,7 +544,20 @@ class ShardedStore {
   struct Shard {
     explicit Shard(Camera* cam) : map(cam) {}
     Map map;
-    std::atomic<Cell*> cells{nullptr};  // registry: destruction + trimming
+    std::atomic<Cell*> cells{nullptr};  // registry: destruction + maintenance
+    // Maintenance claim + resumable sweep position (maint/janitor.h). The
+    // claim's release/acquire pairing is what publishes the cursor pair
+    // from one pass to the next, and its exclusivity is what makes
+    // registry unlinks single-writer per shard. The cursor's registry
+    // PREDECESSOR is parked alongside it so a continuation resumes in
+    // O(1) instead of re-walking from the head (unlinks need the
+    // predecessor); both stay valid across passes because only
+    // claim-serialized janitor passes unlink or retire registry cells,
+    // pushes happen strictly at the head, and a pass never parks a cell
+    // it unlinked.
+    std::atomic<bool> janitor_busy{false};
+    std::atomic<Cell*> janitor_cursor{nullptr};
+    std::atomic<Cell*> janitor_cursor_prev{nullptr};
   };
 
  public:
@@ -460,24 +574,30 @@ class ShardedStore {
 
   // Teardown ordering (audited against the create/destroy stress in
   // store_teardown_test.cc; callers must have joined their own readers and
-  // writers first): (1) join the background trimmer BEFORE touching any
-  // cell — it may be mid-trim_all holding cell and version pointers, and
-  // its limbo bag is orphaned to the EBR global list at thread exit;
-  // (2) delete cells through the append-only registry — versions the
-  // trimmer detached are no longer reachable from any vhead_ (trim unlinks
-  // before it retires), so EBR frees the detached suffixes exactly once
-  // and this walk frees the live chains exactly once; (3) members then
-  // destruct in reverse declaration order: shards_ (whose map nodes hold
-  // now-dangling Cell* VALUES but never dereference them) before camera_
-  // (which cells and maps reference, so it must die last). Batch
-  // descriptors may outlive the store inside EBR limbo via their records'
-  // shared_ptr, but a committed descriptor never dereferences its Cell*s.
+  // writers first): (1) stop the maintenance pool — drain-and-join,
+  // exactly once (disable_maintenance and the pool's own stop() are both
+  // idempotent) — BEFORE touching any cell: a worker may be mid-pass
+  // holding cell and version pointers, and its limbo bag is orphaned to
+  // the EBR global list at thread exit; (2) delete cells through the
+  // per-shard registry — versions maintenance detached are no longer
+  // reachable from any vhead_ (every splice unlinks before it retires),
+  // cells the GC detached are no longer in the registry (unlinked before
+  // retiring), so EBR frees those exactly once — possibly after the store
+  // is gone, which is safe because a Cell's destructor touches no store
+  // state — and this walk frees the still-linked cells exactly once;
+  // (3) members then destruct in reverse declaration order: maint_pool_
+  // (already stopped; must precede the shards its pass lambda references)
+  // then shards_ (whose map nodes hold now-dangling Cell* VALUES but never
+  // dereference them) before camera_ (which cells and maps reference, so
+  // it must die last). Batch descriptors may outlive the store inside EBR
+  // limbo via their records' shared_ptr, but a decided descriptor never
+  // dereferences its Cell*s.
   ~ShardedStore() {
-    disable_background_trim();
+    disable_maintenance();
     for (auto& shard : shards_) {
       Cell* cell = shard->cells.load(std::memory_order_acquire);
       while (cell != nullptr) {
-        Cell* next = cell->next_all;
+        Cell* next = cell->next_all.load(std::memory_order_relaxed);
         delete cell;
         cell = next;
       }
@@ -493,31 +613,45 @@ class ShardedStore {
   // Upsert. Returns true when the key was previously absent. Installs by
   // node identity over a decided head (an aborted record at head is a
   // legitimate install target — it never happened, so the return value is
-  // judged against the logical record at or below it).
+  // judged against the logical record at or below it). A DETACHED head
+  // means cell GC sealed the cell between our lookup and the install: help
+  // finish the unmap and re-resolve — never install into a sealed cell
+  // (the write would be unreachable; maintenance_test.cc races this).
   bool put(const K& key, const V& value) {
     ebr::Guard g;
-    Cell* cell = live_cell(key);
+    const std::size_t shard = shard_index(key);
     const Record next{value, true, nullptr};
     for (;;) {
-      VNode* head = help_head_decided(cell);
-      const bool was_present = logical_record(head).present;
-      if (VNode* mine = cell->rec.install_over(head, next)) {
-        coalesce_below(cell, mine);
-        return !was_present;
+      Cell* cell = live_cell(key);
+      for (;;) {
+        VNode* head = help_head_decided(cell);
+        if (head->val.detached) {
+          shards_[shard]->map.erase(key, cell);
+          break;  // outer loop: find-or-create a live cell
+        }
+        const bool was_present = logical_record(head).present;
+        if (VNode* mine = cell->rec.install_over(head, next)) {
+          after_write(shard, cell, mine, /*tombstone=*/false);
+          return !was_present;
+        }
       }
     }
   }
 
-  // Returns true when the key was present (and is now tombstoned).
+  // Returns true when the key was present (and is now tombstoned). A
+  // sealed cell reads as absent — no help needed, the key is gone either
+  // way (a racing put targets a fresh cell, which this remove does not
+  // linearize after).
   bool remove(const K& key) {
     ebr::Guard g;
     Cell* cell = find_cell(key);
     if (cell == nullptr) return false;
     for (;;) {
       VNode* head = help_head_decided(cell);
+      if (head->val.detached) return false;
       if (!logical_record(head).present) return false;
       if (VNode* mine = cell->rec.install_over(head, Record{})) {
-        coalesce_below(cell, mine);
+        after_write(shard_index(key), cell, mine, /*tombstone=*/true);
         return true;
       }
     }
@@ -566,8 +700,8 @@ class ShardedStore {
   Timestamp applyBatch(const Batch& batch) {
     ebr::Guard g;
     if (batch.ops().empty()) return camera_.current();
-    auto desc =
-        std::make_shared<BatchDescriptor>(&camera_, make_planned(batch));
+    auto desc = std::make_shared<BatchDescriptor>(&camera_, this,
+                                                  make_planned(batch));
     run_descriptor(*desc);
     return desc->commit_stamp();
   }
@@ -687,69 +821,166 @@ class ShardedStore {
     node_pooling_.store(pooled, std::memory_order_relaxed);
   }
 
-  // --- version-list trimming (GC) ------------------------------------------
+  // --- background maintenance (trim + coalesce + cell GC + abort GC) -------
 
-  // Detach versions below the camera's min_active() horizon in every cell
-  // of every shard. Batch-commit aware: a ticketed record only qualifies as
-  // the trim pivot once its commit stamp is decided and below the horizon.
-  // Safe concurrently with announced readers; returns versions detached.
+  // Synchronous full trim: detach versions below the camera's min_active()
+  // horizon in every cell of every shard. Batch-commit aware: a ticketed
+  // record only qualifies as the trim pivot once its commit stamp is
+  // decided and below the horizon; a DETACHED sentinel never pivots (the
+  // tombstone below it must stay readable at old handles). Safe
+  // concurrently with announced readers and with the maintenance pool
+  // (per-cell try-locks serialize); returns versions detached. Kept for
+  // deterministic tests and quiesce points — production reclamation runs
+  // through the pool.
   std::size_t trim_all() {
     ebr::Guard g;
     const Timestamp horizon = camera_.min_active();
     std::size_t detached = 0;
     for (auto& shard : shards_) {
       for (Cell* cell = shard->cells.load(std::memory_order_acquire);
-           cell != nullptr; cell = cell->next_all) {
+           cell != nullptr;
+           cell = cell->next_all.load(std::memory_order_acquire)) {
         detached += cell->rec.trim_where(horizon, [&](const Record& r) {
-          // Help-then-check: deciding an undecided batch here (a) keeps
-          // the trimmer off the stalled writer's schedule and (b) judges
-          // the record by its real fate instead of conservatively skipping
-          // it until the writer reappears. Aborted records are never
-          // visible, so they never pivot (and get detached below one).
-          return r.ticket == nullptr || r.ticket->help_visible_at(horizon);
+          return trim_pivot_visible(r, horizon);
         });
       }
     }
     return detached;
   }
 
-  // Run trim_all() every `interval` on a dedicated thread until
-  // disable_background_trim() (or destruction). Idempotent.
-  void enable_background_trim(std::chrono::milliseconds interval) {
-    std::lock_guard<std::mutex> lk(trim_mu_);
-    if (trimmer_.joinable()) return;
-    trim_stop_ = false;
-    trimmer_ = std::thread([this, interval] {
-      std::unique_lock<std::mutex> lk(trim_mu_);
-      while (!trim_stop_) {
-        lk.unlock();
-        trim_all();
-        lk.lock();
-        trim_cv_.wait_for(lk, interval, [this] { return trim_stop_; });
-      }
-    });
+  // Start the maintenance pool: `workers` threads drain a queue of
+  // per-shard janitor tasks (see maint/maintenance.h for scheduling and
+  // maint/janitor.h for the fused pass); every `tick` a full sweep is
+  // enqueued, and the write path adds targeted hints in between.
+  // Idempotent while running; restartable after disable_maintenance().
+  void enable_maintenance(std::size_t workers,
+                          std::chrono::milliseconds tick) {
+    std::lock_guard<std::mutex> lk(maint_mu_);
+    if (!maint_pool_) {
+      maint_pool_ = std::make_unique<maint::MaintenancePool>(
+          shards_.size(), [this](std::size_t shard) {
+            return maint::CellJanitor<ShardedStore>::pass(
+                *this, shard, maint_counters_,
+                cells_per_tick_.load(std::memory_order_relaxed));
+          });
+    }
+    maint_pool_->start(workers, tick);
+    maint_hint_target_.store(maint_pool_.get(), std::memory_order_release);
   }
 
-  void disable_background_trim() {
-    std::thread to_join;
-    {
-      std::lock_guard<std::mutex> lk(trim_mu_);
-      trim_stop_ = true;
-      trim_cv_.notify_all();
-      to_join = std::move(trimmer_);
+  // Drain and join the pool's workers, exactly once per enable (idempotent
+  // and safe to race with the destructor's call). The pool object itself
+  // persists until store destruction so a writer mid-hint can never touch
+  // a freed pool — a hint that slips past the disable lands in the queue
+  // and runs only if the pool is re-enabled. maint_mu_ is held ACROSS the
+  // stop: releasing it first would let a concurrent enable_maintenance
+  // start fresh workers that this stop() then joins while the hint target
+  // stays set — maintenance silently dead behind a successful enable.
+  // Workers never take maint_mu_ (their pass lambda only reads store
+  // state and maint_counters_), so holding it through the join cannot
+  // deadlock.
+  void disable_maintenance() {
+    std::lock_guard<std::mutex> lk(maint_mu_);
+    maint_hint_target_.store(nullptr, std::memory_order_release);
+    if (maint_pool_) maint_pool_->stop();
+  }
+
+  // Compatibility shims (pre-ISSUE 5 API): background trimming is now a
+  // 1-worker maintenance pool whose tick is the old trim interval.
+  // Existing call sites compile and behave the same, plus they get the
+  // pool's extra jobs (coalescing, cell GC, abort cleanup) for free.
+  void enable_background_trim(std::chrono::milliseconds interval) {
+    enable_maintenance(1, interval);
+  }
+
+  void disable_background_trim() { disable_maintenance(); }
+
+  // Synchronous janitor pass over one shard (at most cells-per-tick cells;
+  // returns true when the cursor wrapped past the end). Deterministic
+  // maintenance for tests — no pool required; safe alongside one (the
+  // per-shard claim serializes, busy retries).
+  bool maintain_shard(std::size_t shard) {
+    for (;;) {
+      switch (maint::CellJanitor<ShardedStore>::pass(
+          *this, shard, maint_counters_,
+          cells_per_tick_.load(std::memory_order_relaxed))) {
+        case maint::PassStatus::kWrapped:
+          return true;
+        case maint::PassStatus::kMore:
+          return false;
+        case maint::PassStatus::kBusy:
+          std::this_thread::yield();  // pool worker holds the shard; wait out
+      }
     }
-    if (to_join.joinable()) to_join.join();
+  }
+
+  // Run every shard to a wrapped cursor, twice — the second round
+  // guarantees every cell got at least one full pass regardless of where
+  // the cursors started. Synchronous; tests' quiesce-and-check helper.
+  void maintain_all() {
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        while (!maintain_shard(s)) {
+        }
+      }
+    }
+  }
+
+  // Cells a janitor pass may PROCESS per task (the incremental-trim
+  // budget). Small values bound task latency on huge shards; tests use
+  // them to pin the resumable-cursor behavior.
+  void set_cells_per_tick(std::size_t n) {
+    cells_per_tick_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
+  // Cell-work counters plus (when the pool is running) task/queue stats.
+  maint::Stats maintenance_stats() const {
+    maint::Stats s{};
+    {
+      std::lock_guard<std::mutex> lk(maint_mu_);
+      if (maint_pool_) s = maint_pool_->stats();
+    }
+    s.cells_visited =
+        maint_counters_.cells_visited.load(std::memory_order_relaxed);
+    s.versions_trimmed =
+        maint_counters_.versions_trimmed.load(std::memory_order_relaxed);
+    s.versions_coalesced =
+        maint_counters_.versions_coalesced.load(std::memory_order_relaxed);
+    s.aborted_unlinked =
+        maint_counters_.aborted_unlinked.load(std::memory_order_relaxed);
+    s.cells_detached =
+        maint_counters_.cells_detached.load(std::memory_order_relaxed);
+    return s;
   }
 
   // --- introspection (tests, benches) --------------------------------------
 
   // Total version-list length across every cell. O(cells + versions).
+  // Pinned: cell GC may retire registry cells mid-walk.
   std::size_t total_versions() const {
+    ebr::Guard g;
     std::size_t n = 0;
     for (const auto& shard : shards_) {
       for (Cell* cell = shard->cells.load(std::memory_order_acquire);
-           cell != nullptr; cell = cell->next_all) {
+           cell != nullptr;
+           cell = cell->next_all.load(std::memory_order_acquire)) {
         n += cell->rec.version_count();
+      }
+    }
+    return n;
+  }
+
+  // Live cells across every shard registry (sealed-but-unreclaimed cells
+  // included until their unlink lands). The cell-GC acceptance metric:
+  // bounded for a bounded live-key set under delete churn.
+  std::size_t total_cells() const {
+    ebr::Guard g;
+    std::size_t n = 0;
+    for (const auto& shard : shards_) {
+      for (Cell* cell = shard->cells.load(std::memory_order_acquire);
+           cell != nullptr;
+           cell = cell->next_all.load(std::memory_order_acquire)) {
+        ++n;
       }
     }
     return n;
@@ -760,6 +991,7 @@ class ShardedStore {
   // EVERY version, which against an un-reclaimed write-heavy history means
   // millions of cold nodes. O(max_cells x chain length).
   double sampled_versions_per_cell(std::size_t max_cells) const {
+    ebr::Guard g;
     std::size_t cells = 0;
     std::size_t versions = 0;
     const std::size_t per_shard =
@@ -768,7 +1000,8 @@ class ShardedStore {
       std::size_t taken = 0;
       for (Cell* cell = shard->cells.load(std::memory_order_acquire);
            cell != nullptr && taken < per_shard && cells < max_cells;
-           cell = cell->next_all, ++taken, ++cells) {
+           cell = cell->next_all.load(std::memory_order_acquire),
+                ++taken, ++cells) {
         versions += cell->rec.version_count();
       }
     }
@@ -812,20 +1045,108 @@ class ShardedStore {
     Shard& shard = shard_for(key);
     for (;;) {
       if (std::optional<Cell*> cell = shard.map.find(key)) return *cell;
-      Cell* fresh =
-          new Cell(&camera_, node_pooling_.load(std::memory_order_relaxed));
+      Cell* fresh = new Cell(key, &camera_,
+                             node_pooling_.load(std::memory_order_relaxed));
       if (shard.map.insert(key, fresh)) {
-        // Registry push (append-only, lock-free) AFTER the structural
-        // insert wins, so losers are simply deleted.
+        // Registry push (head-only, lock-free) AFTER the structural
+        // insert wins, so losers are simply deleted. Cell GC is the only
+        // other registry writer (interior unlinks, janitor-serialized).
         Cell* head = shard.cells.load(std::memory_order_relaxed);
         do {
-          fresh->next_all = head;
+          fresh->next_all.store(head, std::memory_order_relaxed);
         } while (!shard.cells.compare_exchange_weak(
             head, fresh, std::memory_order_release,
             std::memory_order_relaxed));
         return fresh;
       }
       delete fresh;
+    }
+  }
+
+  // --- cell GC internals (invoked by maint::CellJanitor) --------------------
+
+  // Attempt the full detach protocol on one cell (see "Cell GC protocol"
+  // in the header comment). `prev` is the cell's registry predecessor as
+  // of the janitor's walk (nullptr = cell was at the head when reached).
+  // Returns true when THIS call sealed and retired the cell. Caller holds
+  // the shard's janitor claim and an ebr::Guard.
+  bool try_detach_cell(Shard& shard, Cell* prev, Cell* cell,
+                       Timestamp horizon) {
+    VNode* head = cell->rec.vReadNode();
+    const Record& r = head->val;
+    // Only a PLAIN tombstone qualifies: ticketed records are addressed by
+    // node identity for their descriptor's lifetime, and a committed
+    // ticketed tombstone simply waits for trim/coalescing to be replaced
+    // by... nothing — it stays until a writer lands; the cell is still
+    // absent-stable but conservatively kept. (Sealing under a ticketed
+    // head would complicate the identity rules for no measured win.)
+    if (r.detached || r.present || r.ticket != nullptr) return false;
+    const Timestamp ts = head->ts.load(std::memory_order_acquire);
+    if (ts == kTBD || ts >= horizon) return false;
+    // SEAL. Identity CAS: success proves the tombstone was still the head
+    // — no writer interposed — and from here no writer ever installs into
+    // this cell (they observe the sentinel instead).
+    Record sentinel{};
+    sentinel.detached = true;
+    if (cell->rec.install_over(head, sentinel) == nullptr) return false;
+    // UNMAP. Conditional on identity; false means a racing writer that
+    // observed the seal already unmapped it (and by now may have inserted
+    // a fresh cell this erase must not touch). Either way the mapping to
+    // THIS cell is permanently gone — sealed cells are never re-inserted.
+    shard.map.erase(cell->key, cell);
+    // UNLINK + RETIRE, as one EBR batch entry covering the cell and its
+    // remaining versions (sentinel, tombstone, whatever trim left). The
+    // deleter is the Cell destructor, which frees the chain through each
+    // node's own allocation origin.
+    const std::size_t versions = cell->rec.version_count();
+    unlink_from_registry(shard, prev, cell);
+    ebr::retire_batch(
+        cell, +[](void* p) { delete static_cast<Cell*>(p); }, 1 + versions);
+    return true;
+  }
+
+  // Remove `cell` from the shard registry. Only janitor passes unlink
+  // (serialized by the shard claim); concurrent head pushes are the only
+  // other writers, handled by the head CAS + predecessor re-scan.
+  void unlink_from_registry(Shard& shard, Cell* prev, Cell* cell) {
+    Cell* next = cell->next_all.load(std::memory_order_relaxed);
+    if (prev == nullptr) {
+      Cell* expected = cell;
+      if (shard.cells.compare_exchange_strong(expected, next,
+                                              std::memory_order_acq_rel)) {
+        return;
+      }
+      // New cells were pushed above since the walk began; the real
+      // predecessor exists (only we unlink) — find it.
+      prev = shard.cells.load(std::memory_order_acquire);
+      while (prev->next_all.load(std::memory_order_acquire) != cell) {
+        prev = prev->next_all.load(std::memory_order_acquire);
+      }
+    }
+    prev->next_all.store(next, std::memory_order_release);
+  }
+
+  // THE version-reclamation boundary: may `r` serve as a trim pivot at
+  // `horizon`? One definition shared by the foreground trim_all and the
+  // janitor's incremental trim (a wrong pivot frees versions a pinned
+  // reader still needs, so the two must never diverge). Help-then-check:
+  // deciding an undecided batch here (a) keeps the trimmer off the
+  // stalled writer's schedule and (b) judges the record by its real fate
+  // instead of conservatively skipping it until the writer reappears.
+  // Aborted records are never visible, so they never pivot (and get
+  // detached below one); a DETACHED sentinel never pivots either — the
+  // tombstone below it must stay readable at old handles.
+  static bool trim_pivot_visible(const Record& r, Timestamp horizon) {
+    return !r.detached &&
+           (r.ticket == nullptr || r.ticket->help_visible_at(horizon));
+  }
+
+  // Write-path maintenance hint: nudge the pool at the given shard.
+  // Lock-free; a no-op while maintenance is disabled.
+  void maint_hint(std::size_t shard) {
+    if (maint::MaintenancePool* pool =
+            maint_hint_target_.load(std::memory_order_acquire)) {
+      pool->hint(shard);
     }
   }
 
@@ -860,7 +1181,7 @@ class ShardedStore {
       // put of this key committing between our absence check and our
       // commit would otherwise survive a remove that linearizes after it.
       // Reclaiming absent-stable cells is the "cell GC" ROADMAP item.
-      planned.emplace_back(live_cell(op.key),
+      planned.emplace_back(op.key, live_cell(op.key),
                            op.is_put ? op.value : V{}, op.is_put);
     }
     return planned;
@@ -946,7 +1267,10 @@ class ShardedStore {
     // n-write commit linear.
     std::unordered_map<Cell*, const typename BatchDescriptor::PlannedOp*>
         op_by_cell(list->size() * 2);
-    for (const auto& p : *list) op_by_cell.emplace(p.cell, &p);
+    for (const auto& p : *list) {
+      // Pre-publication: nobody can have re-resolved the cell yet.
+      op_by_cell.emplace(p.cell.load(std::memory_order_relaxed), &p);
+    }
     for (const TxnRead& w : reads) {
       const typename BatchDescriptor::PlannedOp* op = nullptr;
       if (Cell* cell = w.cell != nullptr ? w.cell : find_cell(w.key)) {
@@ -971,6 +1295,30 @@ class ShardedStore {
   // walk can need to stop below it at an equal stamp. Ticketed records are
   // rejected by the droppable predicate: their nodes are addressed by
   // identity for the descriptor's lifetime (batch.h).
+  // Post-install bookkeeping for single-key writes: clock-gated coalescing
+  // below the fresh record, plus paced maintenance hints. A tombstone
+  // hints its shard immediately — it is exactly what cell GC feeds on and
+  // the horizon may already be past it; plain puts hint every
+  // kHintChurn-th write per cell (racy counter, same contract as the
+  // coalesce pacing: lost updates only delay a hint the periodic sweep
+  // would cover anyway).
+  void after_write(std::size_t shard, Cell* cell, VNode* mine,
+                   bool tombstone) {
+    coalesce_below(cell, mine);
+    if (tombstone) {
+      maint_hint(shard);
+      return;
+    }
+    const std::uint32_t h =
+        cell->hint_churn.load(std::memory_order_relaxed) + 1;
+    if (h >= kHintChurn) {
+      cell->hint_churn.store(0, std::memory_order_relaxed);
+      maint_hint(shard);
+    } else {
+      cell->hint_churn.store(h, std::memory_order_relaxed);
+    }
+  }
+
   void coalesce_below(Cell* cell, VNode* mine) {
     if (!coalesce_.load(std::memory_order_relaxed)) return;
     const std::uint32_t every = coalesce_every_.load(std::memory_order_relaxed);
@@ -1002,12 +1350,15 @@ class ShardedStore {
   }
 
   // Logical current record at or below a DECIDED head: skip aborted
-  // records (they never happened) down to the newest committed or
-  // unticketed one. The walk never crosses a committed record, so it can
-  // never run past a trim pivot.
+  // records (they never happened) and DETACHED sentinels (invisible at
+  // every handle; callers handle a detached HEAD before judging presence,
+  // so this skip is defensive) down to the newest committed or unticketed
+  // one. The walk never crosses a committed record, so it can never run
+  // past a trim pivot.
   static const Record& logical_record(VNode* head) {
     VNode* node = head;
-    while (node->val.ticket != nullptr && !node->val.ticket->committed()) {
+    while (node->val.detached ||
+           (node->val.ticket != nullptr && !node->val.ticket->committed())) {
       node = node->nextv.load(std::memory_order_acquire);
       assert(node != nullptr &&
              "logical_record walked past the initial version");
@@ -1026,8 +1377,9 @@ class ShardedStore {
     return cell->rec
         .readSnapshotNodeWhere(ts,
                                [ts](const Record& r) {
-                                 return r.ticket == nullptr ||
-                                        r.ticket->help_visible_at(ts);
+                                 return !r.detached &&
+                                        (r.ticket == nullptr ||
+                                         r.ticket->help_visible_at(ts));
                                })
         ->val;
   }
@@ -1040,8 +1392,9 @@ class ShardedStore {
     return cell->rec
         .readSnapshotNodeWhere(kNoSnapshot,
                                [](const Record& r) {
-                                 return r.ticket == nullptr ||
-                                        r.ticket->committed();
+                                 return !r.detached &&
+                                        (r.ticket == nullptr ||
+                                         r.ticket->committed());
                                })
         ->val;
   }
@@ -1071,6 +1424,8 @@ class ShardedStore {
     return out;
   }
 
+  static constexpr std::uint32_t kHintChurn = 64;
+
   Camera camera_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> coalesce_{true};
@@ -1080,10 +1435,18 @@ class ShardedStore {
   // Test-only (see set_batch_pause_for_tests). Empty in production.
   std::function<void(std::size_t, std::size_t)> batch_pause_for_tests_;
 
-  std::mutex trim_mu_;
-  std::condition_variable trim_cv_;
-  bool trim_stop_ = false;
-  std::thread trimmer_;
+  // Maintenance subsystem. The pool is created lazily (first enable) and
+  // lives until the store dies — disable stops its workers but keeps the
+  // object, so the lock-free hint path can hold a raw pointer. Cell-work
+  // counters are store-owned so synchronous maintain_* calls and pool
+  // passes report into one place. Declared LAST: the pool's pass lambda
+  // captures `this`, so it must destruct (already stopped by the dtor)
+  // before everything it references.
+  mutable std::mutex maint_mu_;
+  maint::Counters maint_counters_;
+  std::atomic<std::size_t> cells_per_tick_{512};
+  std::atomic<maint::MaintenancePool*> maint_hint_target_{nullptr};
+  std::unique_ptr<maint::MaintenancePool> maint_pool_;
 };
 
 }  // namespace vcas::store

@@ -306,18 +306,145 @@ class VersionedCAS {
       }
       if (unlinked > 0) {
         node->nextv.store(cont, std::memory_order_release);
-        if (unlinked == 1) {
-          ebr::retire(first, pooled_ ? &delete_one : &delete_one_heap);
-        } else {
-          auto* run = new (RunPool::allocate()) DeadRun;
-          run->count = unlinked;
-          run->pooled = pooled_;
-          for (std::size_t i = 0; i < unlinked; ++i) {
-            run->nodes[i] = run_nodes[i];
+        retire_run(run_nodes, unlinked);
+      }
+    }
+    trimming_.store(false, std::memory_order_release);
+    return unlinked;
+  }
+
+  // Maintenance-side coalescing (ISSUE 5): collapse equal-stamp runs
+  // ANYWHERE in the chain, including above the trim horizon, off the write
+  // path. try_coalesce_below only fires at the head (the writer that just
+  // installed); history pinned by a long-lived announced view sits above
+  // min_active() where trim cannot legally touch it, yet equal-stamped
+  // runs inside it are just as unobservable. This walk unlinks, for every
+  // maximal run of CONSECUTIVE versions with equal stamps, every node
+  // strictly below the run's newest `always_visible` node that is itself
+  // `always_visible`.
+  //
+  // Correctness (extends try_coalesce_below's argument to interior nodes):
+  // install stamps are non-increasing going down the chain (each node is
+  // stamped at or after the node it was installed over), so an equal-stamp
+  // run is contiguous. Let P be the kept node and Q an unlinked one,
+  // ts(P) == ts(Q), P newer. A readSnapshot[Node]Where walk stops at P
+  // unless P.ts > handle — `always_visible(P.val)` promises every
+  // predicate any reader passes accepts P (the store passes "plain,
+  // non-detached record", which every resolve/validation/trim predicate
+  // accepts) — and if P.ts > handle then Q.ts > handle too, so the walk
+  // skips Q regardless. Either way no walk can STOP at Q, and in-flight
+  // walkers already at Q keep reading its intact fields under their pins.
+  // Q's unique predecessor is the chain neighbor we redirect (nextv is
+  // written once at install, then only by the trimming_-lock holder), so
+  // one store removes Q from every future walk.
+  //
+  // Serialization: the trimming_ try-lock (shared with trim_where,
+  // try_coalesce_below and try_unlink_head_run) makes this the only
+  // mutator of interior links; concurrent writers only swing vhead_ and
+  // never touch interior nextv fields, so walking the chain while they
+  // install is safe. Skip-don't-wait, like every maintenance pass.
+  //
+  // Returns versions unlinked (each EBR-retired into the recycling pool).
+  template <typename Pred>
+  std::size_t maintain_coalesce(Pred&& always_visible) {
+    bool expected = false;
+    if (!trimming_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire)) {
+      return 0;
+    }
+    std::size_t unlinked = 0;
+    VNode* keeper = vhead_.load(std::memory_order_acquire);
+    while (keeper != nullptr) {
+      const Timestamp ts = keeper->ts.load(std::memory_order_acquire);
+      VNode* next = keeper->nextv.load(std::memory_order_acquire);
+      // A TBD keeper (freshly appended, not yet stamped) proves nothing
+      // about the nodes below it; step past. Same for keepers a reader's
+      // predicate could reject: they cannot anchor the "no walk stops
+      // below me" argument.
+      if (ts != kTBD && always_visible(static_cast<const T&>(keeper->val))) {
+        while (next != nullptr) {
+          VNode* run_nodes[kMaxRun];
+          std::size_t n = 0;
+          VNode* cur = next;
+          VNode* cont = next;
+          while (n < kMaxRun && cur != nullptr &&
+                 cur->ts.load(std::memory_order_acquire) == ts &&
+                 always_visible(static_cast<const T&>(cur->val))) {
+            run_nodes[n++] = cur;
+            cont = cur->nextv.load(std::memory_order_acquire);
+            cur = cont;
           }
-          ebr::retire_batch(run, &delete_dead_run, unlinked);
+          if (n == 0) break;
+          keeper->nextv.store(cont, std::memory_order_release);
+          retire_run(run_nodes, n);
+          unlinked += n;
+          next = cont;
+          // Loop again: a run longer than kMaxRun drains in chunks under
+          // the same keeper (same stamp, contiguity argument unchanged).
+          if (cur == nullptr ||
+              cur->ts.load(std::memory_order_acquire) != ts) {
+            break;
+          }
         }
       }
+      keeper = next;
+    }
+    trimming_.store(false, std::memory_order_release);
+    return unlinked;
+  }
+
+  // Unlink the run of versions at the HEAD whose records are dead at every
+  // handle — the store passes "decided ABORTED" (an aborted batch's records
+  // never happened, at any timestamp), so an aborted transaction capping an
+  // otherwise-committed chain stops costing every reader a skip (ISSUE 5;
+  // the ROADMAP's txn-aware cell GC follow-on).
+  //
+  // Protocol: collect the maximal dead prefix under the trimming_ lock,
+  // then ONE head CAS (old head -> first live node) removes it; a failed
+  // CAS means a writer installed meanwhile — nothing was unlinked, give up
+  // (skip-don't-wait). The CAS, not the lock, is what excludes writers:
+  // they never take trimming_. In-flight walkers inside the spliced run
+  // keep reading intact fields under their pins, exactly like trim's
+  // detached suffixes. Safety of removing by identity: dead records are
+  // DECIDED, so no helper will re-enter their descriptor's install
+  // machinery (help_decide returns at the decision load), and validators
+  // of other transactions may walk THROUGH them but never stop AT them
+  // (decided-aborted records are skipped by every predicate in the store).
+  //
+  // Precondition: `dead(v)` is immutable once true (a decision is final)
+  // and the seed record is never dead (the walk must find a live node).
+  // Caller holds an ebr::Guard. Returns versions unlinked.
+  template <typename Pred>
+  std::size_t try_unlink_head_run(Pred&& dead) {
+    VNode* head = vhead_.load(std::memory_order_seq_cst);
+    if (!dead(static_cast<const T&>(head->val))) return 0;
+    bool expected = false;
+    if (!trimming_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire)) {
+      return 0;
+    }
+    VNode* run_nodes[kMaxRun];
+    std::size_t n = 0;
+    VNode* fresh = vhead_.load(std::memory_order_acquire);
+    VNode* cur = fresh;
+    while (n < kMaxRun && cur != nullptr &&
+           dead(static_cast<const T&>(cur->val))) {
+      run_nodes[n++] = cur;
+      cur = cur->nextv.load(std::memory_order_acquire);
+    }
+    std::size_t unlinked = 0;
+    if (n > 0 && cur != nullptr) {  // cur: first live node, the new head
+      // cur was installed below the head, so it is already stamped (every
+      // install stamps the node it replaced first, via vReadNode).
+      assert(cur->ts.load(std::memory_order_acquire) != kTBD &&
+             "non-head version left unstamped");
+      if (vhead_.compare_exchange_strong(fresh, cur,
+                                         std::memory_order_seq_cst)) {
+        retire_run(run_nodes, n);
+        unlinked = n;
+      }
+      // CAS failure: a writer won the head; the run is still linked (we
+      // changed nothing) and the next maintenance pass retries.
     }
     trimming_.store(false, std::memory_order_release);
     return unlinked;
@@ -437,6 +564,23 @@ class VersionedCAS {
     } else {
       delete node;
     }
+  }
+
+  // Retire `n` unlinked nodes (n >= 1, n <= kMaxRun) as one limbo entry:
+  // a single node goes straight to its deleter, a run gets a pooled
+  // DeadRun header so the deleter iterates an address array instead of
+  // pointer-chasing cold links. Shared by write-path coalescing
+  // (try_coalesce_below) and the maintenance passes.
+  void retire_run(VNode** nodes, std::size_t n) {
+    if (n == 1) {
+      ebr::retire(nodes[0], pooled_ ? &delete_one : &delete_one_heap);
+      return;
+    }
+    auto* run = new (RunPool::allocate()) DeadRun;
+    run->count = n;
+    run->pooled = pooled_;
+    for (std::size_t i = 0; i < n; ++i) run->nodes[i] = nodes[i];
+    ebr::retire_batch(run, &delete_dead_run, n);
   }
 
   // EBR deleters (plain function pointers — no per-retire thunk state).

@@ -8,9 +8,18 @@ by their identity fields (every string-valued field, e.g. mix/backend/
 write_path, plus thread/shard counts) and the throughput-like metrics are
 compared. A current value more than --threshold (default 20%) below the
 baseline prints a warning; on GitHub Actions it becomes a ::warning::
-annotation. ALWAYS exits 0 — bench boxes are noisy, so this step informs,
-it does not gate. Machine-shape differences between the baseline recording
-machine and CI runners are expected; watch trends, not absolutes.
+annotation. By default ALWAYS exits 0 — bench boxes are noisy, so this
+step informs, it does not gate. Machine-shape differences between the
+baseline recording machine and CI runners are expected; watch trends, not
+absolutes.
+
+--strict flips the exit code: any warning exits 1. Meant for a SEPARATE,
+non-blocking CI step (continue-on-error) so regressions in the targeted
+benches are visible as a red step without failing the build. Combine with
+--benches to restrict the strict gate to specific bench names (substring
+match on the BENCH_<name>.json stem), e.g.:
+
+    tools/bench_compare.py bench/baseline . --strict --benches write_churn
 """
 
 import argparse
@@ -22,6 +31,7 @@ import sys
 # versions) is context, not a gate.
 THROUGHPUT_KEYS = (
     "put_mops",
+    "write_mops",
     "burst_mops",
     "total_mops",
     "update_mops",
@@ -63,11 +73,20 @@ def main():
     ap.add_argument("current_dir", nargs="?", default=".")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="relative drop that triggers a warning")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when any warning fired (default: inform "
+                         "only, always exit 0)")
+    ap.add_argument("--benches", nargs="*", default=None,
+                    help="restrict to benches whose name contains any of "
+                         "these substrings")
     args = ap.parse_args()
 
     names = sorted(
         n for n in os.listdir(args.baseline_dir)
         if n.startswith("BENCH_") and n.endswith(".json"))
+    if args.benches:
+        names = [n for n in names
+                 if any(b in n for b in args.benches)]
     if not names:
         print(f"no BENCH_*.json baselines under {args.baseline_dir}")
         return 0
@@ -106,6 +125,9 @@ def main():
                          f"{cv:.3g} vs baseline {bv:.3g} "
                          f"({drop * 100:.0f}% drop)")
     print(f"bench_compare: {compared} metrics compared, {warned} warnings")
+    if args.strict and warned > 0:
+        print("bench_compare: --strict and warnings fired -> exit 1")
+        return 1
     return 0
 
 
