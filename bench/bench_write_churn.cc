@@ -42,11 +42,15 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/harness.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "store/store.h"
 
 namespace {
@@ -339,8 +343,23 @@ ChurnResult run_delete_heavy(bool gc_on, int writers, int run_ms,
 
 }  // namespace
 
-int main() {
-  const Config cfg = config_from_env();
+int main(int argc, char** argv) {
+  Config cfg = config_from_env();
+  // --short: one tiny rep at 2 threads — the CI observability smoke shape
+  // (enough traffic to populate every meter, seconds not minutes).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      cfg.run_ms = 20;
+      cfg.reps = 1;
+      cfg.threads = {2};
+    }
+  }
+  // VCAS_TRACE_OUT=<path>: record event traces for the whole run and dump
+  // the rings (binary; feed to tools/trace_export.py) at exit.
+  const char* trace_out = std::getenv("VCAS_TRACE_OUT");
+  if (trace_out != nullptr && *trace_out != '\0') {
+    vcas::obs::set_tracing(true);
+  }
   JsonReport report("write_churn");
   std::printf("== Write churn: clock-gated coalescing + VNode recycling ==\n");
   std::printf("%zu keys, %zu shards, background trim on (1ms); off = seed "
@@ -411,5 +430,33 @@ int main() {
                                             : 1));
   }
   vcas::ebr::drain_for_tests();
+
+  // Observability dumps (all workers joined above, so the rings are
+  // quiescent). VCAS_STATS_OUT=<path> writes the registry-side stats
+  // snapshot as JSON.
+  if (trace_out != nullptr && *trace_out != '\0') {
+    vcas::obs::set_tracing(false);
+    if (vcas::obs::dump_trace(trace_out)) {
+      const vcas::obs::TraceSummary ts = vcas::obs::trace_summary();
+      std::printf("wrote %s (%llu records, %llu dropped)\n", trace_out,
+                  static_cast<unsigned long long>(ts.records),
+                  static_cast<unsigned long long>(ts.dropped));
+    } else {
+      std::fprintf(stderr, "trace dump to %s failed\n", trace_out);
+    }
+  }
+  if (const char* stats_out = std::getenv("VCAS_STATS_OUT")) {
+    if (*stats_out != '\0') {
+      if (std::FILE* f = std::fopen(stats_out, "w")) {
+        const std::string json = vcas::obs::collect().to_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", stats_out);
+      } else {
+        std::fprintf(stderr, "stats dump to %s failed\n", stats_out);
+      }
+    }
+  }
   return 0;
 }

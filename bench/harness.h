@@ -202,9 +202,16 @@ inline void add_memory_fields(JsonRow& row, const MemorySample& before) {
 //   maint_aborts_unlinked  decided-aborted records spliced out
 //   maint_queue_depth      tasks waiting at sample time (absolute)
 //   maint_task_us_avg      mean per-task latency over the phase (delta)
-//   maint_task_us_max      slowest task since pool creation (ABSOLUTE —
+//   maint_task_us_p50      median per-task latency over the phase (delta
+//   maint_task_us_p99      of the obs registry's log-bucket histogram;
+//                          resolved to the bucket's upper bound)
+//   maint_task_us_max      slowest task since process start (ABSOLUTE —
 //                          a running max cannot be delta'd; phases after
 //                          the first inherit earlier outliers)
+//
+// Since ISSUE 6 the numbers come from the process-wide obs registry
+// (maint::Stats is aggregate-on-read), so a mid-run sample is coherent —
+// the delete_heavy rows used to read one worker's unaggregated counters.
 inline void add_maintenance_fields(JsonRow& row, const maint::Stats& before,
                                    const maint::Stats& now) {
   const std::uint64_t tasks = now.tasks_run - before.tasks_run;
@@ -229,6 +236,12 @@ inline void add_maintenance_fields(JsonRow& row, const maint::Stats& before,
             tasks > 0 ? static_cast<double>(ns) /
                             static_cast<double>(tasks) / 1e3
                       : 0.0);
+  const obs::HistogramSnapshot phase =
+      now.task_latency.minus(before.task_latency);
+  row.field("maint_task_us_p50",
+            static_cast<double>(phase.percentile(0.50)) / 1e3);
+  row.field("maint_task_us_p99",
+            static_cast<double>(phase.percentile(0.99)) / 1e3);
   row.field("maint_task_us_max",
             static_cast<double>(now.task_ns_max) / 1e3);
 }

@@ -135,5 +135,8 @@ int main() {
   std::printf("trimmed %zu stale versions at shutdown; %zu live versions "
               "remain\n",
               trimmed, store.total_versions());
+  // One-call observability dump: every obs-registry meter plus store-live
+  // state (all zeros for the registry side under -DVCAS_STATS=OFF).
+  std::printf("\n-- store.stats() --\n%s", store.stats().to_text().c_str());
   return final_total == kExpectedTotal && snapshot_bad == 0 ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/padded.h"
 #include "util/threading.h"
 
@@ -101,7 +103,13 @@ void try_advance() {
   for (int i = 0; i < live; ++i) {
     const std::uint64_t r =
         g_threads[i].value.reservation.load(std::memory_order_acquire);
-    if (r != kQuiescent && r != e) return;  // a thread lags; cannot advance
+    if (r != kQuiescent && r != e) {
+      // A thread lags; cannot advance. This is the epoch-stall event the
+      // limbo-depth telemetry pairs with: stalls * retire rate bounds the
+      // unfreeable backlog a preempted pin accumulates.
+      obs::m::ebr_epoch_stalls.add();
+      return;
+    }
   }
   std::uint64_t expected = e;
   g_epoch.compare_exchange_strong(expected, e + 1, std::memory_order_acq_rel);
@@ -150,6 +158,7 @@ std::size_t sweep(std::vector<SubBag>& bags, std::uint64_t safe_before,
 }
 
 void scan(ThreadState& ts) {
+  VCAS_TRACE_SPAN(obs::Ev::kEbrScan);
   try_advance();
   const std::uint64_t safe_before = min_reservation();
   std::size_t freed = sweep(ts.limbo, safe_before, &ts.spare_bags);

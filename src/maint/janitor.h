@@ -43,9 +43,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "ebr/ebr.h"
 #include "maint/maintenance.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/batch.h"
 #include "vcas/camera.h"
 
@@ -59,8 +62,10 @@ class CellJanitor {
 
  public:
   // One bounded pass; see the header comment. Skip-don't-wait: a shard
-  // already claimed by another pass returns kBusy untouched.
-  static PassStatus pass(Store& store, std::size_t shard_idx, Counters& c,
+  // already claimed by another pass returns kBusy untouched. The pass
+  // reports straight into the process-wide obs registry (obs/metrics.h);
+  // per-slot relaxed bumps, so the reporting adds nothing measurable.
+  static PassStatus pass(Store& store, std::size_t shard_idx,
                          std::size_t max_cells) {
     Shard& shard = *store.shards_[shard_idx];
     bool expected = false;
@@ -69,6 +74,8 @@ class CellJanitor {
       return PassStatus::kBusy;
     }
     ebr::Guard g;
+    VCAS_TRACE_SPAN(obs::Ev::kJanitorPass,
+                    static_cast<std::uint32_t>(shard_idx));
     const Timestamp horizon = store.camera_.min_active();
     // Resume in O(1): the previous pass parked the next unprocessed cell
     // AND its registry predecessor (unlinks need the predecessor, and
@@ -87,23 +94,30 @@ class CellJanitor {
     while (cell != nullptr && processed < max_cells) {
       Cell* next = cell->next_all.load(std::memory_order_acquire);
       ++processed;
-      c.cells_visited.fetch_add(1, std::memory_order_relaxed);
+      obs::m::maint_cells_visited.add();
+      // Chain-length sampling: 1-in-64 visited cells pay a full
+      // version_count() walk. Sampling (vs. every cell) keeps the pass's
+      // cost profile unchanged even in the coalescing-off ablation, where
+      // chains grow to thousands of nodes; the tick starts at 0 so the
+      // FIRST cell of every worker samples and small stores still report.
+      VCAS_OBS({
+        thread_local std::uint32_t sample_tick = 0;
+        if ((sample_tick++ & 63u) == 0) {
+          obs::m::chain_length.record(cell->rec.version_count());
+        }
+      });
       const std::size_t aborted =
           cell->rec.try_unlink_head_run([](const Record& r) {
             return store::record_is_aborted_cap(r.ticket);
           });
-      if (aborted != 0) {
-        c.aborted_unlinked.fetch_add(aborted, std::memory_order_relaxed);
-      }
+      if (aborted != 0) obs::m::maint_aborted_unlinked.add(aborted);
       const std::size_t trimmed =
           cell->rec.trim_where(horizon, [&](const Record& r) {
             // The one shared pivot rule (Store::trim_pivot_visible):
             // foreground and background trim must never diverge.
             return Store::trim_pivot_visible(r, horizon);
           });
-      if (trimmed != 0) {
-        c.versions_trimmed.fetch_add(trimmed, std::memory_order_relaxed);
-      }
+      if (trimmed != 0) obs::m::maint_versions_trimmed.add(trimmed);
       if (store.coalescing()) {
         const std::size_t coalesced =
             cell->rec.maintain_coalesce([](const Record& r) {
@@ -112,13 +126,10 @@ class CellJanitor {
               // node identity) — see maintain_coalesce's proof.
               return r.ticket == nullptr && !r.detached;
             });
-        if (coalesced != 0) {
-          c.versions_coalesced.fetch_add(coalesced,
-                                         std::memory_order_relaxed);
-        }
+        if (coalesced != 0) obs::m::maint_versions_coalesced.add(coalesced);
       }
       if (store.try_detach_cell(shard, prev, cell, horizon)) {
-        c.cells_detached.fetch_add(1, std::memory_order_relaxed);
+        obs::m::maint_cells_detached.add();
         cell = next;  // prev unchanged: `cell` left the registry
         continue;
       }

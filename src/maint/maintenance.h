@@ -28,8 +28,9 @@
 // operation ever touches.
 //
 // The pool is deliberately store-agnostic: it schedules opaque per-shard
-// passes (a PassFn returning whether the shard's cursor wrapped) and owns
-// the counters every pass reports into. Later subsystems (NUMA-aware
+// passes (a PassFn returning whether the shard's cursor wrapped);
+// scheduling and pass telemetry both report into the process-wide obs
+// registry (obs/metrics.h). Later subsystems (NUMA-aware
 // placement, adaptive backend migration, persistence flushing) are
 // expected to schedule through the same engine.
 #pragma once
@@ -47,6 +48,7 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "obs/metrics.h"
 
 namespace vcas::maint {
 
@@ -68,22 +70,14 @@ enum class PassStatus {
   kWrapped,  // reached the end of the shard's registry
 };
 
-// Live counters, bumped (relaxed) by workers and passes; read via stats().
-struct Counters {
-  std::atomic<std::uint64_t> tasks_run{0};
-  std::atomic<std::uint64_t> tasks_dropped{0};  // stale generation
-  std::atomic<std::uint64_t> hints{0};
-  std::atomic<std::uint64_t> sweeps{0};
-  std::atomic<std::uint64_t> cells_visited{0};
-  std::atomic<std::uint64_t> versions_trimmed{0};
-  std::atomic<std::uint64_t> versions_coalesced{0};
-  std::atomic<std::uint64_t> aborted_unlinked{0};
-  std::atomic<std::uint64_t> cells_detached{0};  // tombstone cells GC'd
-  std::atomic<std::uint64_t> task_ns_total{0};
-  std::atomic<std::uint64_t> task_ns_max{0};
-};
-
-// Plain-value snapshot of Counters for telemetry rows and tests.
+// Plain-value snapshot of the maintenance meters for telemetry rows and
+// tests. The counters themselves live in the process-wide obs registry
+// (obs/metrics.h, `obs::m::maint_*`) — ISSUE 6 deleted the pool-owned
+// atomic-counter struct that used to parallel it. Every field is an
+// AGGREGATE-ON-READ sum over the per-thread slots, so a snapshot taken
+// mid-run is coherent (each counter exact at some instant during the
+// scan, monotone across calls) instead of whatever one worker's hot
+// counter happened to read.
 struct Stats {
   std::uint64_t tasks_run = 0;
   std::uint64_t tasks_dropped = 0;
@@ -97,7 +91,29 @@ struct Stats {
   std::uint64_t task_ns_total = 0;
   std::uint64_t task_ns_max = 0;
   std::size_t queue_depth = 0;
+  // Full per-task latency distribution (ns); task_ns_total/max above are
+  // its sum/max, kept as flat fields for existing consumers.
+  obs::HistogramSnapshot task_latency;
 };
+
+// Registry-side snapshot; queue_depth stays 0 (only a live pool knows
+// its depth — ShardedStore::maintenance_stats fills it in).
+inline Stats stats_from_registry() {
+  Stats s;
+  s.tasks_run = obs::m::maint_tasks_run.read();
+  s.tasks_dropped = obs::m::maint_tasks_dropped.read();
+  s.hints = obs::m::maint_hints.read();
+  s.sweeps = obs::m::maint_sweeps.read();
+  s.cells_visited = obs::m::maint_cells_visited.read();
+  s.versions_trimmed = obs::m::maint_versions_trimmed.read();
+  s.versions_coalesced = obs::m::maint_versions_coalesced.read();
+  s.aborted_unlinked = obs::m::maint_aborted_unlinked.read();
+  s.cells_detached = obs::m::maint_cells_detached.read();
+  s.task_latency = obs::m::maint_task_latency.snapshot();
+  s.task_ns_total = s.task_latency.sum;
+  s.task_ns_max = s.task_latency.max;
+  return s;
+}
 
 namespace detail {
 
@@ -249,18 +265,16 @@ class MaintenancePool {
   // Write-path enqueue: lock-free dedup + queue push; wakes a worker only
   // if one is asleep (see the progress note in the header comment).
   void hint(std::size_t shard) {
-    counters_.hints.fetch_add(1, std::memory_order_relaxed);
+    obs::m::maint_hints.add();
     enqueue(shard, TaskKind::kHint);
   }
 
   // Enqueue a sweep task for every shard (periodic tick; also handy for
   // tests that want the pool, not the caller, to do the work).
   void sweep_all() {
-    counters_.sweeps.fetch_add(1, std::memory_order_relaxed);
+    obs::m::maint_sweeps.add();
     for (std::size_t s = 0; s < shards_; ++s) enqueue(s, TaskKind::kSweep);
   }
-
-  Counters& counters() { return counters_; }
 
   std::size_t queue_depth() const {
     const std::int64_t d = depth_.load(std::memory_order_relaxed);
@@ -268,22 +282,7 @@ class MaintenancePool {
   }
 
   Stats stats() const {
-    Stats s;
-    s.tasks_run = counters_.tasks_run.load(std::memory_order_relaxed);
-    s.tasks_dropped = counters_.tasks_dropped.load(std::memory_order_relaxed);
-    s.hints = counters_.hints.load(std::memory_order_relaxed);
-    s.sweeps = counters_.sweeps.load(std::memory_order_relaxed);
-    s.cells_visited = counters_.cells_visited.load(std::memory_order_relaxed);
-    s.versions_trimmed =
-        counters_.versions_trimmed.load(std::memory_order_relaxed);
-    s.versions_coalesced =
-        counters_.versions_coalesced.load(std::memory_order_relaxed);
-    s.aborted_unlinked =
-        counters_.aborted_unlinked.load(std::memory_order_relaxed);
-    s.cells_detached =
-        counters_.cells_detached.load(std::memory_order_relaxed);
-    s.task_ns_total = counters_.task_ns_total.load(std::memory_order_relaxed);
-    s.task_ns_max = counters_.task_ns_max.load(std::memory_order_relaxed);
+    Stats s = stats_from_registry();
     s.queue_depth = queue_depth();
     return s;
   }
@@ -331,22 +330,22 @@ class MaintenancePool {
     s.queued.store(false, std::memory_order_release);
     const std::uint64_t gen = s.enqueued_gen.load(std::memory_order_acquire);
     if (task.gen <= s.done_gen.load(std::memory_order_acquire)) {
-      counters_.tasks_dropped.fetch_add(1, std::memory_order_relaxed);
+      obs::m::maint_tasks_dropped.add();
       return;
     }
+#if VCAS_STATS  // guard the clock reads themselves, not just the record
     const auto t0 = std::chrono::steady_clock::now();
+#endif
     const PassStatus status = pass_(task.shard);
-    const auto ns = static_cast<std::uint64_t>(
+    obs::m::maint_tasks_run.add();
+#if VCAS_STATS
+    // One histogram record replaces the old total/CAS-max pair: sum and
+    // max fall out of the aggregation, percentiles come for free.
+    obs::m::maint_task_latency.record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
-            .count());
-    counters_.tasks_run.fetch_add(1, std::memory_order_relaxed);
-    counters_.task_ns_total.fetch_add(ns, std::memory_order_relaxed);
-    std::uint64_t prev_max =
-        counters_.task_ns_max.load(std::memory_order_relaxed);
-    while (prev_max < ns && !counters_.task_ns_max.compare_exchange_weak(
-                                prev_max, ns, std::memory_order_relaxed)) {
-    }
+            .count()));
+#endif
     switch (status) {
       case PassStatus::kBusy:
         // Another pass holds the shard and may not have seen task.gen;
@@ -418,7 +417,6 @@ class MaintenancePool {
   std::unique_ptr<Sched[]> sched_;
   detail::TaskQueue queue_;
   std::atomic<std::int64_t> depth_{0};
-  Counters counters_;
 
   std::atomic<std::int64_t> tick_ns_{0};
   std::atomic<std::int64_t> last_tick_ns_{0};

@@ -1,0 +1,398 @@
+// Lock-free metrics registry (ISSUE 6).
+//
+// The store's whole pitch is BOUNDED overhead — O(1) snapshots, write
+// costs that track snapshots — and this registry is how the live system
+// demonstrates it without giving any of it back:
+//
+//   * Hot-path writes are per-thread-slot relaxed stores. Every metric
+//     shards its state across util::kMaxThreads cache-line-padded slots
+//     indexed by util::thread_slot(); a slot is written only by its
+//     owning thread (util::bump_counter's contract), so increments are a
+//     relaxed load+store — no shared RMW, no fence, no cache-line
+//     ping-pong. Slot recycling is safe for the same reason it is safe
+//     for EBR reservations: a recycled slot accumulates on top of the
+//     dead thread's tally, and aggregation sums slots, so nothing is
+//     lost or double-counted.
+//
+//   * Reads aggregate over util::slot_high_water() — the same bounded
+//     scan EBR's reservation sweep and Camera::min_active use — so a
+//     process that peaked at 8 threads sums 8 slots, not 192. Reads are
+//     racy-by-design snapshots (each slot load is atomic, the sum is
+//     not); a counter read concurrent with writers is a lower bound that
+//     was exact at some point during the scan, which is all telemetry
+//     needs.
+//
+//   * The whole substrate sits behind VCAS_STATS (CMake option, default
+//     ON). Compiled out, every metric type is an empty struct whose
+//     methods are no-op inlines — call sites need no #ifdefs and the
+//     optimizer deletes them. Sites whose ARGUMENT is expensive to
+//     compute (a chain walk feeding a histogram sample) wrap the whole
+//     statement in VCAS_OBS(...) so the argument evaluation compiles out
+//     too.
+//
+// Metrics self-register (lock-free intrusive push) into a process-wide
+// list so dumps can enumerate them generically; see registry_json().
+// Metric objects must have static storage duration — the registry keeps
+// raw pointers forever (the inline instances at the bottom of this
+// header are the intended usage; tests that construct their own use
+// function-local statics).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/padded.h"
+#include "util/threading.h"
+
+#ifndef VCAS_STATS
+#define VCAS_STATS 1
+#endif
+
+#if VCAS_STATS
+// Statement-level gate: compiles the statement (INCLUDING its argument
+// evaluation) out entirely when the stats substrate is disabled.
+#define VCAS_OBS(stmt)  \
+  do {                  \
+    stmt;               \
+  } while (0)
+#else
+#define VCAS_OBS(stmt) \
+  do {                 \
+  } while (0)
+#endif
+
+namespace vcas::obs {
+
+inline constexpr bool kStatsEnabled = VCAS_STATS != 0;
+
+// Plain-value aggregate of a Histogram at one instant (or a delta between
+// two instants, via minus()). Always a real struct, even when the
+// substrate is compiled out — snapshot consumers (maint::Stats, bench
+// telemetry rows) keep one layout in both modes and simply see zeros when
+// disabled.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::uint64_t buckets[kBuckets] = {};
+
+  // Log2 bucketing: bucket 0 holds the value 0, bucket b >= 1 holds
+  // [2^(b-1), 2^b - 1]; the top bucket absorbs everything above 2^62.
+  static int bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    const int b = 64 - __builtin_clzll(v);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  // Inclusive upper bound of bucket b (what percentile() reports): the
+  // worst value that could have landed there.
+  static std::uint64_t bucket_upper_bound(int b) {
+    if (b <= 0) return 0;
+    if (b >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // Value at quantile q in [0, 1], resolved to the containing bucket's
+  // upper bound (conservative: the true value is <= the report, within
+  // one power of two). The top bucket reports the observed max instead
+  // of its unbounded edge.
+  std::uint64_t percentile(double q) const {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count));
+    if (rank == 0) rank = 1;
+    if (rank > count) rank = count;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += buckets[b];
+      if (cum >= rank) {
+        const std::uint64_t edge = bucket_upper_bound(b);
+        return (max != 0 && max < edge) ? max : edge;
+      }
+    }
+    return max;
+  }
+
+  // Delta between two snapshots of one histogram (now - before).
+  // `max` cannot be delta'd (it is a running maximum); the later
+  // snapshot's value carries over, same convention as the bench rows'
+  // task_us_max field.
+  HistogramSnapshot minus(const HistogramSnapshot& before) const {
+    HistogramSnapshot d;
+    d.count = count - before.count;
+    d.sum = sum - before.sum;
+    d.max = max;
+    for (int b = 0; b < kBuckets; ++b) {
+      d.buckets[b] = buckets[b] - before.buckets[b];
+    }
+    return d;
+  }
+};
+
+#if VCAS_STATS
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+// Registry node. Registration is a lock-free intrusive push at
+// construction; the list is never unlinked from (metrics are immortal by
+// contract), so enumeration needs no synchronization beyond the acquire
+// head load.
+class Metric {
+ public:
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  const char* name() const { return name_; }
+  MetricKind kind() const { return kind_; }
+  Metric* next() const { return next_; }
+
+  static Metric* head() {
+    return head_ref().load(std::memory_order_acquire);
+  }
+
+  // Append `"name":<value-json>` to `out` (no surrounding braces).
+  virtual void append_json(std::string& out) const = 0;
+
+ protected:
+  Metric(const char* name, MetricKind kind) : name_(name), kind_(kind) {
+    std::atomic<Metric*>& h = head_ref();
+    next_ = h.load(std::memory_order_relaxed);
+    while (!h.compare_exchange_weak(next_, this, std::memory_order_acq_rel)) {
+    }
+  }
+  virtual ~Metric() = default;
+
+ private:
+  static std::atomic<Metric*>& head_ref() {
+    static std::atomic<Metric*> head{nullptr};
+    return head;
+  }
+
+  const char* name_;
+  MetricKind kind_;
+  Metric* next_;
+};
+
+// Monotone event counter. add() is two relaxed accesses to a slot only
+// the calling thread writes; read() is exact once writers quiesce and a
+// live lower bound otherwise.
+class Counter final : public Metric {
+ public:
+  explicit Counter(const char* name) : Metric(name, MetricKind::kCounter) {}
+
+  void add(std::uint64_t n = 1) {
+    util::bump_counter(slots_[util::thread_slot()].value, n);
+  }
+
+  std::uint64_t read() const {
+    std::uint64_t sum = 0;
+    const int live = util::slot_high_water();
+    for (int i = 0; i < live; ++i) {
+      sum += slots_[i].value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void append_json(std::string& out) const override {
+    out += '"';
+    out += name();
+    out += "\":";
+    out += std::to_string(read());
+  }
+
+ private:
+  util::Padded<std::atomic<std::uint64_t>> slots_[util::kMaxThreads];
+};
+
+// Signed up/down gauge (e.g. currently-live snapshot guards). Per-slot
+// partial sums may be negative (a guard created on one thread could in
+// principle be released on another); only the aggregate is meaningful.
+class Gauge final : public Metric {
+ public:
+  explicit Gauge(const char* name) : Metric(name, MetricKind::kGauge) {}
+
+  void add(std::int64_t n) {
+    std::atomic<std::int64_t>& s = slots_[util::thread_slot()].value;
+    s.store(s.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+
+  std::int64_t read() const {
+    std::int64_t sum = 0;
+    const int live = util::slot_high_water();
+    for (int i = 0; i < live; ++i) {
+      sum += slots_[i].value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void append_json(std::string& out) const override {
+    out += '"';
+    out += name();
+    out += "\":";
+    out += std::to_string(read());
+  }
+
+ private:
+  util::Padded<std::atomic<std::int64_t>> slots_[util::kMaxThreads];
+};
+
+// Log2-bucketed histogram (latencies, chain lengths, run sizes). One
+// record() is four relaxed slot-local accesses; the per-slot max needs no
+// RMW because the slot has one writer.
+class Histogram final : public Metric {
+ public:
+  explicit Histogram(const char* name)
+      : Metric(name, MetricKind::kHistogram) {}
+
+  void record(std::uint64_t v) {
+    Slot& s = slots_[util::thread_slot()];
+    util::bump_counter(s.buckets[HistogramSnapshot::bucket_of(v)]);
+    util::bump_counter(s.sum, v);
+    util::bump_counter(s.count);
+    if (v > s.max.load(std::memory_order_relaxed)) {
+      s.max.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot out;
+    const int live = util::slot_high_water();
+    for (int i = 0; i < live; ++i) {
+      const Slot& s = slots_[i];
+      out.count += s.count.load(std::memory_order_relaxed);
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      const std::uint64_t m = s.max.load(std::memory_order_relaxed);
+      if (m > out.max) out.max = m;
+      for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+        out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+  void append_json(std::string& out) const override {
+    const HistogramSnapshot s = snapshot();
+    out += '"';
+    out += name();
+    out += "\":{\"count\":";
+    out += std::to_string(s.count);
+    out += ",\"sum\":";
+    out += std::to_string(s.sum);
+    out += ",\"max\":";
+    out += std::to_string(s.max);
+    out += ",\"p50\":";
+    out += std::to_string(s.percentile(0.50));
+    out += ",\"p99\":";
+    out += std::to_string(s.percentile(0.99));
+    out += '}';
+  }
+
+ private:
+  struct alignas(util::kCacheLine) Slot {
+    std::atomic<std::uint64_t> buckets[HistogramSnapshot::kBuckets];
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  Slot slots_[util::kMaxThreads];
+};
+
+// Every registered metric as one flat JSON object (histograms as nested
+// objects with count/sum/max/p50/p99). Enumeration order is reverse
+// registration order; stable within one process run.
+inline std::string registry_json() {
+  std::string out = "{";
+  for (const Metric* m = Metric::head(); m != nullptr; m = m->next()) {
+    if (out.size() > 1) out += ',';
+    m->append_json(out);
+  }
+  out += '}';
+  return out;
+}
+
+#else  // !VCAS_STATS — the whole substrate compiles to nothing.
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+class Counter {
+ public:
+  explicit Counter(const char*) {}
+  void add(std::uint64_t = 1) {}
+  std::uint64_t read() const { return 0; }
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const char*) {}
+  void add(std::int64_t) {}
+  std::int64_t read() const { return 0; }
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const char*) {}
+  void record(std::uint64_t) {}
+  HistogramSnapshot snapshot() const { return HistogramSnapshot{}; }
+};
+
+inline std::string registry_json() { return "{}"; }
+
+#endif  // VCAS_STATS
+
+// --- the store's named meters ------------------------------------------------
+//
+// One process-wide instance per metric (inline variables; every TU sees
+// the same object). Process-wide, not per-store, deliberately: EBR and
+// the slab pool are already process-global, multi-store processes share
+// the write paths being measured, and all existing assertions are
+// monotone (deltas or >=). ShardedStore::stats() combines these with the
+// store's own live state (queue depth, camera lag).
+namespace m {
+
+// camera / snapshot lifetime
+inline Counter snapshots_taken{"camera.snapshots_taken"};
+inline Counter guards_taken{"camera.guards_taken"};
+inline Gauge guards_active{"camera.guards_active"};
+inline Histogram min_active_lag{"camera.min_active_lag"};  // clock ticks
+
+// vcas version chains
+inline Histogram chain_length{"vcas.chain_length"};    // sampled by janitor
+inline Histogram coalesce_run{"vcas.coalesce_run"};    // run sizes unlinked
+inline Histogram trim_run{"vcas.trim_run"};            // suffix sizes detached
+
+// batch / txn protocol
+inline Counter batch_drive_owner{"batch.drive_owner"};
+inline Counter batch_drive_helper{"batch.drive_helper"};
+inline Counter decide_committed{"batch.decide_committed"};
+inline Counter decide_aborted{"batch.decide_aborted"};
+inline Histogram txn_validate_walk{"txn.validate_walk"};  // nodes per witness
+
+// ebr
+inline Counter ebr_epoch_stalls{"ebr.epoch_stalls"};
+
+// maintenance subsystem (replaces the former maint::Counters struct)
+inline Counter maint_tasks_run{"maint.tasks_run"};
+inline Counter maint_tasks_dropped{"maint.tasks_dropped"};
+inline Counter maint_hints{"maint.hints"};
+inline Counter maint_sweeps{"maint.sweeps"};
+inline Counter maint_cells_visited{"maint.cells_visited"};
+inline Counter maint_versions_trimmed{"maint.versions_trimmed"};
+inline Counter maint_versions_coalesced{"maint.versions_coalesced"};
+inline Counter maint_aborted_unlinked{"maint.aborted_unlinked"};
+inline Counter maint_cells_detached{"maint.cells_detached"};
+inline Histogram maint_task_latency{"maint.task_ns"};  // per-task ns
+
+}  // namespace m
+
+}  // namespace vcas::obs

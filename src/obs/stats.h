@@ -1,0 +1,253 @@
+// Structured one-shot view of every meter plus store-live state.
+//
+// obs::collect() reads the process-wide registry (aggregate-on-read over
+// the per-thread slots) into a plain-value StatsSnapshot;
+// ShardedStore::stats() adds the fields only a store instance knows
+// (clock, min_active lag, announcement occupancy, maintenance queue
+// depth). The snapshot is coherent the way the registry is coherent:
+// each field is an atomic aggregate taken at one instant, monotone
+// across calls, exact once writers quiesce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ebr/ebr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vcas::obs {
+
+struct StatsSnapshot {
+  // camera / snapshot lifetime
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t guards_taken = 0;
+  std::int64_t guards_active = 0;
+  HistogramSnapshot min_active_lag;  // clock ticks, sampled at min_active()
+  std::uint64_t clock = 0;           // store-live
+  std::uint64_t min_active = 0;      // store-live
+  std::uint64_t min_active_lag_now = 0;  // store-live: clock - min_active
+  int announced_slots = 0;           // store-live: occupied announcement slots
+
+  // vcas version chains
+  HistogramSnapshot chain_length;
+  HistogramSnapshot coalesce_run;
+  HistogramSnapshot trim_run;
+
+  // batch / txn protocol
+  std::uint64_t batch_drive_owner = 0;
+  std::uint64_t batch_drive_helper = 0;
+  std::uint64_t decide_committed = 0;
+  std::uint64_t decide_aborted = 0;
+  HistogramSnapshot txn_validate_walk;
+
+  // ebr
+  std::uint64_t ebr_epoch = 0;
+  std::uint64_t ebr_epoch_stalls = 0;
+  std::uint64_t ebr_pending = 0;  // limbo depth (nodes awaiting reclamation)
+  std::uint64_t ebr_freed = 0;
+
+  // maintenance
+  std::uint64_t maint_tasks_run = 0;
+  std::uint64_t maint_tasks_dropped = 0;
+  std::uint64_t maint_hints = 0;
+  std::uint64_t maint_sweeps = 0;
+  std::uint64_t maint_cells_visited = 0;
+  std::uint64_t maint_versions_trimmed = 0;
+  std::uint64_t maint_versions_coalesced = 0;
+  std::uint64_t maint_aborted_unlinked = 0;
+  std::uint64_t maint_cells_detached = 0;
+  std::size_t maint_queue_depth = 0;  // store-live
+  HistogramSnapshot maint_task_latency;  // ns
+
+  // tracing
+  std::uint64_t trace_records = 0;
+  std::uint64_t trace_dropped = 0;
+  bool trace_enabled = false;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+// Registry-side fields only; store-live fields stay zero. Usable without
+// a store (e.g. bench teardown dumps).
+inline StatsSnapshot collect() {
+  StatsSnapshot s;
+#if VCAS_STATS
+  s.snapshots_taken = m::snapshots_taken.read();
+  s.guards_taken = m::guards_taken.read();
+  s.guards_active = m::guards_active.read();
+  s.min_active_lag = m::min_active_lag.snapshot();
+
+  s.chain_length = m::chain_length.snapshot();
+  s.coalesce_run = m::coalesce_run.snapshot();
+  s.trim_run = m::trim_run.snapshot();
+
+  s.batch_drive_owner = m::batch_drive_owner.read();
+  s.batch_drive_helper = m::batch_drive_helper.read();
+  s.decide_committed = m::decide_committed.read();
+  s.decide_aborted = m::decide_aborted.read();
+  s.txn_validate_walk = m::txn_validate_walk.snapshot();
+
+  const ebr::Stats e = ebr::stats();
+  s.ebr_epoch = e.epoch;
+  s.ebr_pending = e.pending;
+  s.ebr_freed = e.freed;
+  s.ebr_epoch_stalls = m::ebr_epoch_stalls.read();
+
+  s.maint_tasks_run = m::maint_tasks_run.read();
+  s.maint_tasks_dropped = m::maint_tasks_dropped.read();
+  s.maint_hints = m::maint_hints.read();
+  s.maint_sweeps = m::maint_sweeps.read();
+  s.maint_cells_visited = m::maint_cells_visited.read();
+  s.maint_versions_trimmed = m::maint_versions_trimmed.read();
+  s.maint_versions_coalesced = m::maint_versions_coalesced.read();
+  s.maint_aborted_unlinked = m::maint_aborted_unlinked.read();
+  s.maint_cells_detached = m::maint_cells_detached.read();
+  s.maint_task_latency = m::maint_task_latency.snapshot();
+
+  const TraceSummary t = trace_summary();
+  s.trace_records = t.records;
+  s.trace_dropped = t.dropped;
+  s.trace_enabled = tracing();
+#endif
+  return s;
+}
+
+namespace detail {
+
+inline void json_u64(std::string& out, const char* key, std::uint64_t v,
+                     bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+  if (comma) out += ',';
+}
+
+inline void json_hist(std::string& out, const char* key,
+                      const HistogramSnapshot& h, bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":{\"count\":";
+  out += std::to_string(h.count);
+  out += ",\"sum\":";
+  out += std::to_string(h.sum);
+  out += ",\"max\":";
+  out += std::to_string(h.max);
+  out += ",\"p50\":";
+  out += std::to_string(h.percentile(0.50));
+  out += ",\"p99\":";
+  out += std::to_string(h.percentile(0.99));
+  out += '}';
+  if (comma) out += ',';
+}
+
+inline void text_hist(std::string& out, const char* label,
+                      const HistogramSnapshot& h) {
+  out += label;
+  out += ": n=";
+  out += std::to_string(h.count);
+  out += " mean=";
+  out += std::to_string(static_cast<std::uint64_t>(h.mean()));
+  out += " p50=";
+  out += std::to_string(h.percentile(0.50));
+  out += " p99=";
+  out += std::to_string(h.percentile(0.99));
+  out += " max=";
+  out += std::to_string(h.max);
+  out += '\n';
+}
+
+}  // namespace detail
+
+inline std::string StatsSnapshot::to_json() const {
+  using detail::json_hist;
+  using detail::json_u64;
+  std::string o = "{";
+  json_u64(o, "snapshots_taken", snapshots_taken);
+  json_u64(o, "guards_taken", guards_taken);
+  o += "\"guards_active\":" + std::to_string(guards_active) + ",";
+  json_hist(o, "min_active_lag", min_active_lag);
+  json_u64(o, "clock", clock);
+  json_u64(o, "min_active", min_active);
+  json_u64(o, "min_active_lag_now", min_active_lag_now);
+  o += "\"announced_slots\":" + std::to_string(announced_slots) + ",";
+  json_hist(o, "chain_length", chain_length);
+  json_hist(o, "coalesce_run", coalesce_run);
+  json_hist(o, "trim_run", trim_run);
+  json_u64(o, "batch_drive_owner", batch_drive_owner);
+  json_u64(o, "batch_drive_helper", batch_drive_helper);
+  json_u64(o, "decide_committed", decide_committed);
+  json_u64(o, "decide_aborted", decide_aborted);
+  json_hist(o, "txn_validate_walk", txn_validate_walk);
+  json_u64(o, "ebr_epoch", ebr_epoch);
+  json_u64(o, "ebr_epoch_stalls", ebr_epoch_stalls);
+  json_u64(o, "ebr_pending", ebr_pending);
+  json_u64(o, "ebr_freed", ebr_freed);
+  json_u64(o, "maint_tasks_run", maint_tasks_run);
+  json_u64(o, "maint_tasks_dropped", maint_tasks_dropped);
+  json_u64(o, "maint_hints", maint_hints);
+  json_u64(o, "maint_sweeps", maint_sweeps);
+  json_u64(o, "maint_cells_visited", maint_cells_visited);
+  json_u64(o, "maint_versions_trimmed", maint_versions_trimmed);
+  json_u64(o, "maint_versions_coalesced", maint_versions_coalesced);
+  json_u64(o, "maint_aborted_unlinked", maint_aborted_unlinked);
+  json_u64(o, "maint_cells_detached", maint_cells_detached);
+  json_u64(o, "maint_queue_depth", maint_queue_depth);
+  json_hist(o, "maint_task_ns", maint_task_latency);
+  json_u64(o, "trace_records", trace_records);
+  json_u64(o, "trace_dropped", trace_dropped);
+  o += "\"trace_enabled\":";
+  o += trace_enabled ? "true" : "false";
+  o += '}';
+  return o;
+}
+
+inline std::string StatsSnapshot::to_text() const {
+  using detail::text_hist;
+  std::string o;
+  o += "== camera ==\n";
+  o += "snapshots_taken: " + std::to_string(snapshots_taken) + '\n';
+  o += "guards: taken=" + std::to_string(guards_taken) +
+       " active=" + std::to_string(guards_active) + '\n';
+  o += "clock=" + std::to_string(clock) +
+       " min_active=" + std::to_string(min_active) +
+       " lag=" + std::to_string(min_active_lag_now) +
+       " announced_slots=" + std::to_string(announced_slots) + '\n';
+  text_hist(o, "min_active_lag(ticks)", min_active_lag);
+  o += "== vcas ==\n";
+  text_hist(o, "chain_length", chain_length);
+  text_hist(o, "coalesce_run", coalesce_run);
+  text_hist(o, "trim_run", trim_run);
+  o += "== batch/txn ==\n";
+  o += "drive: owner=" + std::to_string(batch_drive_owner) +
+       " helper=" + std::to_string(batch_drive_helper) + '\n';
+  o += "decide: committed=" + std::to_string(decide_committed) +
+       " aborted=" + std::to_string(decide_aborted) + '\n';
+  text_hist(o, "txn_validate_walk", txn_validate_walk);
+  o += "== ebr ==\n";
+  o += "epoch=" + std::to_string(ebr_epoch) +
+       " stalls=" + std::to_string(ebr_epoch_stalls) +
+       " pending=" + std::to_string(ebr_pending) +
+       " freed=" + std::to_string(ebr_freed) + '\n';
+  o += "== maint ==\n";
+  o += "tasks: run=" + std::to_string(maint_tasks_run) +
+       " dropped=" + std::to_string(maint_tasks_dropped) +
+       " hints=" + std::to_string(maint_hints) +
+       " sweeps=" + std::to_string(maint_sweeps) +
+       " queue_depth=" + std::to_string(maint_queue_depth) + '\n';
+  o += "gc: visited=" + std::to_string(maint_cells_visited) +
+       " trimmed=" + std::to_string(maint_versions_trimmed) +
+       " coalesced=" + std::to_string(maint_versions_coalesced) +
+       " aborts_unlinked=" + std::to_string(maint_aborted_unlinked) +
+       " cells_detached=" + std::to_string(maint_cells_detached) + '\n';
+  text_hist(o, "task_latency(ns)", maint_task_latency);
+  o += "== trace ==\n";
+  o += std::string("enabled=") + (trace_enabled ? "yes" : "no") +
+       " records=" + std::to_string(trace_records) +
+       " dropped=" + std::to_string(trace_dropped) + '\n';
+  return o;
+}
+
+}  // namespace vcas::obs

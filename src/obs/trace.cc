@@ -1,0 +1,184 @@
+// Trace ring storage and binary dump. See trace.h for the contract.
+#include "obs/trace.h"
+
+#if VCAS_STATS
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/threading.h"
+#include "util/timing.h"
+
+namespace vcas::obs {
+namespace {
+
+// One TSC read. On x86 RDTSC is a handful of cycles and invariant-rate on
+// anything modern; elsewhere fall back to the generic counter / clock.
+inline std::uint64_t read_tsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(util::now_nanos());
+#endif
+}
+
+struct Ring {
+  std::size_t cap;
+  // Monotone write index; record i lives at recs[i % cap]. Relaxed atomic
+  // so trace_summary() can read it mid-run; payloads are plain and only
+  // read at quiesce.
+  std::atomic<std::uint64_t> head{0};
+  TraceRecord* recs;
+};
+
+std::atomic<Ring*> g_rings[util::kMaxThreads];
+std::atomic<bool> g_tracing{false};
+std::atomic<std::size_t> g_capacity{8192};
+
+// (tsc, wall-ns) anchor captured when tracing first turns on; paired with
+// a second anchor at dump time to recover the TSC rate.
+std::atomic<std::uint64_t> g_anchor_tsc{0};
+std::atomic<std::uint64_t> g_anchor_ns{0};
+
+Ring* ring_for_slot(int slot) {
+  Ring* r = g_rings[slot].load(std::memory_order_acquire);
+  if (r != nullptr) return r;
+  // First traced event on this slot. Slots are owned exclusively, so no
+  // other thread races this allocation; the release store publishes it
+  // for trace_summary()/dump readers.
+  r = new Ring;
+  r->cap = g_capacity.load(std::memory_order_relaxed);
+  if (r->cap == 0) r->cap = 1;
+  r->recs = new TraceRecord[r->cap]();
+  g_rings[slot].store(r, std::memory_order_release);
+  return r;
+}
+
+bool write_all(std::FILE* f, const void* p, std::size_t n) {
+  return std::fwrite(p, 1, n, f) == n;
+}
+
+template <typename T>
+bool write_pod(std::FILE* f, T v) {
+  return write_all(f, &v, sizeof(v));
+}
+
+}  // namespace
+
+bool tracing() { return g_tracing.load(std::memory_order_relaxed); }
+
+void set_tracing(bool on) {
+  if (on && g_anchor_tsc.load(std::memory_order_relaxed) == 0) {
+    g_anchor_tsc.store(read_tsc(), std::memory_order_relaxed);
+    g_anchor_ns.store(static_cast<std::uint64_t>(util::now_nanos()),
+                      std::memory_order_relaxed);
+  }
+  g_tracing.store(on, std::memory_order_release);
+}
+
+void trace_event(Ev ev, char phase, std::uint32_t arg) {
+  Ring* r = ring_for_slot(util::thread_slot());
+  const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+  TraceRecord& rec = r->recs[h % r->cap];
+  rec.tsc = read_tsc();
+  rec.arg = arg;
+  rec.event = static_cast<std::uint16_t>(ev);
+  rec.phase = static_cast<std::uint8_t>(phase);
+  rec.reserved = 0;
+  r->head.store(h + 1, std::memory_order_relaxed);
+}
+
+TraceSummary trace_summary() {
+  TraceSummary s;
+  const int live = util::slot_high_water();
+  for (int i = 0; i < live; ++i) {
+    const Ring* r = g_rings[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+    s.records += h;
+    if (h > r->cap) s.dropped += h - r->cap;
+  }
+  return s;
+}
+
+// Layout (all little-endian, fixed-width):
+//   char[8]  magic "VCTRACE1"
+//   u32      version (1)
+//   u64 x4   anchor0 tsc, anchor0 ns, anchor1 tsc, anchor1 ns
+//   u32      event-name count; per name: u16 length + bytes (no NUL)
+//   u32      ring count; per ring:
+//              u32 slot, u64 total written, u64 dropped, u64 kept,
+//              TraceRecord[kept] oldest -> newest
+bool dump_trace(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+
+  bool ok = write_all(f, "VCTRACE1", 8) && write_pod<std::uint32_t>(f, 1);
+  ok = ok && write_pod(f, g_anchor_tsc.load(std::memory_order_relaxed));
+  ok = ok && write_pod(f, g_anchor_ns.load(std::memory_order_relaxed));
+  ok = ok && write_pod(f, read_tsc());
+  ok = ok && write_pod(f,
+                       static_cast<std::uint64_t>(util::now_nanos()));
+
+  ok = ok && write_pod(f, static_cast<std::uint32_t>(Ev::kCount));
+  for (int e = 0; ok && e < static_cast<int>(Ev::kCount); ++e) {
+    const std::size_t len = std::strlen(kEvNames[e]);
+    ok = write_pod(f, static_cast<std::uint16_t>(len)) &&
+         write_all(f, kEvNames[e], len);
+  }
+
+  std::vector<std::pair<int, Ring*>> rings;
+  const int live = util::slot_high_water();
+  for (int i = 0; i < live; ++i) {
+    Ring* r = g_rings[i].load(std::memory_order_acquire);
+    if (r != nullptr && r->head.load(std::memory_order_relaxed) > 0) {
+      rings.emplace_back(i, r);
+    }
+  }
+
+  ok = ok && write_pod(f, static_cast<std::uint32_t>(rings.size()));
+  for (const auto& [slot, r] : rings) {
+    if (!ok) break;
+    const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+    const std::uint64_t kept = h < r->cap ? h : r->cap;
+    const std::uint64_t dropped = h - kept;
+    ok = write_pod(f, static_cast<std::uint32_t>(slot)) &&
+         write_pod(f, h) && write_pod(f, dropped) && write_pod(f, kept);
+    // Oldest record is at h % cap once the ring has wrapped.
+    const std::uint64_t start = dropped > 0 ? h % r->cap : 0;
+    if (dropped > 0) {
+      ok = ok && write_all(f, r->recs + start,
+                           (r->cap - start) * sizeof(TraceRecord));
+      ok = ok && write_all(f, r->recs, start * sizeof(TraceRecord));
+    } else {
+      ok = ok && write_all(f, r->recs, kept * sizeof(TraceRecord));
+    }
+  }
+
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void set_trace_capacity_for_tests(std::size_t records) {
+  g_capacity.store(records == 0 ? 1 : records, std::memory_order_relaxed);
+}
+
+void reset_trace_for_tests() {
+  for (auto& slot : g_rings) {
+    Ring* r = slot.exchange(nullptr, std::memory_order_acq_rel);
+    if (r != nullptr) {
+      delete[] r->recs;
+      delete r;
+    }
+  }
+}
+
+}  // namespace vcas::obs
+
+#endif  // VCAS_STATS

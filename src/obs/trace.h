@@ -1,0 +1,137 @@
+// Per-thread binary event tracing (ISSUE 6).
+//
+// A fixed-size ring of 16-byte records per thread slot, written with two
+// plain stores and an RDTSC read — cheap enough to leave compiled in on
+// the slow paths (takeSnapshot, batch install/help, txn validate, janitor
+// passes) and toggled at runtime with set_tracing(). Off (the default)
+// costs one relaxed load per site; compiled out (VCAS_STATS=0) it costs
+// nothing.
+//
+// Rings overwrite oldest records when full and count what they dropped,
+// so tracing never blocks or allocates on the hot path (each slot's ring
+// is heap-allocated once, on that thread's first traced event). Records
+// carry raw TSC timestamps; dump_trace() writes the rings plus two
+// (tsc, wall-ns) calibration anchors to a binary file that
+// tools/trace_export.py converts to Chrome/Perfetto trace_event JSON.
+//
+// Concurrency contract: a ring is written only by its slot's owning
+// thread. The write index and drop accounting are relaxed atomics so
+// trace_summary() may run concurrently with writers (stats() calls it),
+// but the record payloads are plain memory — dump_trace() must only run
+// once writers are quiescent (after joining workers; join publishes the
+// records). Benches and tests dump after joins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace vcas::obs {
+
+// Event ids. Keep kEvNames in sync — trace_export.py reads names from the
+// dump's embedded table, so renames never break old traces.
+enum class Ev : std::uint16_t {
+  kTakeSnapshot = 0,   // instant: a handle was issued (arg = low clock bits)
+  kApplyBatchInstall,  // span: owner installing a batch's pending versions
+  kBatchDrive,         // span: owner driving its own ticket to a decision
+  kBatchHelp,          // span: helper driving someone else's ticket
+  kTxnValidate,        // span: validating one txn witness (arg = key hash low bits)
+  kJanitorPass,        // span: one janitor pass (arg = shard index)
+  kTrimAll,            // span: store-wide synchronous trim
+  kEbrScan,            // span: EBR reservation scan + limbo sweep
+  kCount
+};
+
+inline constexpr const char* kEvNames[static_cast<int>(Ev::kCount)] = {
+    "takeSnapshot", "applyBatch.install", "batch.drive",  "batch.help",
+    "txn.validate", "janitor.pass",       "store.trimAll", "ebr.scan",
+};
+
+struct TraceRecord {
+  std::uint64_t tsc;
+  std::uint32_t arg;
+  std::uint16_t event;
+  std::uint8_t phase;  // 'B' begin, 'E' end, 'I' instant
+  std::uint8_t reserved;
+};
+static_assert(sizeof(TraceRecord) == 16, "dump format assumes 16B records");
+
+struct TraceSummary {
+  std::uint64_t records = 0;  // total records ever written (incl. overwritten)
+  std::uint64_t dropped = 0;  // records overwritten before any dump
+};
+
+#if VCAS_STATS
+
+bool tracing();
+void set_tracing(bool on);
+
+// Raw emit — callers use trace_instant / TraceSpan, which pre-check the
+// flag so a disabled trace is one relaxed load.
+void trace_event(Ev ev, char phase, std::uint32_t arg);
+
+inline void trace_instant(Ev ev, std::uint32_t arg = 0) {
+  if (tracing()) trace_event(ev, 'I', arg);
+}
+
+// Scoped span: B record at construction, E at destruction. Arms once —
+// if tracing toggles mid-span the E still pairs its B.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Ev ev, std::uint32_t arg = 0)
+      : ev_(ev), armed_(tracing()) {
+    if (armed_) trace_event(ev_, 'B', arg);
+  }
+  ~TraceSpan() {
+    if (armed_) trace_event(ev_, 'E', 0);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Ev ev_;
+  bool armed_;
+};
+
+#define VCAS_OBS_CONCAT2(a, b) a##b
+#define VCAS_OBS_CONCAT(a, b) VCAS_OBS_CONCAT2(a, b)
+#define VCAS_TRACE_SPAN(...) \
+  ::vcas::obs::TraceSpan VCAS_OBS_CONCAT(vcas_trace_span_, __LINE__) { \
+    __VA_ARGS__                                                        \
+  }
+
+TraceSummary trace_summary();
+
+// Write all rings to `path` (binary; see trace.cc for the layout and
+// tools/trace_export.py for the reader). Quiesce writers first. Returns
+// false if the file cannot be written.
+bool dump_trace(const char* path);
+
+// Test hooks. Capacity applies to rings allocated AFTER the call;
+// reset frees every ring (callers guarantee no thread is tracing).
+void set_trace_capacity_for_tests(std::size_t records);
+void reset_trace_for_tests();
+
+#else  // !VCAS_STATS
+
+inline bool tracing() { return false; }
+inline void set_tracing(bool) {}
+inline void trace_event(Ev, char, std::uint32_t) {}
+inline void trace_instant(Ev, std::uint32_t = 0) {}
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(Ev, std::uint32_t = 0) {}
+};
+
+#define VCAS_TRACE_SPAN(...) ((void)0)
+
+inline TraceSummary trace_summary() { return TraceSummary{}; }
+inline bool dump_trace(const char*) { return false; }
+inline void set_trace_capacity_for_tests(std::size_t) {}
+inline void reset_trace_for_tests() {}
+
+#endif  // VCAS_STATS
+
+}  // namespace vcas::obs

@@ -43,6 +43,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vcas/camera.h"
 
 namespace vcas::store {
@@ -109,9 +111,20 @@ struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
   // per-op install state), and the clock is monotone. Helpers make the
   // batch's progress their own instead of waiting for its writer to be
   // rescheduled.
-  Decision help_decide() {
+  // `as_owner` is telemetry-only (the protocol is symmetric by design):
+  // the original writer passes true from run_descriptor, every other
+  // caller is a helper making someone else's progress its own. The
+  // helper-vs-owner split is the "who finished whose operation" event
+  // structure the observability layer surfaces.
+  Decision help_decide(bool as_owner = false) {
     Decision d = decision.load(std::memory_order_acquire);
     if (d != Decision::kPending) return d;
+    obs::TraceSpan span(as_owner ? obs::Ev::kBatchDrive : obs::Ev::kBatchHelp);
+    if (as_owner) {
+      obs::m::batch_drive_owner.add();
+    } else {
+      obs::m::batch_drive_helper.add();
+    }
     install_all();
     Timestamp c = commit_ts.load(std::memory_order_acquire);
     if (c == kTBD) {
@@ -128,10 +141,19 @@ struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
     // soundness argument on TxnDescriptor::decide.
     const Decision verdict = decide(c);
     Decision expected = Decision::kPending;
-    d = decision.compare_exchange_strong(expected, verdict,
-                                         std::memory_order_seq_cst)
-            ? verdict
-            : expected;  // lost the decision race; the winner's verdict
+    if (decision.compare_exchange_strong(expected, verdict,
+                                         std::memory_order_seq_cst)) {
+      d = verdict;
+      // Count outcomes at the winning CAS only, so each batch's fate is
+      // counted exactly once no matter how many helpers raced it.
+      if (verdict == Decision::kCommitted) {
+        obs::m::decide_committed.add();
+      } else {
+        obs::m::decide_aborted.add();
+      }
+    } else {
+      d = expected;  // lost the decision race; the winner's verdict
+    }
     // The fate is decided: the descriptor's install/validation machinery
     // (op list, read set, per-op state) is dead weight from here on, while
     // the records keep the descriptor itself alive for as long as any

@@ -126,6 +126,9 @@
 #include "ebr/ebr.h"
 #include "maint/janitor.h"
 #include "maint/maintenance.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "store/backend.h"
 #include "store/batch.h"
 #include "store/view.h"
@@ -432,6 +435,14 @@ class ShardedStore {
     // True iff this read key is provably unchanged between the snapshot
     // handle and the commit stamp c (or equal-by-absence at both ends).
     bool validate_one(const ReadWitness& w, Timestamp c) {
+      // Telemetry: version-chain hops this witness's walk takes (recorded
+      // on every exit path). Validation cost is O(walk), so the histogram
+      // is the live view of what conflict windows cost.
+      struct WalkSample {
+        std::uint64_t hops = 0;
+        ~WalkSample() { obs::m::txn_validate_walk.record(hops); }
+      } walk;
+      obs::TraceSpan span(obs::Ev::kTxnValidate);
       Node* node;
       if (w.op != nullptr) {
         Node* mine = w.op->installed.load(std::memory_order_acquire);
@@ -477,6 +488,7 @@ class ShardedStore {
           // record. It can only sit above an aged plain tombstone (the
           // seal precondition), so the walk terminates just below.
           node = older(node);
+          ++walk.hops;
           continue;
         }
         BatchTicket* t = node->val.ticket.get();
@@ -487,6 +499,7 @@ class ShardedStore {
             // Stamped above c: if it ever commits it serializes after this
             // transaction. Not a conflict at <= c.
             node = older(node);
+            ++walk.hops;
             continue;
           }
           if (ct == kTBD) {
@@ -517,6 +530,7 @@ class ShardedStore {
         }
         if (t->committed()) break;
         node = older(node);  // aborted: logically never happened
+        ++walk.hops;
       }
       const Record& r = node->val;
       const Timestamp eff = r.ticket != nullptr
@@ -834,6 +848,7 @@ class ShardedStore {
   // through the pool.
   std::size_t trim_all() {
     ebr::Guard g;
+    VCAS_TRACE_SPAN(obs::Ev::kTrimAll);
     const Timestamp horizon = camera_.min_active();
     std::size_t detached = 0;
     for (auto& shard : shards_) {
@@ -860,7 +875,7 @@ class ShardedStore {
       maint_pool_ = std::make_unique<maint::MaintenancePool>(
           shards_.size(), [this](std::size_t shard) {
             return maint::CellJanitor<ShardedStore>::pass(
-                *this, shard, maint_counters_,
+                *this, shard,
                 cells_per_tick_.load(std::memory_order_relaxed));
           });
     }
@@ -877,8 +892,8 @@ class ShardedStore {
   // start fresh workers that this stop() then joins while the hint target
   // stays set — maintenance silently dead behind a successful enable.
   // Workers never take maint_mu_ (their pass lambda only reads store
-  // state and maint_counters_), so holding it through the join cannot
-  // deadlock.
+  // state and bumps obs registry slots), so holding it through the join
+  // cannot deadlock.
   void disable_maintenance() {
     std::lock_guard<std::mutex> lk(maint_mu_);
     maint_hint_target_.store(nullptr, std::memory_order_release);
@@ -902,7 +917,7 @@ class ShardedStore {
   bool maintain_shard(std::size_t shard) {
     for (;;) {
       switch (maint::CellJanitor<ShardedStore>::pass(
-          *this, shard, maint_counters_,
+          *this, shard,
           cells_per_tick_.load(std::memory_order_relaxed))) {
         case maint::PassStatus::kWrapped:
           return true;
@@ -933,23 +948,36 @@ class ShardedStore {
     cells_per_tick_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
   }
 
-  // Cell-work counters plus (when the pool is running) task/queue stats.
+  // Maintenance telemetry, read from the process-wide obs registry
+  // (aggregate-on-read over the per-thread slots — a mid-run read is a
+  // coherent lower bound, not one worker's torn hot counter), plus the
+  // live queue depth when the pool exists.
   maint::Stats maintenance_stats() const {
-    maint::Stats s{};
+    maint::Stats s = maint::stats_from_registry();
+    std::lock_guard<std::mutex> lk(maint_mu_);
+    if (maint_pool_) s.queue_depth = maint_pool_->queue_depth();
+    return s;
+  }
+
+  // Full observability snapshot (ISSUE 6): every registry meter —
+  // snapshot lifetime, chain shape, helping/decide traffic, EBR, the
+  // maintenance subsystem, trace accounting — plus this store's live
+  // state (clock, horizon lag, announcement occupancy, queue depth).
+  // One call, then .to_text() / .to_json() for the dump.
+  obs::StatsSnapshot stats() const {
+    obs::StatsSnapshot s = obs::collect();
+    // Horizon before clock: min_active() is bounded by its own (earlier)
+    // clock load and the clock is monotone, so the lag stays >= 0.
+    const Timestamp horizon = camera_.min_active();
+    const Timestamp clock = camera_.current();
+    s.clock = static_cast<std::uint64_t>(clock);
+    s.min_active = static_cast<std::uint64_t>(horizon);
+    s.min_active_lag_now = static_cast<std::uint64_t>(clock - horizon);
+    s.announced_slots = camera_.announced_slots();
     {
       std::lock_guard<std::mutex> lk(maint_mu_);
-      if (maint_pool_) s = maint_pool_->stats();
+      if (maint_pool_) s.maint_queue_depth = maint_pool_->queue_depth();
     }
-    s.cells_visited =
-        maint_counters_.cells_visited.load(std::memory_order_relaxed);
-    s.versions_trimmed =
-        maint_counters_.versions_trimmed.load(std::memory_order_relaxed);
-    s.versions_coalesced =
-        maint_counters_.versions_coalesced.load(std::memory_order_relaxed);
-    s.aborted_unlinked =
-        maint_counters_.aborted_unlinked.load(std::memory_order_relaxed);
-    s.cells_detached =
-        maint_counters_.cells_detached.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -1198,12 +1226,16 @@ class ShardedStore {
     auto* list = desc.ops();
     const std::size_t total = list->size();
     std::size_t done = 0;
-    for (auto& op : *list) {
-      desc.install_one(op);
-      ++done;
-      if (batch_pause_for_tests_) batch_pause_for_tests_(done, total);
+    {
+      obs::TraceSpan span(obs::Ev::kApplyBatchInstall,
+                          static_cast<std::uint32_t>(total));
+      for (auto& op : *list) {
+        desc.install_one(op);
+        ++done;
+        if (batch_pause_for_tests_) batch_pause_for_tests_(done, total);
+      }
     }
-    return desc.help_decide();
+    return desc.help_decide(/*as_owner=*/true);
   }
 
   // One transaction-read witness, recorded by Transaction::get via
@@ -1438,12 +1470,11 @@ class ShardedStore {
   // Maintenance subsystem. The pool is created lazily (first enable) and
   // lives until the store dies — disable stops its workers but keeps the
   // object, so the lock-free hint path can hold a raw pointer. Cell-work
-  // counters are store-owned so synchronous maintain_* calls and pool
-  // passes report into one place. Declared LAST: the pool's pass lambda
-  // captures `this`, so it must destruct (already stopped by the dtor)
-  // before everything it references.
+  // telemetry reports into the process-wide obs registry, so synchronous
+  // maintain_* calls and pool passes land in one place. Declared LAST:
+  // the pool's pass lambda captures `this`, so it must destruct (already
+  // stopped by the dtor) before everything it references.
   mutable std::mutex maint_mu_;
-  maint::Counters maint_counters_;
   std::atomic<std::size_t> cells_per_tick_{512};
   std::atomic<maint::MaintenancePool*> maint_hint_target_{nullptr};
   std::unique_ptr<maint::MaintenancePool> maint_pool_;

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/padded.h"
 #include "util/threading.h"
 
@@ -62,6 +64,9 @@ class Camera {
     Timestamp expected = ts;
     timestamp_.compare_exchange_strong(expected, ts + 1,
                                        std::memory_order_seq_cst);
+    obs::m::snapshots_taken.add();
+    obs::trace_instant(obs::Ev::kTakeSnapshot,
+                       static_cast<std::uint32_t>(ts));
     return ts;
   }
 
@@ -136,7 +141,24 @@ class Camera {
       const Timestamp t = announce_[i].value.load(std::memory_order_acquire);
       if (t < min) min = t;
     }
+    // Telemetry: how far the trim horizon lags the clock, in ticks. `min`
+    // starts at the clock load and only decreases, so the lag is >= 0.
+    VCAS_OBS(obs::m::min_active_lag.record(static_cast<std::uint64_t>(
+        timestamp_.load(std::memory_order_relaxed) - min)));
     return min;
+  }
+
+  // Occupied announcement slots right now (queries currently holding a
+  // published snapshot pin). Racy-by-design telemetry read.
+  int announced_slots() const {
+    int n = 0;
+    const int live = util::slot_high_water();
+    for (int i = 0; i < live; ++i) {
+      if (announce_[i].value.load(std::memory_order_relaxed) != kNoSnapshot) {
+        ++n;
+      }
+    }
+    return n;
   }
 
  private:

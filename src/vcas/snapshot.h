@@ -10,6 +10,7 @@
 #pragma once
 
 #include "ebr/ebr.h"
+#include "obs/metrics.h"
 #include "vcas/camera.h"
 
 namespace vcas {
@@ -17,9 +18,15 @@ namespace vcas {
 class SnapshotGuard {
  public:
   explicit SnapshotGuard(Camera& camera)
-      : camera_(camera), ts_(camera.announce_and_snapshot()) {}
+      : camera_(camera), ts_(camera.announce_and_snapshot()) {
+    obs::m::guards_taken.add();
+    obs::m::guards_active.add(1);
+  }
 
-  ~SnapshotGuard() { camera_.clear_announcement(); }
+  ~SnapshotGuard() {
+    camera_.clear_announcement();
+    obs::m::guards_active.add(-1);
+  }
 
   SnapshotGuard(const SnapshotGuard&) = delete;
   SnapshotGuard& operator=(const SnapshotGuard&) = delete;

@@ -44,6 +44,7 @@
 #include <utility>
 
 #include "ebr/ebr.h"
+#include "obs/metrics.h"
 #include "util/slab_pool.h"
 #include "vcas/camera.h"
 
@@ -307,6 +308,7 @@ class VersionedCAS {
       if (unlinked > 0) {
         node->nextv.store(cont, std::memory_order_release);
         retire_run(run_nodes, unlinked);
+        obs::m::coalesce_run.record(unlinked);
       }
     }
     trimming_.store(false, std::memory_order_release);
@@ -377,6 +379,7 @@ class VersionedCAS {
           if (n == 0) break;
           keeper->nextv.store(cont, std::memory_order_release);
           retire_run(run_nodes, n);
+          obs::m::coalesce_run.record(n);
           unlinked += n;
           next = cont;
           // Loop again: a run longer than kMaxRun drains in chunks under
@@ -524,6 +527,7 @@ class VersionedCAS {
       if (old != nullptr) {
         ebr::retire_batch(
             old, pooled_ ? &delete_run<true> : &delete_run<false>, detached);
+        obs::m::trim_run.record(detached);
       }
     }
     trimming_.store(false, std::memory_order_release);

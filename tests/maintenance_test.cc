@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "obs/metrics.h"
 #include "store/backend.h"
 #include "store/batch.h"
 #include "store/store.h"
@@ -48,8 +49,13 @@ TYPED_TEST(MaintenanceTest, TombstoneCellsAreStructurallyReclaimed) {
   store.camera().takeSnapshot();
   store.maintain_all();
   EXPECT_EQ(store.total_cells(), static_cast<std::size_t>(kKeys / 2));
-  EXPECT_GE(store.maintenance_stats().cells_detached,
-            static_cast<std::uint64_t>(kKeys / 2));
+  // Counter assertions only hold when the obs registry is compiled in
+  // (VCAS_STATS=OFF zeroes every meter); the structural checks around
+  // them pin the behavior in both build modes.
+  if (vcas::obs::kStatsEnabled) {
+    EXPECT_GE(store.maintenance_stats().cells_detached,
+              static_cast<std::uint64_t>(kKeys / 2));
+  }
   for (K k = 0; k < kKeys; ++k) {
     if (k % 2 == 1) {
       EXPECT_FALSE(store.get(k).has_value());
@@ -254,7 +260,9 @@ TYPED_TEST(MaintenanceTest, AbortedRecordsCappingAChainAreUnlinked) {
   const std::size_t before = store.total_versions();
   store.camera().takeSnapshot();
   store.maintain_all();
-  EXPECT_GE(store.maintenance_stats().aborted_unlinked, 2u);
+  if (vcas::obs::kStatsEnabled) {
+    EXPECT_GE(store.maintenance_stats().aborted_unlinked, 2u);
+  }
   EXPECT_LT(store.total_versions(), before);
   // Semantics unchanged: the aborted writes never happened.
   EXPECT_EQ(store.get(1), std::optional<V>(10));
@@ -315,7 +323,9 @@ TYPED_TEST(MaintenanceTest, CoalescesEqualStampRunsAboveTheHorizon) {
   const std::size_t before = store.total_versions();
   ASSERT_GT(before, 32u);  // the run really accumulated
   store.maintain_all();
-  EXPECT_GE(store.maintenance_stats().versions_coalesced, 32u);
+  if (vcas::obs::kStatsEnabled) {
+    EXPECT_GE(store.maintenance_stats().versions_coalesced, 32u);
+  }
   EXPECT_LE(store.total_versions(), 4u);
   EXPECT_EQ(view.get(1), std::optional<V>(0));   // pinned read intact
   EXPECT_EQ(store.get(1), std::optional<V>(64)); // live value intact
@@ -338,9 +348,11 @@ TYPED_TEST(MaintenanceTest, CursorBoundsPerTaskWorkAndResumes) {
   }
   ++passes;  // the wrapping pass
   EXPECT_GE(passes, static_cast<int>(kCells / 10));
-  const std::uint64_t visited =
-      store.maintenance_stats().cells_visited - visited_before;
-  EXPECT_GE(visited, static_cast<std::uint64_t>(kCells));
+  if (vcas::obs::kStatsEnabled) {
+    const std::uint64_t visited =
+        store.maintenance_stats().cells_visited - visited_before;
+    EXPECT_GE(visited, static_cast<std::uint64_t>(kCells));
+  }
   vcas::ebr::drain_for_tests();
 }
 
@@ -360,10 +372,12 @@ TYPED_TEST(MaintenanceTest, PoolRunsHintsAndSurvivesLifecycleCycling) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(store.total_cells(), 0u);
-  const auto stats = store.maintenance_stats();
-  EXPECT_GT(stats.tasks_run, 0u);
-  EXPECT_GT(stats.hints, 0u);
-  EXPECT_GE(stats.cells_detached, static_cast<std::uint64_t>(kKeys));
+  if (vcas::obs::kStatsEnabled) {
+    const auto stats = store.maintenance_stats();
+    EXPECT_GT(stats.tasks_run, 0u);
+    EXPECT_GT(stats.hints, 0u);
+    EXPECT_GE(stats.cells_detached, static_cast<std::uint64_t>(kKeys));
+  }
   store.disable_maintenance();
   store.disable_maintenance();  // drain-and-join exactly once; idempotent
   store.enable_maintenance(1, std::chrono::milliseconds(1));  // restartable

@@ -1,0 +1,341 @@
+// Observability substrate (ISSUE 6): counter aggregation across thread
+// exit and slot recycling, log2 histogram bucket math at the power-of-two
+// boundaries, trace-ring wraparound + dropped accounting and the binary
+// dump format, and StatsSnapshot coherence under concurrent writers. Runs
+// in the TSan and ASan CI jobs — the registry's whole design claim is
+// "relaxed per-slot writes, racy-by-design aggregate reads, no UB", and
+// TSan is the referee for that claim.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "store/backend.h"
+#include "store/store.h"
+
+namespace {
+
+namespace obs = vcas::obs;
+using K = std::int64_t;
+using V = std::int64_t;
+using Store = vcas::store::ShardedStore<K, V, vcas::store::ListBackend>;
+
+// --- counters / gauges ------------------------------------------------------
+
+// A thread's tally must survive its exit, and a later thread recycling the
+// same slot must accumulate on top instead of clobbering. Metrics are
+// immortal by contract (the registry keeps raw pointers), hence statics.
+TEST(ObsCounter, AggregatesAcrossThreadExitAndSlotRecycling) {
+  static obs::Counter c{"test.counter_recycle"};
+  const std::uint64_t before = c.read();
+  c.add(1);
+  std::thread([&] { c.add(10); }).join();
+  // This thread most likely recycles the slot the first one vacated; the
+  // assertion holds either way because read() sums every live slot.
+  std::thread([&] { c.add(100); }).join();
+  EXPECT_EQ(c.read() - before, obs::kStatsEnabled ? 111u : 0u);
+}
+
+TEST(ObsGauge, SignedAcrossThreads) {
+  static obs::Gauge g{"test.gauge"};
+  const std::int64_t before = g.read();
+  g.add(3);
+  // A per-slot partial sum may go negative (the +5 and the -6 can land in
+  // different slots); only the aggregate is meaningful.
+  std::thread([&] { g.add(5); }).join();
+  std::thread([&] { g.add(-6); }).join();
+  EXPECT_EQ(g.read() - before, obs::kStatsEnabled ? 2 : 0);
+}
+
+// --- histogram bucket math --------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries) {
+  using HS = obs::HistogramSnapshot;
+  // Bucket 0 holds exactly the value 0; bucket b >= 1 holds
+  // [2^(b-1), 2^b - 1].
+  EXPECT_EQ(HS::bucket_of(0), 0);
+  EXPECT_EQ(HS::bucket_of(1), 1);
+  EXPECT_EQ(HS::bucket_of(2), 2);
+  EXPECT_EQ(HS::bucket_of(3), 2);
+  EXPECT_EQ(HS::bucket_of(4), 3);
+  for (int b = 1; b < 63; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << b) - 1;
+    EXPECT_EQ(HS::bucket_of(lo), b) << "lo of bucket " << b;
+    EXPECT_EQ(HS::bucket_of(hi), b) << "hi of bucket " << b;
+  }
+  // The top bucket absorbs everything that would overflow the array.
+  EXPECT_EQ(HS::bucket_of(~std::uint64_t{0}), HS::kBuckets - 1);
+  EXPECT_EQ(HS::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(HS::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(HS::bucket_upper_bound(5), 31u);
+  EXPECT_EQ(HS::bucket_upper_bound(HS::kBuckets - 1), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, RecordSnapshotPercentileAndDelta) {
+  if (!obs::kStatsEnabled) GTEST_SKIP() << "stats compiled out";
+  static obs::Histogram h{"test.hist"};
+  const obs::HistogramSnapshot before = h.snapshot();
+  // 90 small values and 10 large ones: p50 lands in the small cluster,
+  // p99 in the large one. Values are picked at bucket edges.
+  for (int i = 0; i < 90; ++i) h.record(7);     // bucket 3: [4, 7]
+  for (int i = 0; i < 10; ++i) h.record(1024);  // bucket 11: [1024, 2047]
+  const obs::HistogramSnapshot d = h.snapshot().minus(before);
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_EQ(d.sum, 90u * 7 + 10u * 1024);
+  EXPECT_EQ(d.max, 1024u);
+  EXPECT_EQ(d.buckets[3], 90u);
+  EXPECT_EQ(d.buckets[11], 10u);
+  // percentile() reports the containing bucket's inclusive upper bound;
+  // the top occupied bucket is capped at the observed max.
+  EXPECT_EQ(d.percentile(0.50), 7u);
+  EXPECT_EQ(d.percentile(0.99), 1024u);  // edge would be 2047; max wins
+  EXPECT_EQ(d.percentile(1.0), 1024u);
+  EXPECT_DOUBLE_EQ(d.mean(), (90.0 * 7 + 10.0 * 1024) / 100.0);
+  // Empty snapshot: everything zero, percentile well-defined.
+  const obs::HistogramSnapshot empty;
+  EXPECT_EQ(empty.percentile(0.99), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(ObsHistogram, ConcurrentRecordersLoseNothing) {
+  if (!obs::kStatsEnabled) GTEST_SKIP() << "stats compiled out";
+  static obs::Histogram h{"test.hist_mt"};
+  const obs::HistogramSnapshot before = h.snapshot();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const obs::HistogramSnapshot d = h.snapshot().minus(before);
+  EXPECT_EQ(d.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// --- trace rings ------------------------------------------------------------
+
+#if VCAS_STATS
+
+// Minimal little-endian reader for the VCTRACE1 dump produced below.
+struct DumpReader {
+  std::vector<unsigned char> data;
+  std::size_t off = 0;
+
+  template <typename T>
+  T pod() {
+    T v;
+    EXPECT_LE(off + sizeof(T), data.size());
+    std::memcpy(&v, data.data() + off, sizeof(T));
+    off += sizeof(T);
+    return v;
+  }
+};
+
+TEST(ObsTrace, RingWraparoundDroppedAccountingAndDump) {
+  obs::set_tracing(false);
+  obs::reset_trace_for_tests();
+  obs::set_trace_capacity_for_tests(8);
+  obs::set_tracing(true);
+  constexpr std::uint64_t kWrites = 20;
+  // All records come from one worker ring (this thread emits nothing).
+  std::thread([&] {
+    for (std::uint64_t i = 0; i < kWrites; ++i) {
+      obs::trace_instant(obs::Ev::kTakeSnapshot,
+                         static_cast<std::uint32_t>(i));
+    }
+  }).join();
+  obs::set_tracing(false);
+
+  const obs::TraceSummary s = obs::trace_summary();
+  EXPECT_EQ(s.records, kWrites);
+  EXPECT_EQ(s.dropped, kWrites - 8);
+
+  const std::string path = ::testing::TempDir() + "obs_test_trace.bin";
+  ASSERT_TRUE(obs::dump_trace(path.c_str()));
+
+  DumpReader r;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    unsigned char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      r.data.insert(r.data.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+  ASSERT_GE(r.data.size(), 8u);
+  EXPECT_EQ(std::memcmp(r.data.data(), "VCTRACE1", 8), 0);
+  r.off = 8;
+  EXPECT_EQ(r.pod<std::uint32_t>(), 1u);  // version
+  r.off += 4 * sizeof(std::uint64_t);     // calibration anchors
+  const auto names = r.pod<std::uint32_t>();
+  EXPECT_EQ(names, static_cast<std::uint32_t>(obs::Ev::kCount));
+  for (std::uint32_t i = 0; i < names; ++i) r.off += r.pod<std::uint16_t>();
+  ASSERT_EQ(r.pod<std::uint32_t>(), 1u);  // one non-empty ring
+  r.pod<std::uint32_t>();                 // slot id
+  EXPECT_EQ(r.pod<std::uint64_t>(), kWrites);      // total written
+  EXPECT_EQ(r.pod<std::uint64_t>(), kWrites - 8);  // dropped
+  ASSERT_EQ(r.pod<std::uint64_t>(), 8u);           // kept
+  // Records are oldest -> newest: args 12..19, TSCs non-decreasing.
+  std::uint64_t prev_tsc = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto tsc = r.pod<std::uint64_t>();
+    const auto arg = r.pod<std::uint32_t>();
+    const auto event = r.pod<std::uint16_t>();
+    const auto phase = r.pod<std::uint8_t>();
+    r.pod<std::uint8_t>();  // reserved
+    EXPECT_GE(tsc, prev_tsc);
+    prev_tsc = tsc;
+    EXPECT_EQ(arg, kWrites - 8 + i);
+    EXPECT_EQ(event, static_cast<std::uint16_t>(obs::Ev::kTakeSnapshot));
+    EXPECT_EQ(phase, static_cast<std::uint8_t>('I'));
+  }
+  EXPECT_EQ(r.off, r.data.size());
+
+  std::remove(path.c_str());
+  obs::reset_trace_for_tests();
+  obs::set_trace_capacity_for_tests(8192);
+}
+
+TEST(ObsTrace, SpanPairsAndDisabledCostsNothing) {
+  obs::set_tracing(false);
+  obs::reset_trace_for_tests();
+  obs::set_trace_capacity_for_tests(64);
+  std::thread([] {
+    {
+      // Not armed: tracing is off, so toggling it on later must not
+      // produce an orphaned E.
+      obs::TraceSpan off_span(obs::Ev::kTrimAll);
+      obs::set_tracing(true);
+    }
+    {
+      VCAS_TRACE_SPAN(obs::Ev::kJanitorPass, 3u);
+      obs::trace_instant(obs::Ev::kTakeSnapshot);
+    }
+    obs::set_tracing(false);
+  }).join();
+  // B + I + E from the armed scope only.
+  EXPECT_EQ(obs::trace_summary().records, 3u);
+  obs::reset_trace_for_tests();
+  obs::set_trace_capacity_for_tests(8192);
+}
+
+#endif  // VCAS_STATS
+
+// --- registry / stats snapshot ----------------------------------------------
+
+TEST(ObsRegistry, JsonEnumeratesNamedMeters) {
+  const std::string j = obs::registry_json();
+  if (!obs::kStatsEnabled) {
+    EXPECT_EQ(j, "{}");
+    return;
+  }
+  EXPECT_NE(j.find("\"camera.snapshots_taken\":"), std::string::npos);
+  EXPECT_NE(j.find("\"maint.task_ns\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"batch.decide_committed\":"), std::string::npos);
+}
+
+// End-to-end: drive the real store through every instrumented layer and
+// check the deltas land. Meters are process-global and monotone, so
+// everything asserts before/after differences, never absolutes.
+TEST(ObsStats, StoreStatsEndToEnd) {
+  Store store(2);
+  const obs::StatsSnapshot before = store.stats();
+
+  {
+    Store::Batch b;
+    for (K k = 0; k < 32; ++k) b.put(k, k);
+    store.applyBatch(b);
+  }
+  for (K k = 0; k < 32; ++k) store.put(k, k + 1);
+  store.transact([](auto& txn) {
+    const std::optional<V> v = txn.get(1);
+    txn.put(2, v.value_or(0) + 100);
+  });
+  {
+    auto view = store.snapshotAll();
+    EXPECT_EQ(view.get(2), std::optional<V>(102));  // txn read 1 -> 2, +100
+  }
+  store.camera().takeSnapshot();
+  store.maintain_all();
+
+  const obs::StatsSnapshot after = store.stats();
+  if (obs::kStatsEnabled) {
+    EXPECT_GT(after.snapshots_taken, before.snapshots_taken);
+    EXPECT_GT(after.guards_taken, before.guards_taken);
+    EXPECT_GT(after.decide_committed, before.decide_committed);
+    EXPECT_GT(after.batch_drive_owner, before.batch_drive_owner);
+    EXPECT_GT(after.txn_validate_walk.count, before.txn_validate_walk.count);
+    EXPECT_GT(after.maint_cells_visited, before.maint_cells_visited);
+    // The janitor samples chain lengths 1-in-64 starting at tick 0, so
+    // even this small store reports at least one sample.
+    EXPECT_GT(after.chain_length.count, before.chain_length.count);
+    EXPECT_GE(after.min_active, before.min_active);
+  }
+  // Store-live fields hold in both build modes.
+  EXPECT_GE(after.clock, before.clock);
+  EXPECT_LE(after.min_active, after.clock);
+  EXPECT_EQ(after.min_active_lag_now, after.clock - after.min_active);
+  EXPECT_EQ(after.announced_slots, 0);  // no view is live any more
+
+  const std::string json = after.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"snapshots_taken\":"), std::string::npos);
+  EXPECT_NE(json.find("\"maint_task_ns\":{"), std::string::npos);
+  EXPECT_NE(after.to_text().find("== camera =="), std::string::npos);
+  vcas::ebr::drain_for_tests();
+}
+
+// stats() concurrent with writers: every read is an atomic aggregate, so
+// TSan must stay quiet and the invariants the snapshot promises (lag
+// non-negative, counters monotone across calls) must hold mid-run.
+TEST(ObsStats, CoherentUnderConcurrentWriters) {
+  Store store(4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      K k = t * 1000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        store.put(k % 512, k);
+        if ((k & 7) == 0) {
+          auto view = store.snapshotAll();
+          (void)view.get(k % 512);
+        }
+        ++k;
+      }
+    });
+  }
+  std::uint64_t last_snapshots = 0;
+  for (int i = 0; i < 200; ++i) {
+    const obs::StatsSnapshot s = store.stats();
+    EXPECT_LE(s.min_active, s.clock);
+    EXPECT_EQ(s.min_active_lag_now, s.clock - s.min_active);
+    EXPECT_GE(s.announced_slots, 0);
+    EXPECT_GE(s.snapshots_taken, last_snapshots);  // monotone across calls
+    last_snapshots = s.snapshots_taken;
+    EXPECT_FALSE(s.to_json().empty());
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

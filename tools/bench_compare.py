@@ -7,9 +7,13 @@ For every BENCH_<name>.json present in BOTH directories, rows are matched
 by their identity fields (every string-valued field, e.g. mix/backend/
 write_path, plus thread/shard counts) and the throughput-like metrics are
 compared. A current value more than --threshold (default 20%) below the
-baseline prints a warning; on GitHub Actions it becomes a ::warning::
-annotation. By default ALWAYS exits 0 — bench boxes are noisy, so this
-step informs, it does not gate. Machine-shape differences between the
+baseline prints a warning. Latency percentile fields (any *_p50/*_p99,
+e.g. maint_task_us_p99 from the obs histograms) are compared the other
+way around — a warning fires when the current value EXCEEDS the baseline
+by the threshold. Fields absent from one side are skipped, so baselines
+recorded before a metric existed keep working. On GitHub Actions each
+warning becomes a ::warning:: annotation. By default ALWAYS exits 0 —
+bench boxes are noisy, so this step informs, it does not gate. Machine-shape differences between the
 baseline recording machine and CI runners are expected; watch trends, not
 absolutes.
 
@@ -40,6 +44,12 @@ THROUGHPUT_KEYS = (
     "commits_per_sec",
     "ops_per_sec",
 )
+
+# Lower-is-better percentile fields (emitted by the harness from obs
+# histograms, e.g. maint_task_us_p50/maint_task_us_p99). Matched by
+# suffix so new histograms join the comparison without edits here. These
+# warn when the CURRENT value exceeds the baseline by --threshold.
+LATENCY_SUFFIXES = ("_p50", "_p99")
 
 # Row fields that identify a configuration (ints that are knobs, not
 # results).
@@ -108,7 +118,10 @@ def main():
             b = base_rows.get(row_key(row))
             if b is None:
                 continue
-            for key in THROUGHPUT_KEYS:
+            latency_keys = tuple(
+                k for k in row
+                if any(k.endswith(s) for s in LATENCY_SUFFIXES))
+            for key in THROUGHPUT_KEYS + latency_keys:
                 if key not in row or key not in b:
                     continue
                 try:
@@ -118,12 +131,20 @@ def main():
                 if bv <= 0:
                     continue
                 compared += 1
-                drop = (bv - cv) / bv
-                if drop > args.threshold:
-                    warned += 1
-                    warn(f"{name} [{row_key(row)}] {key}: "
-                         f"{cv:.3g} vs baseline {bv:.3g} "
-                         f"({drop * 100:.0f}% drop)")
+                if key in THROUGHPUT_KEYS:
+                    drop = (bv - cv) / bv
+                    if drop > args.threshold:
+                        warned += 1
+                        warn(f"{name} [{row_key(row)}] {key}: "
+                             f"{cv:.3g} vs baseline {bv:.3g} "
+                             f"({drop * 100:.0f}% drop)")
+                else:
+                    rise = (cv - bv) / bv
+                    if rise > args.threshold:
+                        warned += 1
+                        warn(f"{name} [{row_key(row)}] {key}: "
+                             f"{cv:.3g} vs baseline {bv:.3g} "
+                             f"({rise * 100:.0f}% slower)")
     print(f"bench_compare: {compared} metrics compared, {warned} warnings")
     if args.strict and warned > 0:
         print("bench_compare: --strict and warnings fired -> exit 1")

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Convert a VCTRACE1 binary ring dump into Chrome/Perfetto trace JSON.
+
+The binary format is produced by vcas::obs::dump_trace() (src/obs/trace.cc):
+
+    char[8]  magic "VCTRACE1"
+    u32      version (1)
+    u64 x4   anchor0 tsc, anchor0 ns, anchor1 tsc, anchor1 ns
+    u32      event-name count; per name: u16 length + bytes (no NUL)
+    u32      ring count; per ring:
+               u32 slot, u64 total written, u64 dropped, u64 kept,
+               16-byte records[kept] oldest -> newest
+    record:  u64 tsc, u32 arg, u16 event id, u8 phase ('B'/'E'/'I'), u8 pad
+
+All integers are little-endian. The two (tsc, wall-ns) anchors -- one taken
+when tracing first turned on, one at dump time -- recover the TSC rate so
+timestamps come out in microseconds, which is what the trace_event format
+expects. Output loads directly in https://ui.perfetto.dev or
+chrome://tracing.
+
+Usage:
+    tools/trace_export.py trace.bin trace.json
+    tools/trace_export.py trace.bin -          # JSON to stdout
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import struct
+import sys
+
+MAGIC = b"VCTRACE1"
+RECORD = struct.Struct("<QIHBB")
+
+
+class ParseError(Exception):
+    pass
+
+
+class Reader:
+    def __init__(self, data):
+        self.data = data
+        self.off = 0
+
+    def take(self, n):
+        if self.off + n > len(self.data):
+            raise ParseError(
+                "truncated dump: wanted %d bytes at offset %d, have %d"
+                % (n, self.off, len(self.data) - self.off)
+            )
+        b = self.data[self.off : self.off + n]
+        self.off += n
+        return b
+
+    def u16(self):
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self):
+        return struct.unpack("<Q", self.take(8))[0]
+
+
+def parse(data):
+    r = Reader(data)
+    if r.take(8) != MAGIC:
+        raise ParseError("bad magic; not a VCTRACE1 dump")
+    version = r.u32()
+    if version != 1:
+        raise ParseError("unsupported version %d" % version)
+
+    anchor0_tsc, anchor0_ns = r.u64(), r.u64()
+    anchor1_tsc, anchor1_ns = r.u64(), r.u64()
+
+    names = []
+    for _ in range(r.u32()):
+        names.append(r.take(r.u16()).decode("utf-8", "replace"))
+
+    rings = []
+    for _ in range(r.u32()):
+        slot = r.u32()
+        written = r.u64()
+        dropped = r.u64()
+        kept = r.u64()
+        recs = [RECORD.unpack_from(r.take(RECORD.size)) for _ in range(kept)]
+        rings.append(
+            {"slot": slot, "written": written, "dropped": dropped, "recs": recs}
+        )
+
+    # TSC ticks per nanosecond from the two anchors. A dump taken
+    # immediately after enabling (or with zeroed anchors) can't recover a
+    # rate; fall back to 1 tick == 1 ns so the export still loads.
+    dt_tsc = anchor1_tsc - anchor0_tsc
+    dt_ns = anchor1_ns - anchor0_ns
+    ticks_per_ns = (dt_tsc / dt_ns) if dt_tsc > 0 and dt_ns > 0 else 1.0
+
+    return {
+        "names": names,
+        "rings": rings,
+        "anchor_tsc": anchor0_tsc,
+        "ticks_per_ns": ticks_per_ns,
+    }
+
+
+def to_trace_events(parsed):
+    names = parsed["names"]
+    ticks_per_ns = parsed["ticks_per_ns"]
+
+    all_recs = [rec for ring in parsed["rings"] for rec in ring["recs"]]
+    base_tsc = min((rec[0] for rec in all_recs), default=parsed["anchor_tsc"])
+
+    def us(tsc):
+        return (tsc - base_tsc) / ticks_per_ns / 1000.0
+
+    events = []
+    for ring in parsed["rings"]:
+        tid = ring["slot"]
+        # Ring wraparound can strand 'E' records whose matching 'B' was
+        # overwritten; an unmatched 'E' makes viewers misnest everything
+        # after it, so track span depth and drop leading orphans.
+        depth = 0
+        for tsc, arg, event_id, phase, _ in ring["recs"]:
+            name = (
+                names[event_id] if event_id < len(names) else "ev%d" % event_id
+            )
+            ph = chr(phase)
+            if ph == "B":
+                depth += 1
+            elif ph == "E":
+                if depth == 0:
+                    continue
+                depth -= 1
+            ev = {
+                "name": name,
+                "ph": "i" if ph == "I" else ph,
+                "ts": us(tsc),
+                "pid": 0,
+                "tid": tid,
+            }
+            if ph == "I":
+                ev["s"] = "t"
+            if arg != 0:
+                ev["args"] = {"arg": arg}
+            events.append(ev)
+        # Close any spans still open at dump time so the JSON is balanced.
+        if ring["recs"]:
+            end_ts = us(ring["recs"][-1][0])
+            for _ in range(depth):
+                events.append(
+                    {
+                        "name": "unclosed",
+                        "ph": "E",
+                        "ts": end_ts,
+                        "pid": 0,
+                        "tid": tid,
+                    }
+                )
+    return events
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Convert a vcas trace ring dump to Chrome/Perfetto JSON."
+    )
+    ap.add_argument("input", help="binary dump from VCAS_TRACE_OUT")
+    ap.add_argument("output", help="output JSON path, or - for stdout")
+    args = ap.parse_args()
+
+    with open(args.input, "rb") as f:
+        data = f.read()
+    try:
+        parsed = parse(data)
+    except ParseError as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 1
+
+    events = to_trace_events(parsed)
+    doc = {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    out = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        json.dump(doc, out)
+        out.write("\n")
+    except BrokenPipeError:
+        return 0  # stdout consumer (head, less) closed early; not an error
+    finally:
+        if out is not sys.stdout:
+            out.close()
+
+    total_dropped = sum(r["dropped"] for r in parsed["rings"])
+    print(
+        "exported %d events from %d rings (%d dropped at capture)"
+        % (len(events), len(parsed["rings"]), total_dropped),
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
