@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "util/annotations.h"
 
 namespace vcas::baselines {
 
@@ -85,11 +86,14 @@ class CowTree {
 
   std::optional<V> find(const K& key) {
     ebr::Guard g;
-    Node* node = root_.load(std::memory_order_seq_cst);
+    Node* node =
+        root_.load(std::memory_order_seq_cst) VCAS_ORD("base.cow.tree-link");
     while (!node->leaf) {
       node = key_less_node(key, node)
                  ? node->left.load(std::memory_order_seq_cst)
-                 : node->right.load(std::memory_order_seq_cst);
+                       VCAS_ORD("base.cow.tree-link")
+                 : node->right.load(std::memory_order_seq_cst)
+                       VCAS_ORD("base.cow.tree-link");
     }
     if (node->inf == 0 && node->key == key) return node->value;
     return std::nullopt;
@@ -105,7 +109,8 @@ class CowTree {
     for (;;) {
       const bool go_left = key_less_node(key, cur);
       Node* child = (go_left ? cur->left : cur->right)
-                        .load(std::memory_order_seq_cst);
+                        .load(std::memory_order_seq_cst)
+          VCAS_ORD("base.cow.tree-link");
       if (child->leaf) {
         bool inserted = false;
         if (!(child->inf == 0 && child->key == key)) {
@@ -123,7 +128,8 @@ class CowTree {
             ni->right.store(new_leaf, std::memory_order_relaxed);
           }
           (go_left ? cur->left : cur->right)
-              .store(ni, std::memory_order_seq_cst);
+              .store(ni, std::memory_order_seq_cst)
+              VCAS_ORD("base.cow.tree-link");
           inserted = true;
         }
         if (p != nullptr) p->lock.unlock();
@@ -146,18 +152,21 @@ class CowTree {
     for (;;) {
       const bool go_left = key_less_node(key, cur);
       Node* child = (go_left ? cur->left : cur->right)
-                        .load(std::memory_order_seq_cst);
+                        .load(std::memory_order_seq_cst)
+          VCAS_ORD("base.cow.tree-link");
       if (child->leaf) {
         bool removed = false;
         if (child->inf == 0 && child->key == key) {
           // Splice cur out: its other child takes cur's place under p.
           assert(p != nullptr && "real leaves always have a grandparent");
           Node* sibling = (go_left ? cur->right : cur->left)
-                              .load(std::memory_order_seq_cst);
-          const bool cur_left =
-              p->left.load(std::memory_order_seq_cst) == cur;
+                              .load(std::memory_order_seq_cst)
+              VCAS_ORD("base.cow.tree-link");
+          const bool cur_left = p->left.load(std::memory_order_seq_cst)
+                  VCAS_ORD("base.cow.tree-link") == cur;
           (cur_left ? p->left : p->right)
-              .store(sibling, std::memory_order_seq_cst);
+              .store(sibling, std::memory_order_seq_cst)
+              VCAS_ORD("base.cow.tree-link");
           ebr::retire(cur);
           ebr::retire(child);
           removed = true;
@@ -181,11 +190,13 @@ class CowTree {
     Node* root;
     {
       root_guard_.lock();
-      snap_epoch_.fetch_add(1, std::memory_order_seq_cst);
+      snap_epoch_.fetch_add(1, std::memory_order_seq_cst)
+          VCAS_ORD("base.cow.snap-drain");
       while (writers_active_.load(std::memory_order_acquire) != 0) {
         std::this_thread::yield();
       }
-      root = root_.load(std::memory_order_seq_cst);
+      root = root_.load(std::memory_order_seq_cst)
+          VCAS_ORD("base.cow.snap-drain");
       root_guard_.unlock();
     }
     // root->epoch < the new snapshot epoch, so the whole reachable subtree
@@ -226,13 +237,17 @@ class CowTree {
   // either drained by a later snapshot or sees that snapshot's epoch.
   WriterSession enter_writer() {
     root_guard_.lock();
-    writers_active_.fetch_add(1, std::memory_order_seq_cst);
-    const std::uint64_t epoch = snap_epoch_.load(std::memory_order_seq_cst);
-    Node* root = root_.load(std::memory_order_seq_cst);
+    writers_active_.fetch_add(1, std::memory_order_seq_cst)
+        VCAS_ORD("base.cow.snap-drain");
+    const std::uint64_t epoch = snap_epoch_.load(std::memory_order_seq_cst)
+        VCAS_ORD("base.cow.snap-drain");
+    Node* root = root_.load(std::memory_order_seq_cst)
+        VCAS_ORD("base.cow.snap-drain");
     root->lock.lock();
     if (root->epoch < epoch) {
       Node* clone = clone_locked(root, epoch);
-      root_.store(clone, std::memory_order_seq_cst);
+      root_.store(clone, std::memory_order_seq_cst)
+          VCAS_ORD("base.cow.tree-link");
       ebr::retire(root);
       root->lock.unlock();
       root = clone;  // constructed holding its lock
@@ -253,7 +268,8 @@ class CowTree {
     child->lock.lock();
     if (child->epoch >= epoch) return child;
     Node* clone = clone_locked(child, epoch);
-    (go_left ? cur->left : cur->right).store(clone, std::memory_order_seq_cst);
+    (go_left ? cur->left : cur->right).store(clone, std::memory_order_seq_cst)
+        VCAS_ORD("base.cow.tree-link");
     ebr::retire(child);
     child->lock.unlock();
     return clone;
@@ -268,9 +284,11 @@ class CowTree {
     n->inf = src->inf;
     n->leaf = src->leaf;
     n->epoch = epoch;
-    n->left.store(src->left.load(std::memory_order_seq_cst),
+    n->left.store(src->left.load(std::memory_order_seq_cst)
+                      VCAS_ORD("base.cow.tree-link"),
                   std::memory_order_relaxed);
-    n->right.store(src->right.load(std::memory_order_seq_cst),
+    n->right.store(src->right.load(std::memory_order_seq_cst)
+                       VCAS_ORD("base.cow.tree-link"),
                    std::memory_order_relaxed);
     n->lock.lock();
     return n;
@@ -296,10 +314,14 @@ class CowTree {
       return;
     }
     if (key_less_node(lo, node)) {
-      range_rec(node->left.load(std::memory_order_seq_cst), lo, hi, out);
+      range_rec(node->left.load(std::memory_order_seq_cst)
+                    VCAS_ORD("base.cow.tree-link"),
+                lo, hi, out);
     }
     if (!key_less_node(hi, node)) {
-      range_rec(node->right.load(std::memory_order_seq_cst), lo, hi, out);
+      range_rec(node->right.load(std::memory_order_seq_cst)
+                    VCAS_ORD("base.cow.tree-link"),
+                lo, hi, out);
     }
   }
 

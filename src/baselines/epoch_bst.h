@@ -29,7 +29,6 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_set>
@@ -37,6 +36,8 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/padded.h"
 #include "util/threading.h"
 #include "vcas/camera.h"
@@ -82,8 +83,8 @@ class EpochBST {
   };
 
   struct LimboList {
-    std::mutex mu;
-    std::vector<LimboRecord> records;
+    util::Mutex mu;
+    std::vector<LimboRecord> records VCAS_GUARDED_BY(mu);
   };
 
   static std::uintptr_t pack(Info* info, State s) {
@@ -130,7 +131,9 @@ class EpochBST {
     Node* l = root_;
     while (!l->leaf) {
       l = key_less_node(key, l) ? l->left.load(std::memory_order_seq_cst)
-                                : l->right.load(std::memory_order_seq_cst);
+                                      VCAS_ORD("base.ebst.tree-link")
+                                : l->right.load(std::memory_order_seq_cst)
+                                      VCAS_ORD("base.ebst.tree-link");
     }
     if (l->inf == 0 && l->key == key) return l->value;
     return std::nullopt;
@@ -168,7 +171,8 @@ class EpochBST {
       op->new_internal = ni;
       std::uintptr_t expected = s.pupdate;
       if (s.p->update.compare_exchange_strong(expected, pack(op, kIFlag),
-                                              std::memory_order_seq_cst)) {
+                                              std::memory_order_seq_cst)
+              VCAS_ORD("base.ebst.update-word")) {
         retire_replaced(s.pupdate);
         help_insert(op);
         return true;
@@ -176,7 +180,8 @@ class EpochBST {
       delete new_leaf;
       delete ni;
       delete op;
-      help(s.p->update.load(std::memory_order_seq_cst));
+      help(s.p->update.load(std::memory_order_seq_cst)
+               VCAS_ORD("base.ebst.update-word"));
     }
   }
 
@@ -202,12 +207,14 @@ class EpochBST {
       op->pupdate = s.pupdate;
       std::uintptr_t expected = s.gpupdate;
       if (s.gp->update.compare_exchange_strong(expected, pack(op, kDFlag),
-                                               std::memory_order_seq_cst)) {
+                                               std::memory_order_seq_cst)
+              VCAS_ORD("base.ebst.update-word")) {
         retire_replaced(s.gpupdate);
         if (help_delete(op)) return true;
       } else {
         delete op;
-        help(s.gp->update.load(std::memory_order_seq_cst));
+        help(s.gp->update.load(std::memory_order_seq_cst)
+                 VCAS_ORD("base.ebst.update-word"));
       }
     }
   }
@@ -223,7 +230,7 @@ class EpochBST {
     // been missed above; their value copies are in the limbo lists.
     for (int t = 0; t < util::kMaxThreads; ++t) {
       LimboList& limbo = limbo_[t].value;
-      std::lock_guard<std::mutex> lock(limbo.mu);
+      util::MutexLock lock(limbo.mu);
       for (const LimboRecord& rec : limbo.records) {
         if (rec.key < lo || hi < rec.key) continue;
         if (rec.itime == kTBD || rec.itime > ts) continue;
@@ -280,7 +287,8 @@ class EpochBST {
       Timestamp cur = clock_.current();
       Timestamp expected = kTBD;
       leaf->itime.compare_exchange_strong(expected, cur,
-                                          std::memory_order_seq_cst);
+                                          std::memory_order_seq_cst)
+          VCAS_ORD("base.ebst.stamp");
     }
   }
   void stamp_delete(Node* leaf) {
@@ -289,7 +297,8 @@ class EpochBST {
       Timestamp cur = clock_.current();
       Timestamp expected = kUnset;
       leaf->dtime.compare_exchange_strong(expected, cur,
-                                          std::memory_order_seq_cst);
+                                          std::memory_order_seq_cst)
+          VCAS_ORD("base.ebst.stamp");
     }
   }
 
@@ -300,10 +309,13 @@ class EpochBST {
       r.gp = r.p;
       r.p = r.l;
       r.gpupdate = r.pupdate;
-      r.pupdate = r.p->update.load(std::memory_order_seq_cst);
+      r.pupdate = r.p->update.load(std::memory_order_seq_cst)
+          VCAS_ORD("base.ebst.update-word");
       r.l = key_less_node(key, r.p)
                 ? r.p->left.load(std::memory_order_seq_cst)
-                : r.p->right.load(std::memory_order_seq_cst);
+                      VCAS_ORD("base.ebst.tree-link")
+                : r.p->right.load(std::memory_order_seq_cst)
+                      VCAS_ORD("base.ebst.tree-link");
     }
     return r;
   }
@@ -332,10 +344,12 @@ class EpochBST {
   bool cas_child(Node* parent, Node* old_node, Node* new_node) {
     if (node_less(new_node, parent)) {
       return parent->left.compare_exchange_strong(old_node, new_node,
-                                                  std::memory_order_seq_cst);
+                                                  std::memory_order_seq_cst)
+          VCAS_ORD("base.ebst.tree-link");
     }
     return parent->right.compare_exchange_strong(old_node, new_node,
-                                                 std::memory_order_seq_cst);
+                                                 std::memory_order_seq_cst)
+        VCAS_ORD("base.ebst.tree-link");
   }
 
   void help_insert(Info* op) {
@@ -350,31 +364,39 @@ class EpochBST {
     if (nr->leaf) stamp_insert(nr);
     std::uintptr_t expected = pack(op, kIFlag);
     op->p->update.compare_exchange_strong(expected, pack(op, kClean),
-                                          std::memory_order_seq_cst);
+                                          std::memory_order_seq_cst)
+        VCAS_ORD("base.ebst.update-word");
   }
 
   bool help_delete(Info* op) {
     std::uintptr_t expected = op->pupdate;
     const std::uintptr_t marked = pack(op, kMark);
     if (op->p->update.compare_exchange_strong(expected, marked,
-                                              std::memory_order_seq_cst) ||
-        op->p->update.load(std::memory_order_seq_cst) == marked) {
+                                              std::memory_order_seq_cst)
+            VCAS_ORD("base.ebst.update-word") ||
+        op->p->update.load(std::memory_order_seq_cst)
+            VCAS_ORD("base.ebst.update-word") == marked) {
       if (expected == op->pupdate) retire_replaced(op->pupdate);
       help_marked(op);
       return true;
     }
-    help(op->p->update.load(std::memory_order_seq_cst));
+    help(op->p->update.load(std::memory_order_seq_cst)
+             VCAS_ORD("base.ebst.update-word"));
     std::uintptr_t flagged = pack(op, kDFlag);
     op->gp->update.compare_exchange_strong(flagged, pack(op, kClean),
-                                           std::memory_order_seq_cst);
+                                           std::memory_order_seq_cst)
+        VCAS_ORD("base.ebst.update-word");
     return false;
   }
 
   void help_marked(Info* op) {
     Node* other =
-        (op->p->right.load(std::memory_order_seq_cst) == op->l)
+        (op->p->right.load(std::memory_order_seq_cst)
+                 VCAS_ORD("base.ebst.tree-link") == op->l)
             ? op->p->left.load(std::memory_order_seq_cst)
-            : op->p->right.load(std::memory_order_seq_cst);
+                  VCAS_ORD("base.ebst.tree-link")
+            : op->p->right.load(std::memory_order_seq_cst)
+                  VCAS_ORD("base.ebst.tree-link");
     // Stamp the delete *before* unlinking so a range query that misses the
     // leaf in the tree finds a fully resolved limbo record.
     stamp_delete(op->l);
@@ -386,12 +408,13 @@ class EpochBST {
     }
     std::uintptr_t flagged = pack(op, kDFlag);
     op->gp->update.compare_exchange_strong(flagged, pack(op, kClean),
-                                           std::memory_order_seq_cst);
+                                           std::memory_order_seq_cst)
+        VCAS_ORD("base.ebst.update-word");
   }
 
   void push_limbo(Node* leaf) {
     LimboList& limbo = limbo_[util::thread_slot()].value;
-    std::lock_guard<std::mutex> lock(limbo.mu);
+    util::MutexLock lock(limbo.mu);
     limbo.records.push_back(LimboRecord{
         leaf->key, leaf->value, leaf->itime.load(std::memory_order_acquire),
         leaf->dtime.load(std::memory_order_acquire)});
@@ -421,12 +444,14 @@ class EpochBST {
       return;
     }
     if (key_less_node(lo, node)) {
-      collect_rec(node->left.load(std::memory_order_seq_cst), lo, hi, ts,
-                  seen, out);
+      collect_rec(node->left.load(std::memory_order_seq_cst)
+                      VCAS_ORD("base.ebst.tree-link"),
+                  lo, hi, ts, seen, out);
     }
     if (!key_less_node(hi, node)) {
-      collect_rec(node->right.load(std::memory_order_seq_cst), lo, hi, ts,
-                  seen, out);
+      collect_rec(node->right.load(std::memory_order_seq_cst)
+                      VCAS_ORD("base.ebst.tree-link"),
+                  lo, hi, ts, seen, out);
     }
   }
 

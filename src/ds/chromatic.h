@@ -47,6 +47,7 @@
 
 #include "ds/ellen_bst.h"  // detail::PlainPtr, detail::Empty
 #include "ebr/ebr.h"
+#include "util/annotations.h"
 #include "vcas/camera.h"
 #include "vcas/snapshot.h"
 #include "vcas/versioned_ptr.h"
@@ -509,9 +510,12 @@ class ChromaticTreeT {
   // --- LLX / SCX -----------------------------------------------------------
 
   Llx llx(Node* r) {
-    const bool marked = r->marked.load(std::memory_order_seq_cst);
-    ScxRecord* rinfo = r->info.load(std::memory_order_seq_cst);
-    const ScxState state = rinfo->state.load(std::memory_order_seq_cst);
+    const bool marked =
+        r->marked.load(std::memory_order_seq_cst) VCAS_ORD("ds.llx.read");
+    ScxRecord* rinfo =
+        r->info.load(std::memory_order_seq_cst) VCAS_ORD("ds.llx.read");
+    const ScxState state =
+        rinfo->state.load(std::memory_order_seq_cst) VCAS_ORD("ds.llx.read");
     if (state == ScxState::kInProgress) {
       help(rinfo);
       return {};
@@ -524,7 +528,8 @@ class ChromaticTreeT {
       result.left = r->left.vRead();
       result.right = r->right.vRead();
     }
-    if (r->info.load(std::memory_order_seq_cst) == rinfo) {
+    if (r->info.load(std::memory_order_seq_cst) VCAS_ORD("ds.llx.read") ==
+        rinfo) {
       result.ok = true;
       return result;
     }
@@ -567,12 +572,16 @@ class ChromaticTreeT {
       Node* r = op->nodes[i];
       ScxRecord* expected = op->infos[i];
       if (!r->info.compare_exchange_strong(expected, op,
-                                           std::memory_order_seq_cst)) {
-        if (r->info.load(std::memory_order_seq_cst) != op) {
-          if (op->all_frozen.load(std::memory_order_seq_cst)) {
+                                           std::memory_order_seq_cst)
+               VCAS_ORD("ds.scx.freeze")) {
+        if (r->info.load(std::memory_order_seq_cst)
+                VCAS_ORD("ds.scx.freeze") != op) {
+          if (op->all_frozen.load(std::memory_order_seq_cst)
+                  VCAS_ORD("ds.scx.commit")) {
             return HelpOutcome::kCommitted;
           }
-          op->state.store(ScxState::kAborted, std::memory_order_seq_cst);
+          op->state.store(ScxState::kAborted, std::memory_order_seq_cst)
+              VCAS_ORD("ds.scx.freeze");
           return i == 0 ? HelpOutcome::kNeverPublished
                         : HelpOutcome::kAborted;
         }
@@ -590,10 +599,16 @@ class ChromaticTreeT {
       Node* r = op->nodes[i];
       ScxRecord* expected = op->infos[i];
       if (!r->info.compare_exchange_strong(expected, op,
-                                           std::memory_order_seq_cst)) {
-        if (r->info.load(std::memory_order_seq_cst) != op) {
-          if (op->all_frozen.load(std::memory_order_seq_cst)) return true;
-          op->state.store(ScxState::kAborted, std::memory_order_seq_cst);
+                                           std::memory_order_seq_cst)
+               VCAS_ORD("ds.scx.freeze")) {
+        if (r->info.load(std::memory_order_seq_cst)
+                VCAS_ORD("ds.scx.freeze") != op) {
+          if (op->all_frozen.load(std::memory_order_seq_cst)
+                  VCAS_ORD("ds.scx.commit")) {
+            return true;
+          }
+          op->state.store(ScxState::kAborted, std::memory_order_seq_cst)
+              VCAS_ORD("ds.scx.freeze");
           return false;
         }
       } else {
@@ -605,13 +620,16 @@ class ChromaticTreeT {
   }
 
   void commit(ScxRecord* op) {
-    op->all_frozen.store(true, std::memory_order_seq_cst);
+    op->all_frozen.store(true, std::memory_order_seq_cst)
+        VCAS_ORD("ds.scx.commit");
     for (int i = 1; i < op->n; ++i) {
-      op->nodes[i]->marked.store(true, std::memory_order_seq_cst);
+      op->nodes[i]->marked.store(true, std::memory_order_seq_cst)
+          VCAS_ORD("ds.scx.commit");
     }
     // The single linearizing child CAS; idempotent across helpers.
     op->field->vCAS(op->old_child, op->new_child);
-    op->state.store(ScxState::kCommitted, std::memory_order_seq_cst);
+    op->state.store(ScxState::kCommitted, std::memory_order_seq_cst)
+        VCAS_ORD("ds.scx.commit");
   }
 
   // A freshly replaced record can no longer be read by new LLXs *from this
@@ -621,7 +639,8 @@ class ChromaticTreeT {
   // several live words and are reclaimed via the garbage list instead.
   void retire_replaced(Node* r, ScxRecord* old) {
     if (old == nullptr || old == &dummy_) return;
-    if (old->state.load(std::memory_order_seq_cst) == ScxState::kCommitted &&
+    if (old->state.load(std::memory_order_seq_cst)
+                VCAS_ORD("ds.scx.commit") == ScxState::kCommitted &&
         old->nodes[0] == r) {
       ebr::retire(old);
     }

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "util/annotations.h"
 #include "vcas/camera.h"
 #include "vcas/snapshot.h"
 #include "vcas/versioned_cas.h"
@@ -77,13 +78,16 @@ class PlainPtr {
  public:
   PlainPtr() = default;
   void init(Node* n, Camera*) { p_.store(n, std::memory_order_relaxed); }
-  Node* vRead() { return p_.load(std::memory_order_seq_cst); }
+  Node* vRead() {
+    return p_.load(std::memory_order_seq_cst) VCAS_ORD("ds.ellen.plainptr");
+  }
   Node* read_unsynchronized() const {
     return p_.load(std::memory_order_relaxed);
   }
   bool vCAS(Node* old_v, Node* new_v) {
     return p_.compare_exchange_strong(old_v, new_v,
-                                      std::memory_order_seq_cst);
+                                      std::memory_order_seq_cst)
+        VCAS_ORD("ds.ellen.plainptr");
   }
 
  private:
@@ -268,7 +272,8 @@ class EllenBST {
       op->new_internal = ni;
       std::uintptr_t expected = s.pupdate;
       if (s.p->update.compare_exchange_strong(expected, pack(op, kIFlag),
-                                              std::memory_order_seq_cst)) {
+                                              std::memory_order_seq_cst)
+              VCAS_ORD("ds.ellen.update-word")) {
         retire_replaced(s.pupdate);
         help_insert(op);
         return true;
@@ -278,7 +283,8 @@ class EllenBST {
       delete old_copy;
       delete ni;
       delete op;
-      help(s.p->update.load(std::memory_order_seq_cst));
+      help(s.p->update.load(std::memory_order_seq_cst)
+               VCAS_ORD("ds.ellen.update-word"));
     }
   }
 
@@ -323,14 +329,16 @@ class EllenBST {
       op->pupdate = s.pupdate;
       std::uintptr_t expected = s.gpupdate;
       if (s.gp->update.compare_exchange_strong(expected, pack(op, kDFlag),
-                                               std::memory_order_seq_cst)) {
+                                               std::memory_order_seq_cst)
+              VCAS_ORD("ds.ellen.update-word")) {
         retire_replaced(s.gpupdate);
         if (help_delete(op)) return true;
         // Backtracked: op stays reachable from gp's CLEAN word until the
         // next flag retires it; loop and retry.
       } else {
         delete op;
-        help(s.gp->update.load(std::memory_order_seq_cst));
+        help(s.gp->update.load(std::memory_order_seq_cst)
+                 VCAS_ORD("ds.ellen.update-word"));
       }
     }
   }
@@ -538,7 +546,8 @@ class EllenBST {
       r.gp = r.p;
       r.p = r.l;
       r.gpupdate = r.pupdate;
-      r.pupdate = r.p->update.load(std::memory_order_seq_cst);
+      r.pupdate = r.p->update.load(std::memory_order_seq_cst)
+          VCAS_ORD("ds.ellen.update-word");
       r.l = key_less_node(key, r.p) ? r.p->left.vRead() : r.p->right.vRead();
     }
     return r;
@@ -577,7 +586,8 @@ class EllenBST {
     // iunflag (same Info stays in the word; no retire).
     std::uintptr_t expected = pack(op, kIFlag);
     op->p->update.compare_exchange_strong(expected, pack(op, kClean),
-                                          std::memory_order_seq_cst);
+                                          std::memory_order_seq_cst)
+        VCAS_ORD("ds.ellen.update-word");
   }
 
   bool help_delete(Info* op) {
@@ -587,20 +597,24 @@ class EllenBST {
     std::uintptr_t expected = op->pupdate;
     const std::uintptr_t marked = pack(op, kMark);
     if (op->p->update.compare_exchange_strong(expected, marked,
-                                              std::memory_order_seq_cst)) {
+                                              std::memory_order_seq_cst)
+            VCAS_ORD("ds.ellen.update-word")) {
       retire_replaced(op->pupdate);
       help_marked(op);
       return true;
     }
-    if (op->p->update.load(std::memory_order_seq_cst) == marked) {
+    if (op->p->update.load(std::memory_order_seq_cst)
+            VCAS_ORD("ds.ellen.update-word") == marked) {
       help_marked(op);  // another helper marked for us
       return true;
     }
-    help(op->p->update.load(std::memory_order_seq_cst));
+    help(op->p->update.load(std::memory_order_seq_cst)
+             VCAS_ORD("ds.ellen.update-word"));
     // backtrack CAS: unflag gp so the delete can retry from scratch.
     std::uintptr_t flagged = pack(op, kDFlag);
     op->gp->update.compare_exchange_strong(flagged, pack(op, kClean),
-                                           std::memory_order_seq_cst);
+                                           std::memory_order_seq_cst)
+        VCAS_ORD("ds.ellen.update-word");
     return false;
   }
 
@@ -625,7 +639,8 @@ class EllenBST {
       // copy. Leaves are immutable; no freeze needed.
       if (!other->leaf) {
         for (;;) {
-          std::uintptr_t u = other->update.load(std::memory_order_seq_cst);
+          std::uintptr_t u = other->update.load(std::memory_order_seq_cst)
+              VCAS_ORD("ds.ellen.update-word");
           if (state_of(u) == kCopy) {
             // Only our op can copy-freeze p's child (one mark winner per
             // p), so this is our freeze.
@@ -635,7 +650,8 @@ class EllenBST {
           if (state_of(u) == kClean) {
             std::uintptr_t expected = u;
             if (other->update.compare_exchange_strong(
-                    expected, pack(op, kCopy), std::memory_order_seq_cst)) {
+                    expected, pack(op, kCopy), std::memory_order_seq_cst)
+                    VCAS_ORD("ds.ellen.update-word")) {
               retire_replaced(u);
               break;
             }
@@ -656,7 +672,8 @@ class EllenBST {
     // dunflag.
     std::uintptr_t flagged = pack(op, kDFlag);
     op->gp->update.compare_exchange_strong(flagged, pack(op, kClean),
-                                           std::memory_order_seq_cst);
+                                           std::memory_order_seq_cst)
+        VCAS_ORD("ds.ellen.update-word");
   }
 
   // Fresh copy of a frozen (or leaf) node. Children are read after the

@@ -1,10 +1,11 @@
 #include "ebr/ebr.h"
 
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/padded.h"
 #include "util/threading.h"
 
@@ -68,8 +69,8 @@ Padded<ThreadState> g_threads[kMaxThreads];
 // Bags abandoned by exited threads; adopted under lock during scans. Not
 // epoch-sorted (threads die in any order), but the list stays short: every
 // scan frees all freeable sub-bags outright.
-std::mutex g_orphan_mu;
-std::vector<SubBag> g_orphans;
+util::Mutex g_orphan_mu;
+std::vector<SubBag> g_orphans VCAS_GUARDED_BY(g_orphan_mu);
 
 ThreadState& self() { return g_threads[util::thread_slot()].value; }
 
@@ -86,7 +87,8 @@ ThreadState& self() { return g_threads[util::thread_slot()].value; }
 // store seq_cst-ordered before the fence is visible to loads after it).
 std::uint64_t min_reservation() {
   std::uint64_t min = g_epoch.load(std::memory_order_acquire);
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst)
+      VCAS_ORD("ebr.scan.fence");
   const int live = util::slot_high_water();
   for (int i = 0; i < live; ++i) {
     const std::uint64_t r =
@@ -98,7 +100,8 @@ std::uint64_t min_reservation() {
 
 void try_advance() {
   const std::uint64_t e = g_epoch.load(std::memory_order_acquire);
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst)
+      VCAS_ORD("ebr.scan.fence");
   const int live = util::slot_high_water();
   for (int i = 0; i < live; ++i) {
     const std::uint64_t r =
@@ -112,7 +115,8 @@ void try_advance() {
     }
   }
   std::uint64_t expected = e;
-  g_epoch.compare_exchange_strong(expected, e + 1, std::memory_order_acq_rel);
+  g_epoch.compare_exchange_strong(expected, e + 1, std::memory_order_acq_rel)
+      VCAS_ORD("ebr.epoch.advance");
 }
 
 // Free every sub-bag retired at least two epochs before any live
@@ -177,7 +181,7 @@ struct ExitHook {
   ~ExitHook() {
     ThreadState& ts = self();
     if (!ts.limbo.empty()) {
-      std::lock_guard<std::mutex> lock(g_orphan_mu);
+      util::MutexLock lock(g_orphan_mu);
       for (SubBag& bag : ts.limbo) g_orphans.push_back(std::move(bag));
       ts.limbo.clear();
     }
@@ -200,8 +204,12 @@ void pin() {
   // nodes we are about to read.
   for (;;) {
     const std::uint64_t e = g_epoch.load(std::memory_order_acquire);
-    ts.reservation.store(e, std::memory_order_seq_cst);
-    if (g_epoch.load(std::memory_order_seq_cst) == e) break;
+    ts.reservation.store(e, std::memory_order_seq_cst)
+        VCAS_ORD("ebr.pin.publish");
+    if (g_epoch.load(std::memory_order_seq_cst)
+            VCAS_ORD("ebr.pin.publish") == e) {
+      break;
+    }
   }
 }
 
@@ -256,7 +264,7 @@ std::size_t drain_for_tests() {
     freed += sweep(g_threads[i].value.limbo, safe_before, nullptr);
   }
   {
-    std::lock_guard<std::mutex> lock(g_orphan_mu);
+    util::MutexLock lock(g_orphan_mu);
     freed += sweep(g_orphans, safe_before, nullptr);
   }
   if (freed > 0) util::bump_counter(self().freed_objects, freed);

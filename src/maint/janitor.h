@@ -50,6 +50,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/batch.h"
+#include "util/annotations.h"
 #include "vcas/camera.h"
 
 namespace vcas::maint {
@@ -70,7 +71,8 @@ class CellJanitor {
     Shard& shard = *store.shards_[shard_idx];
     bool expected = false;
     if (!shard.janitor_busy.compare_exchange_strong(
-            expected, true, std::memory_order_acq_rel)) {
+            expected, true, std::memory_order_acq_rel)
+            VCAS_ORD("maint.janitor.claim")) {
       return PassStatus::kBusy;
     }
     ebr::Guard g;

@@ -49,6 +49,8 @@
 
 #include "ebr/ebr.h"
 #include "obs/metrics.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace vcas::maint {
 
@@ -157,13 +159,16 @@ class TaskQueue {
       if (last != tail_.load(std::memory_order_acquire)) continue;
       if (next == nullptr) {
         if (last->next.compare_exchange_weak(next, node,
-                                             std::memory_order_acq_rel)) {
+                                             std::memory_order_acq_rel)
+                VCAS_ORD("maint.queue.msq")) {
           tail_.compare_exchange_strong(last, node,
-                                        std::memory_order_acq_rel);
+                                        std::memory_order_acq_rel)
+              VCAS_ORD("maint.queue.msq");
           return;
         }
       } else {
-        tail_.compare_exchange_strong(last, next, std::memory_order_acq_rel);
+        tail_.compare_exchange_strong(last, next, std::memory_order_acq_rel)
+            VCAS_ORD("maint.queue.msq");
       }
     }
   }
@@ -177,11 +182,13 @@ class TaskQueue {
       if (first != head_.load(std::memory_order_acquire)) continue;
       if (first == last) {
         if (next == nullptr) return false;
-        tail_.compare_exchange_strong(last, next, std::memory_order_acq_rel);
+        tail_.compare_exchange_strong(last, next, std::memory_order_acq_rel)
+            VCAS_ORD("maint.queue.msq");
       } else {
         out = next->task;  // read before the CAS: the pin keeps next alive
         if (head_.compare_exchange_strong(first, next,
-                                          std::memory_order_acq_rel)) {
+                                          std::memory_order_acq_rel)
+                VCAS_ORD("maint.queue.msq")) {
           ebr::retire(first);
           return true;
         }
@@ -217,7 +224,7 @@ class MaintenancePool {
   // shard) is enqueued. Idempotent while running; restartable after
   // stop().
   void start(std::size_t workers, std::chrono::milliseconds tick) {
-    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    util::MutexLock lk(lifecycle_mu_);
     if (!workers_.empty()) return;
     tick_ns_.store(
         std::chrono::duration_cast<std::chrono::nanoseconds>(tick).count(),
@@ -245,7 +252,7 @@ class MaintenancePool {
   // (the destructor relies on that). Workers never take lifecycle_mu_,
   // so holding it across the join cannot deadlock.
   void stop() {
-    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    util::MutexLock lk(lifecycle_mu_);
     if (workers_.empty()) return;
     stopping_.store(true, std::memory_order_release);
     {
@@ -258,7 +265,7 @@ class MaintenancePool {
   }
 
   bool running() const {
-    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    util::MutexLock lk(lifecycle_mu_);
     return !workers_.empty();
   }
 
@@ -301,8 +308,10 @@ class MaintenancePool {
   void enqueue(std::size_t shard, TaskKind kind) {
     Sched& s = sched_[shard];
     const std::uint64_t gen =
-        s.enqueued_gen.fetch_add(1, std::memory_order_acq_rel) + 1;
-    if (!s.queued.exchange(true, std::memory_order_acq_rel)) {
+        s.enqueued_gen.fetch_add(1, std::memory_order_acq_rel)
+            VCAS_ORD("maint.hint.gen") + 1;
+    if (!s.queued.exchange(true, std::memory_order_acq_rel)
+             VCAS_ORD("maint.hint.gen")) {
       queue_.push(MaintTask{shard, gen, kind});
       depth_.fetch_add(1, std::memory_order_relaxed);
       wake_one();
@@ -367,7 +376,8 @@ class MaintenancePool {
     // only across different claims, but stay safe regardless).
     std::uint64_t done = s.done_gen.load(std::memory_order_relaxed);
     while (done < gen && !s.done_gen.compare_exchange_weak(
-                             done, gen, std::memory_order_acq_rel)) {
+                             done, gen, std::memory_order_acq_rel)
+                              VCAS_ORD("maint.hint.gen")) {
     }
   }
 
@@ -378,7 +388,8 @@ class MaintenancePool {
     std::int64_t last = last_tick_ns_.load(std::memory_order_acquire);
     if (now - last < tick) return;
     if (last_tick_ns_.compare_exchange_strong(last, now,
-                                              std::memory_order_acq_rel)) {
+                                              std::memory_order_acq_rel)
+            VCAS_ORD("maint.tick.claim")) {
       sweep_all();
     }
   }
@@ -421,8 +432,8 @@ class MaintenancePool {
   std::atomic<std::int64_t> tick_ns_{0};
   std::atomic<std::int64_t> last_tick_ns_{0};
 
-  mutable std::mutex lifecycle_mu_;
-  std::vector<std::thread> workers_;
+  mutable util::Mutex lifecycle_mu_;
+  std::vector<std::thread> workers_ VCAS_GUARDED_BY(lifecycle_mu_);
 
   std::mutex cv_mu_;
   std::condition_variable cv_;

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/annotations.h"
 #include "util/padded.h"
 #include "util/threading.h"
 
@@ -168,7 +169,8 @@ class Metric {
   Metric(const char* name, MetricKind kind) : name_(name), kind_(kind) {
     std::atomic<Metric*>& h = head_ref();
     next_ = h.load(std::memory_order_relaxed);
-    while (!h.compare_exchange_weak(next_, this, std::memory_order_acq_rel)) {
+    while (!h.compare_exchange_weak(next_, this, std::memory_order_acq_rel)
+               VCAS_ORD("obs.registry.push")) {
     }
   }
   virtual ~Metric() = default;

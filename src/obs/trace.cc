@@ -8,6 +8,7 @@
 #include <cstring>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/threading.h"
 #include "util/timing.h"
 
@@ -171,7 +172,8 @@ void set_trace_capacity_for_tests(std::size_t records) {
 
 void reset_trace_for_tests() {
   for (auto& slot : g_rings) {
-    Ring* r = slot.exchange(nullptr, std::memory_order_acq_rel);
+    Ring* r = slot.exchange(nullptr, std::memory_order_acq_rel)
+        VCAS_ORD("obs.ring.reclaim");
     if (r != nullptr) {
       delete[] r->recs;
       delete r;

@@ -45,6 +45,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/annotations.h"
 #include "vcas/camera.h"
 
 namespace vcas::store {
@@ -132,6 +133,7 @@ struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
       Timestamp expected = kTBD;
       c = commit_ts.compare_exchange_strong(expected, fresh,
                                             std::memory_order_seq_cst)
+              VCAS_ORD("batch.commit-stamp")
               ? fresh
               : expected;  // lost the stamp race; reloaded with the winner's
     }
@@ -142,7 +144,8 @@ struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
     const Decision verdict = decide(c);
     Decision expected = Decision::kPending;
     if (decision.compare_exchange_strong(expected, verdict,
-                                         std::memory_order_seq_cst)) {
+                                         std::memory_order_seq_cst)
+            VCAS_ORD("batch.decision")) {
       d = verdict;
       // Count outcomes at the winning CAS only, so each batch's fate is
       // counted exactly once no matter how many helpers raced it.

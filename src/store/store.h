@@ -132,6 +132,8 @@
 #include "store/backend.h"
 #include "store/batch.h"
 #include "store/view.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "vcas/camera.h"
 #include "vcas/snapshot.h"
 #include "vcas/versioned_cas.h"
@@ -257,7 +259,8 @@ class ShardedStore {
     }
 
     void release_install_state() override {
-      if (OpList* list = ops_.exchange(nullptr, std::memory_order_acq_rel)) {
+      if (OpList* list = ops_.exchange(nullptr, std::memory_order_acq_rel)
+              VCAS_ORD("store.descriptor.release")) {
         ebr::retire(list);
       }
     }
@@ -297,7 +300,8 @@ class ShardedStore {
           store_->shard_for(op.key).map.erase(op.key, cell);
           Cell* fresh = store_->live_cell(op.key);
           op.cell.compare_exchange_strong(cell, fresh,
-                                          std::memory_order_acq_rel);
+                                          std::memory_order_acq_rel)
+              VCAS_ORD("store.op-cell.migrate");
           continue;  // reload op.cell (ours or the winning helper's)
         }
         if (hv.ticket != nullptr && !hv.ticket->decided()) {
@@ -426,7 +430,8 @@ class ShardedStore {
 
     void release_install_state() override {
       BatchDescriptor::release_install_state();
-      if (ReadSet* reads = reads_.exchange(nullptr, std::memory_order_acq_rel)) {
+      if (ReadSet* reads = reads_.exchange(nullptr, std::memory_order_acq_rel)
+              VCAS_ORD("store.descriptor.release")) {
         ebr::retire(reads);
       }
     }
@@ -870,7 +875,7 @@ class ShardedStore {
   // Idempotent while running; restartable after disable_maintenance().
   void enable_maintenance(std::size_t workers,
                           std::chrono::milliseconds tick) {
-    std::lock_guard<std::mutex> lk(maint_mu_);
+    util::MutexLock lk(maint_mu_);
     if (!maint_pool_) {
       maint_pool_ = std::make_unique<maint::MaintenancePool>(
           shards_.size(), [this](std::size_t shard) {
@@ -895,7 +900,7 @@ class ShardedStore {
   // state and bumps obs registry slots), so holding it through the join
   // cannot deadlock.
   void disable_maintenance() {
-    std::lock_guard<std::mutex> lk(maint_mu_);
+    util::MutexLock lk(maint_mu_);
     maint_hint_target_.store(nullptr, std::memory_order_release);
     if (maint_pool_) maint_pool_->stop();
   }
@@ -954,7 +959,7 @@ class ShardedStore {
   // live queue depth when the pool exists.
   maint::Stats maintenance_stats() const {
     maint::Stats s = maint::stats_from_registry();
-    std::lock_guard<std::mutex> lk(maint_mu_);
+    util::MutexLock lk(maint_mu_);
     if (maint_pool_) s.queue_depth = maint_pool_->queue_depth();
     return s;
   }
@@ -975,7 +980,7 @@ class ShardedStore {
     s.min_active_lag_now = static_cast<std::uint64_t>(clock - horizon);
     s.announced_slots = camera_.announced_slots();
     {
-      std::lock_guard<std::mutex> lk(maint_mu_);
+      util::MutexLock lk(maint_mu_);
       if (maint_pool_) s.maint_queue_depth = maint_pool_->queue_depth();
     }
     return s;
@@ -1141,7 +1146,8 @@ class ShardedStore {
     if (prev == nullptr) {
       Cell* expected = cell;
       if (shard.cells.compare_exchange_strong(expected, next,
-                                              std::memory_order_acq_rel)) {
+                                              std::memory_order_acq_rel)
+              VCAS_ORD("store.registry.unlink")) {
         return;
       }
       // New cells were pushed above since the walk began; the real
@@ -1474,10 +1480,10 @@ class ShardedStore {
   // maintain_* calls and pool passes land in one place. Declared LAST:
   // the pool's pass lambda captures `this`, so it must destruct (already
   // stopped by the dtor) before everything it references.
-  mutable std::mutex maint_mu_;
+  mutable util::Mutex maint_mu_;
   std::atomic<std::size_t> cells_per_tick_{512};
   std::atomic<maint::MaintenancePool*> maint_hint_target_{nullptr};
-  std::unique_ptr<maint::MaintenancePool> maint_pool_;
+  std::unique_ptr<maint::MaintenancePool> maint_pool_ VCAS_GUARDED_BY(maint_mu_);
 };
 
 }  // namespace vcas::store

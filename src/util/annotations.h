@@ -1,0 +1,62 @@
+// Zero-cost source annotations backing the concurrency contract that
+// tools/vcas_lint.py machine-checks (see docs/memory_model.md).
+//
+// Two families live here:
+//
+//  1. VCAS_ORD("tag") — marks a *strong* atomic site (seq_cst, acq_rel, or
+//     any atomic_thread_fence) and names the audit-manifest entry that
+//     justifies it. The macro expands to nothing in every build; it exists
+//     purely so the linter can resolve the tag, two-way, against
+//     tools/lint/memory_order_audit.toml. Place it directly after the
+//     strong expression, inside the same statement:
+//
+//         clock_.store(v, std::memory_order_seq_cst) VCAS_ORD("cam.clock");
+//         if (head_.load(std::memory_order_seq_cst) VCAS_ORD("vc.head")) ...
+//
+//     Because it expands to nothing it is legal in any expression position
+//     (trailing a call, inside a condition, in a for-init clause). The tag
+//     must exist in the manifest, the manifest entry must list this file,
+//     and every manifest tag/file pair must be used somewhere — orphans in
+//     either direction fail `tools/vcas_lint.py src`.
+//
+//  2. Clang thread-safety-analysis attributes (-Wthread-safety), expanded
+//     only where the attribute is supported so GCC builds are untouched.
+//     Spelling follows the LLVM mutex.h reference header.
+#pragma once
+
+// --- memory-order audit tags -------------------------------------------------
+
+// Expands to nothing; consumed by tools/vcas_lint.py. `tag` must be a string
+// literal naming an entry in tools/lint/memory_order_audit.toml.
+#define VCAS_ORD(tag)
+
+// --- clang -Wthread-safety attributes ---------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define VCAS_TSA_HAS(x) __has_attribute(x)
+#else
+#define VCAS_TSA_HAS(x) 0
+#endif
+
+#if VCAS_TSA_HAS(guarded_by)
+#define VCAS_TSA(x) __attribute__((x))
+#else
+#define VCAS_TSA(x)
+#endif
+
+// A type that can be held/released (std::mutex already carries these in
+// libc++; we annotate our own wrappers and fields).
+#define VCAS_CAPABILITY(name) VCAS_TSA(capability(name))
+#define VCAS_SCOPED_CAPABILITY VCAS_TSA(scoped_lockable)
+
+// Field annotations.
+#define VCAS_GUARDED_BY(mu) VCAS_TSA(guarded_by(mu))
+#define VCAS_PT_GUARDED_BY(mu) VCAS_TSA(pt_guarded_by(mu))
+
+// Function annotations.
+#define VCAS_REQUIRES(...) VCAS_TSA(requires_capability(__VA_ARGS__))
+#define VCAS_ACQUIRE(...) VCAS_TSA(acquire_capability(__VA_ARGS__))
+#define VCAS_RELEASE(...) VCAS_TSA(release_capability(__VA_ARGS__))
+#define VCAS_TRY_ACQUIRE(...) VCAS_TSA(try_acquire_capability(__VA_ARGS__))
+#define VCAS_EXCLUDES(...) VCAS_TSA(locks_excluded(__VA_ARGS__))
+#define VCAS_NO_TSA VCAS_TSA(no_thread_safety_analysis)

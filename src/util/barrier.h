@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "util/annotations.h"
+
 namespace vcas::util {
 
 class SpinBarrier {
@@ -19,7 +21,8 @@ class SpinBarrier {
 
   void arrive_and_wait() {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
-    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel)
+            VCAS_ORD("util.barrier.arrive") == 1) {
       remaining_.store(parties_, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {

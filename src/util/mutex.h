@@ -1,0 +1,44 @@
+// std::mutex wrapped with clang thread-safety-analysis capabilities, so
+// -Wthread-safety (CI's clang leg) can statically check the lock/guarded-
+// field contracts declared with VCAS_GUARDED_BY. libstdc++'s std::mutex
+// carries no capability attribute, hence the wrapper; under GCC (or any
+// compiler without the attributes) this is byte-for-byte a std::mutex.
+//
+// The condvar mutex in maint/maintenance.h stays a raw std::mutex: the
+// std::condition_variable wait API is welded to std::unique_lock
+// <std::mutex>, and its one guarded flag is documented in place.
+#pragma once
+
+#include <mutex>
+
+#include "util/annotations.h"
+
+namespace vcas::util {
+
+class VCAS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VCAS_ACQUIRE() { mu_.lock(); }
+  void unlock() VCAS_RELEASE() { mu_.unlock(); }
+  bool try_lock() VCAS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard, the annotated analogue of std::lock_guard<std::mutex>.
+class VCAS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VCAS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VCAS_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace vcas::util

@@ -31,10 +31,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <new>
 #include <vector>
 
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/padded.h"
 #include "util/threading.h"
 
@@ -135,11 +136,13 @@ class SlabPool {
 
  private:
   struct Global {
-    std::mutex mu;
-    std::vector<void*> blocks;
-    std::vector<void*> slabs;
+    Mutex mu;
+    std::vector<void*> blocks VCAS_GUARDED_BY(mu);
+    std::vector<void*> slabs VCAS_GUARDED_BY(mu);
 
-    ~Global() {
+    // Lock-free by construction, not by locking: static destruction is
+    // single-threaded, so the analysis is waived here.
+    ~Global() VCAS_NO_TSA {
       // Process exit; every thread_local cache has flushed (thread-local
       // destructors run before static destructors). Freeing the slabs here
       // keeps ASan/LSan output clean without tracking per-block liveness.
@@ -162,7 +165,7 @@ class SlabPool {
       // (recycling_test.cc: ThreadExitOrphanedBlocksAreAdopted).
       if (blocks.empty()) return;
       Global& g = global();
-      std::lock_guard<std::mutex> lock(g.mu);
+      MutexLock lock(g.mu);
       g.blocks.insert(g.blocks.end(), blocks.begin(), blocks.end());
       blocks.clear();
       blocks.shrink_to_fit();
@@ -186,7 +189,7 @@ class SlabPool {
   static void refill(LocalCache& c) {
     Global& g = global();
     {
-      std::lock_guard<std::mutex> lock(g.mu);
+      MutexLock lock(g.mu);
       if (!g.blocks.empty()) {
         const std::size_t take =
             g.blocks.size() < kBlocksPerSlab ? g.blocks.size()
@@ -207,7 +210,7 @@ class SlabPool {
     bump_counter(detail::my_pool_counter().slab_bytes,
                  kStride * kBlocksPerSlab);
     {
-      std::lock_guard<std::mutex> lock(g.mu);
+      MutexLock lock(g.mu);
       g.slabs.push_back(slab);
     }
     char* base = static_cast<char*>(slab);
@@ -223,7 +226,7 @@ class SlabPool {
     const std::size_t donate = c.blocks.size() / 2;
     Global& g = global();
     {
-      std::lock_guard<std::mutex> lock(g.mu);
+      MutexLock lock(g.mu);
       g.blocks.insert(g.blocks.end(), c.blocks.begin(),
                       c.blocks.begin() + static_cast<std::ptrdiff_t>(donate));
     }

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "util/annotations.h"
 #include "util/padded.h"
 
 namespace vcas::util {
@@ -50,7 +51,8 @@ struct SlotHandle {
       for (int i = 0; i < kMaxThreads; ++i) {
         bool expected = false;
         if (slot_in_use(i).compare_exchange_strong(
-                expected, true, std::memory_order_acq_rel)) {
+                expected, true, std::memory_order_acq_rel)
+                VCAS_ORD("slot.claim")) {
           id = i;
           // seq_cst RMW: the bump must precede, in the seq_cst total order,
           // everything this thread later publishes through its slot
@@ -62,7 +64,8 @@ struct SlotHandle {
           int seen = hw.load(std::memory_order_relaxed);
           while (seen < i + 1 &&
                  !hw.compare_exchange_weak(seen, i + 1,
-                                           std::memory_order_seq_cst)) {
+                                           std::memory_order_seq_cst)
+                     VCAS_ORD("slot.high-water")) {
           }
           return;
         }
@@ -106,7 +109,8 @@ inline int thread_slot() {
 // announcement or reservation; see the seq_cst note in SlotHandle for why
 // a concurrent first-time claimant missed by the load is harmless.
 inline int slot_high_water() {
-  return detail::slot_high_water_atomic().load(std::memory_order_seq_cst);
+  return detail::slot_high_water_atomic().load(std::memory_order_seq_cst)
+      VCAS_ORD("slot.high-water");
 }
 
 }  // namespace vcas::util

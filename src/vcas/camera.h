@@ -19,6 +19,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/annotations.h"
 #include "util/padded.h"
 #include "util/threading.h"
 
@@ -60,10 +61,12 @@ class Camera {
   // takeSnapshot already moved it past ts — the postcondition
   // "clock > handle" holds before this function returns.
   Timestamp takeSnapshot() {
-    const Timestamp ts = timestamp_.load(std::memory_order_seq_cst);
+    const Timestamp ts =
+        timestamp_.load(std::memory_order_seq_cst) VCAS_ORD("cam.clock");
     Timestamp expected = ts;
     timestamp_.compare_exchange_strong(expected, ts + 1,
-                                       std::memory_order_seq_cst);
+                                       std::memory_order_seq_cst)
+        VCAS_ORD("cam.clock");
     obs::m::snapshots_taken.add();
     obs::trace_instant(obs::Ev::kTakeSnapshot,
                        static_cast<std::uint32_t>(ts));
@@ -72,7 +75,7 @@ class Camera {
 
   // Current clock value; what initTS stamps into a freshly appended VNode.
   Timestamp current() const {
-    return timestamp_.load(std::memory_order_seq_cst);
+    return timestamp_.load(std::memory_order_seq_cst) VCAS_ORD("cam.clock");
   }
 
   std::atomic<Timestamp>& counter() { return timestamp_; }
@@ -93,7 +96,8 @@ class Camera {
     const int slot = util::thread_slot();
     if (announce_depth_[slot].value++ == 0) {
       announce_[slot].value.store(timestamp_.load(std::memory_order_seq_cst),
-                                  std::memory_order_seq_cst);
+                                  std::memory_order_seq_cst)
+          VCAS_ORD("cam.announce.publish");
     }
     return takeSnapshot();
   }
@@ -134,8 +138,10 @@ class Camera {
   //     handle is >= our clock read >= the horizon. Either way no announced
   //     reader's handle is below the returned value.
   Timestamp min_active() const {
-    Timestamp min = timestamp_.load(std::memory_order_seq_cst);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Timestamp min = timestamp_.load(std::memory_order_seq_cst)
+        VCAS_ORD("cam.minactive.scan");
+    std::atomic_thread_fence(std::memory_order_seq_cst)
+        VCAS_ORD("cam.minactive.scan");
     const int live = util::slot_high_water();
     for (int i = 0; i < live; ++i) {
       const Timestamp t = announce_[i].value.load(std::memory_order_acquire);

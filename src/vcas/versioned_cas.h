@@ -45,6 +45,7 @@
 
 #include "ebr/ebr.h"
 #include "obs/metrics.h"
+#include "util/annotations.h"
 #include "util/slab_pool.h"
 #include "vcas/camera.h"
 
@@ -109,7 +110,8 @@ class VersionedCAS {
   // a real-time-earlier write already replaced. (On x86 the downgrade would
   // be free but unjustifiable; on ARM it would be an actual reordering.)
   T vRead() {
-    VNode* head = vhead_.load(std::memory_order_seq_cst);
+    VNode* head =
+        vhead_.load(std::memory_order_seq_cst) VCAS_ORD("vcas.head.read");
     initTS(head);
     return head->val;
   }
@@ -118,7 +120,8 @@ class VersionedCAS {
   // identity for install_over's pointer-compare protocol (store-layer batch
   // helping); the node stays readable while the caller is EBR-pinned.
   VNode* vReadNode() {
-    VNode* head = vhead_.load(std::memory_order_seq_cst);
+    VNode* head =
+        vhead_.load(std::memory_order_seq_cst) VCAS_ORD("vcas.head.read");
     initTS(head);
     return head;
   }
@@ -136,7 +139,8 @@ class VersionedCAS {
   VNode* install_over(VNode* expected, const T& new_v) {
     VNode* node = make_node(new_v, expected);
     VNode* e = expected;
-    if (vhead_.compare_exchange_strong(e, node, std::memory_order_seq_cst)) {
+    if (vhead_.compare_exchange_strong(e, node, std::memory_order_seq_cst)
+            VCAS_ORD("vcas.head.install")) {
       initTS(node);
       return node;
     }
@@ -152,13 +156,15 @@ class VersionedCAS {
   // Algorithm 1, lines 40-52. O(1); lock-free (a failed CAS means another
   // vCAS succeeded).
   bool vCAS(T old_v, T new_v) {
-    VNode* head = vhead_.load(std::memory_order_seq_cst);
+    VNode* head =
+        vhead_.load(std::memory_order_seq_cst) VCAS_ORD("vcas.head.read");
     initTS(head);
     if (head->val != old_v) return false;
     if (new_v == old_v) return true;
     VNode* new_node = make_node(std::move(new_v), head);
     if (vhead_.compare_exchange_strong(head, new_node,
-                                       std::memory_order_seq_cst)) {
+                                       std::memory_order_seq_cst)
+            VCAS_ORD("vcas.head.install")) {
       initTS(new_node);
       return true;
     }
@@ -182,7 +188,8 @@ class VersionedCAS {
   // to observe fields published by the install/stamp releases of nodes the
   // head load already anchored.
   T readSnapshot(Timestamp ts) {
-    VNode* node = vhead_.load(std::memory_order_seq_cst);
+    VNode* node =
+        vhead_.load(std::memory_order_seq_cst) VCAS_ORD("vcas.head.read");
     initTS(node);
     while (node->ts.load(std::memory_order_acquire) > ts) {
       node = node->nextv.load(std::memory_order_acquire);
@@ -216,7 +223,8 @@ class VersionedCAS {
   // try_coalesce_below) stays readable while the caller is EBR-pinned.
   template <typename Pred>
   VNode* readSnapshotNodeWhere(Timestamp ts, Pred&& visible) {
-    VNode* node = vhead_.load(std::memory_order_seq_cst);
+    VNode* node =
+        vhead_.load(std::memory_order_seq_cst) VCAS_ORD("vcas.head.read");
     initTS(node);
     while (node->ts.load(std::memory_order_acquire) > ts ||
            !visible(static_cast<const T&>(node->val))) {
@@ -419,7 +427,8 @@ class VersionedCAS {
   // Caller holds an ebr::Guard. Returns versions unlinked.
   template <typename Pred>
   std::size_t try_unlink_head_run(Pred&& dead) {
-    VNode* head = vhead_.load(std::memory_order_seq_cst);
+    VNode* head =
+        vhead_.load(std::memory_order_seq_cst) VCAS_ORD("vcas.head.read");
     if (!dead(static_cast<const T&>(head->val))) return 0;
     bool expected = false;
     if (!trimming_.compare_exchange_strong(expected, true,
@@ -442,7 +451,8 @@ class VersionedCAS {
       assert(cur->ts.load(std::memory_order_acquire) != kTBD &&
              "non-head version left unstamped");
       if (vhead_.compare_exchange_strong(fresh, cur,
-                                         std::memory_order_seq_cst)) {
+                                         std::memory_order_seq_cst)
+              VCAS_ORD("vcas.unlink.head")) {
         retire_run(run_nodes, n);
         unlinked = n;
       }
@@ -513,7 +523,8 @@ class VersionedCAS {
     }
     std::size_t detached = 0;
     if (node != nullptr) {
-      VNode* old = node->nextv.exchange(nullptr, std::memory_order_acq_rel);
+      VNode* old = node->nextv.exchange(nullptr, std::memory_order_acq_rel)
+          VCAS_ORD("vcas.trim.detach");
       // Count the dead run, then retire it as ONE limbo entry: the suffix
       // keeps its internal links (in-flight pinned walkers may still be
       // inside it and walk through to its end, the initial version), so a
@@ -633,7 +644,8 @@ class VersionedCAS {
       Timestamp cur = camera_->current();
       Timestamp expected = kTBD;
       node->ts.compare_exchange_strong(expected, cur,
-                                       std::memory_order_seq_cst);
+                                       std::memory_order_seq_cst)
+          VCAS_ORD("vcas.stamp");
     }
   }
 

@@ -19,6 +19,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/annotations.h"
 #include "vcas/camera.h"
 
 namespace vcas {
@@ -82,7 +83,8 @@ class VersionedPtr {
 
   // Figure 9 OptvRead. O(1).
   Node* vRead() {
-    Node* head = head_.load(std::memory_order_seq_cst);
+    Node* head =
+        head_.load(std::memory_order_seq_cst) VCAS_ORD("vptr.head.read");
     if (head != nullptr) initTS(head);
     return head;
   }
@@ -102,7 +104,8 @@ class VersionedPtr {
   // private failed node for a different target must reset_version_fields()
   // first.
   bool vCAS(Node* old_v, Node* new_v) {
-    Node* head = head_.load(std::memory_order_seq_cst);
+    Node* head =
+        head_.load(std::memory_order_seq_cst) VCAS_ORD("vptr.head.read");
     if (head != nullptr) initTS(head);
     if (head != old_v) return false;
     if (new_v == old_v) return true;
@@ -112,11 +115,13 @@ class VersionedPtr {
       new_v->vcas_nextv.store(head, std::memory_order_relaxed);
     }
     if (head_.compare_exchange_strong(head, new_v,
-                                      std::memory_order_seq_cst)) {
+                                      std::memory_order_seq_cst)
+            VCAS_ORD("vptr.head.install")) {
       if (new_v != nullptr) initTS(new_v);
       return true;
     }
-    Node* cur = head_.load(std::memory_order_seq_cst);
+    Node* cur =
+        head_.load(std::memory_order_seq_cst) VCAS_ORD("vptr.head.read");
     if (cur != nullptr) initTS(cur);
     return false;
   }
@@ -124,7 +129,8 @@ class VersionedPtr {
   // Figure 9 OptreadSnapshot. Wait-free; walk length = #successful vCASes
   // on this object stamped after ts.
   Node* readSnapshot(Timestamp ts) {
-    Node* node = head_.load(std::memory_order_seq_cst);
+    Node* node =
+        head_.load(std::memory_order_seq_cst) VCAS_ORD("vptr.head.read");
     if (node != nullptr) initTS(node);
     while (node != nullptr &&
            node->vcas_ts.load(std::memory_order_acquire) > ts) {
@@ -155,7 +161,8 @@ class VersionedPtr {
   static void init_nextv(Node* n) {
     Node* expected = detail::invalid_nextv<Node>();
     n->vcas_nextv.compare_exchange_strong(expected, nullptr,
-                                          std::memory_order_seq_cst);
+                                          std::memory_order_seq_cst)
+        VCAS_ORD("vptr.init-nextv");
   }
 
   void initTS(Node* n) {
@@ -163,7 +170,8 @@ class VersionedPtr {
       Timestamp cur = camera_->current();
       Timestamp expected = kTBD;
       n->vcas_ts.compare_exchange_strong(expected, cur,
-                                         std::memory_order_seq_cst);
+                                         std::memory_order_seq_cst)
+          VCAS_ORD("vptr.stamp");
     }
   }
 

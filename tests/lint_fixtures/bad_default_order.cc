@@ -1,0 +1,14 @@
+// expect-lint: explicit-order
+// lint-mode: standalone
+//
+// A defaulted atomic method call is an implicit seq_cst — the whole point
+// of the contract is that seq_cst never happens by accident.
+#include <atomic>
+
+namespace fixture {
+
+inline bool peek(std::atomic<bool>& flag) {
+  return flag.load();  // no std::memory_order argument
+}
+
+}  // namespace fixture

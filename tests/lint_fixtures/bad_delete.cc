@@ -1,0 +1,24 @@
+// expect-lint: unwhitelisted-delete stale-delete-whitelist
+// lint-mode: manifest
+//
+// Two reclamation-discipline failures:
+//   `delete node` — a raw delete with no whitelist entry at all;
+//   `delete audited` — whitelisted, but with count = 2 while the tree has
+//   one occurrence, so the whitelist is stale and must be re-audited.
+// Also carries the one CORRECTLY tagged strong site in the fixture set
+// ("fix.tagged" lists this file), pinning the positive resolution path.
+#include <atomic>
+
+namespace fixture {
+
+struct Node {
+  int v;
+};
+
+inline void drop(Node* node, Node* audited, std::atomic<int>& epoch) {
+  epoch.store(1, std::memory_order_seq_cst) VCAS_ORD("fix.tagged");
+  delete node;
+  delete audited;
+}
+
+}  // namespace fixture

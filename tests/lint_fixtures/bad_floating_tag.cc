@@ -1,0 +1,14 @@
+// expect-lint: ord-without-strong-site
+// lint-mode: standalone
+//
+// A VCAS_ORD annotation in a statement with no seq_cst/acq_rel/fence token
+// is a stale claim — the site it used to justify has been weakened or moved.
+namespace fixture {
+
+inline int stale() {
+  int x = 0;
+  VCAS_ORD("fix.floating");
+  return x;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// expect-lint: atomic-implicit-read
+// lint-mode: standalone
+//
+// Comparing a declared atomic without .load() is an implicit seq_cst read.
+#include <atomic>
+
+namespace fixture {
+
+struct Gate {
+  std::atomic<bool> done_{false};
+
+  bool closed() const {
+    return done_ == true;  // implicit-conversion read
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// expect-lint: protected-new
+// lint-mode: manifest
+//
+// Naked `new VNode` outside the sanctioned factory. VNode is EBR-retired
+// and pool-recycled; allocating it ad hoc bypasses the pool accounting and
+// invites a matching ad-hoc delete that breaks the grace-period contract.
+namespace fixture {
+
+struct VNode {
+  int value;
+  VNode* next;
+  explicit VNode(int v) : value(v), next(nullptr) {}
+};
+
+inline VNode* make(int v) {
+  return new VNode(v);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// expect-lint: ord-tag-not-literal
+// lint-mode: standalone
+//
+// VCAS_ORD must take a string literal so the audit is greppable and the
+// manifest cross-check can resolve it statically.
+namespace fixture {
+
+constexpr const char* kTag = "fix.indirect";
+
+inline void annotate() {
+  VCAS_ORD(kTag);
+}
+
+}  // namespace fixture

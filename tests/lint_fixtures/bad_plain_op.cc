@@ -1,0 +1,17 @@
+// expect-lint: atomic-plain-op
+// lint-mode: standalone
+//
+// ++ on a declared atomic is an implicit seq_cst RMW.
+#include <atomic>
+
+namespace fixture {
+
+struct Counter {
+  std::atomic<int> hits_{0};
+
+  void bump() {
+    hits_++;  // implicit fetch_add(1, seq_cst)
+  }
+};
+
+}  // namespace fixture

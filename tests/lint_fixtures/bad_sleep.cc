@@ -1,0 +1,15 @@
+// expect-lint: banned-sleep
+// lint-mode: standalone
+//
+// Sleeping in library code hides progress bugs (a helping protocol that
+// needs a sleep to pass is broken) and wrecks tail latency.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+inline void backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// expect-lint: unknown-ord-tag
+// lint-mode: manifest
+//
+// A tagged strong site whose tag has no entry in memory_order_audit.toml —
+// an annotation is only a proof if the manifest backs it.
+#include <atomic>
+
+namespace fixture {
+
+inline void publish(std::atomic<int>& slot) {
+  slot.store(1, std::memory_order_seq_cst) VCAS_ORD("fix.never.registered");
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// expect-lint: untagged-strong-site
+// lint-mode: standalone
+//
+// A seq_cst site with no VCAS_ORD("tag") — strength above acq/rel must be
+// justified against the audit manifest.
+#include <atomic>
+
+namespace fixture {
+
+inline void publish(std::atomic<int>& slot) {
+  slot.store(1, std::memory_order_seq_cst);
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// expect-lint: banned-volatile
+// lint-mode: standalone
+//
+// volatile is not a concurrency primitive; it neither orders nor
+// atomicizes anything in the C++ memory model.
+namespace fixture {
+
+volatile int g_spin_flag = 0;
+
+}  // namespace fixture

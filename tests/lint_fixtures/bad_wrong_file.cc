@@ -1,0 +1,15 @@
+// expect-lint: ord-tag-wrong-file
+// lint-mode: manifest
+//
+// Uses a registered tag from a file its manifest entry does not list.
+// (The manifest side of the same mismatch surfaces as manifest-file-unused
+// against memory_order_audit.toml — the driver asserts that too.)
+#include <atomic>
+
+namespace fixture {
+
+inline void publish(std::atomic<int>& slot) {
+  slot.store(1, std::memory_order_seq_cst) VCAS_ORD("fix.elsewhere");
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// expect-lint: clean
+// lint-mode: standalone
+//
+// Exercises every shape the linter inspects, written correctly: explicit
+// orders everywhere, .load() reads, fetch_add instead of ++. Guards against
+// a linter regression that starts flagging conforming code.
+#include <atomic>
+
+namespace fixture {
+
+struct Clean {
+  std::atomic<int> hits_{0};
+  std::atomic<bool> done_{false};
+
+  void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  bool closed() const { return done_.load(std::memory_order_acquire); }
+  void close() { done_.store(true, std::memory_order_release); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Negative-fixture harness for tools/vcas_lint.py (ctest: lint_fixtures).
+
+Each bad_*.cc here violates exactly one (occasionally two) lint rule(s) and
+declares what it expects in its header:
+
+    // expect-lint: rule-id [rule-id...]     ("clean" = expect nothing)
+    // lint-mode: standalone | manifest
+
+Standalone fixtures are linted one at a time with --no-manifest-sync: the
+per-file rules must fire with EXACTLY the expected rule set — no more (a
+fixture tripping an unrelated rule is a harness bug), no less (the rule
+regressed).
+
+Manifest fixtures are linted together in ONE invocation against the
+fixture-local config/ directory, because the rules they exercise
+(unknown-ord-tag, ord-tag-wrong-file, unwhitelisted-delete, protected-new,
+stale-delete-whitelist, orphan-manifest-tag, manifest-file-unused) only run
+with the two-way manifest sync enabled, and the sync checks are whole-tree:
+linting the fixtures separately would drown each run in orphan noise from
+the other fixtures' tags. CONFIG_EXPECT below lists the diagnostics the
+sync pass must raise against the config files themselves.
+
+Exit 0 iff every fixture produced exactly its expected rule set and the
+linter exited nonzero whenever it reported diagnostics.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "vcas_lint.py")
+CONFIG = os.path.join(HERE, "config")
+
+# Diagnostics the manifest-mode run must attribute to the CONFIG files
+# (not to any fixture .cc): one orphan tag, one files-list mismatch, one
+# dead whitelist entry. Kept in lockstep with config/*.toml.
+CONFIG_EXPECT = {
+    "memory_order_audit.toml": {"orphan-manifest-tag", "manifest-file-unused"},
+    "reclamation.toml": {"stale-delete-whitelist"},
+}
+
+DIAG_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): error: "
+                     r"\[(?P<rule>[a-z-]+)\] ")
+
+
+def read_header(path):
+    expect, mode = None, None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = re.match(r"//\s*expect-lint:\s*(.+)", line)
+            if m:
+                toks = m.group(1).replace(",", " ").split()
+                expect = set() if toks == ["clean"] else set(toks)
+            m = re.match(r"//\s*lint-mode:\s*(\w+)", line)
+            if m:
+                mode = m.group(1)
+            if expect is not None and mode is not None:
+                break
+    if expect is None or mode not in {"standalone", "manifest"}:
+        raise SystemExit(f"{path}: missing or bad expect-lint/lint-mode header")
+    return expect, mode
+
+
+def run_lint(argv):
+    proc = subprocess.run([sys.executable, LINT] + argv, cwd=REPO,
+                          capture_output=True, text=True)
+    by_file = {}
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            by_file.setdefault(os.path.basename(m.group("file")),
+                               set()).add(m.group("rule"))
+    return proc.returncode, by_file, proc.stdout + proc.stderr
+
+
+def main():
+    fixtures = sorted(f for f in os.listdir(HERE) if f.endswith(".cc"))
+    if not fixtures:
+        raise SystemExit("no fixtures found")
+    failures = []
+
+    def check(name, got, want):
+        if got != want:
+            failures.append(f"{name}: expected rules {sorted(want)}, "
+                            f"got {sorted(got)}")
+
+    manifest_fixtures = []
+    for fx in fixtures:
+        expect, mode = read_header(os.path.join(HERE, fx))
+        if mode == "manifest":
+            manifest_fixtures.append((fx, expect))
+            continue
+        rel = os.path.join("tests", "lint_fixtures", fx)
+        code, by_file, raw = run_lint(["--no-manifest-sync", rel])
+        check(fx, by_file.get(fx, set()), expect)
+        if expect and code == 0:
+            failures.append(f"{fx}: diagnostics expected but exit code was 0")
+        if not expect and code != 0:
+            failures.append(f"{fx}: expected clean but lint failed:\n{raw}")
+
+    rels = [os.path.join("tests", "lint_fixtures", fx)
+            for fx, _ in manifest_fixtures]
+    code, by_file, raw = run_lint(["--config-dir", CONFIG] + rels)
+    for fx, expect in manifest_fixtures:
+        check(f"{fx} (manifest mode)", by_file.get(fx, set()), expect)
+    for cfg_file, expect in CONFIG_EXPECT.items():
+        check(f"config {cfg_file}", by_file.get(cfg_file, set()), expect)
+    if code == 0:
+        failures.append("manifest-mode run: diagnostics expected but exit "
+                        "code was 0")
+
+    if failures:
+        print("lint fixture harness FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    n_rules = len({r for fx in fixtures
+                   for r in read_header(os.path.join(HERE, fx))[0]}
+                  | {r for s in CONFIG_EXPECT.values() for r in s})
+    print(f"lint fixtures OK: {len(fixtures)} fixtures, "
+          f"{n_rules} rules exercised")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

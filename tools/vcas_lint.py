@@ -1,0 +1,749 @@
+#!/usr/bin/env python3
+"""vcas_lint — machine-checked concurrency contract for src/.
+
+Stdlib-only (like trace_export.py). Lexes C++ well enough to reason about
+tokens (comments/strings/preprocessor stripped or marked) and enforces the
+repo's concurrency contract:
+
+  explicit-order         every atomic load/store/exchange/fetch_*/CAS names an
+                         explicit std::memory_order argument
+  atomic-plain-op        no ++/--/compound-assign/plain = on declared atomics
+  atomic-implicit-read   no implicit-conversion reads of declared atomics in
+                         comparisons / boolean contexts (use .load(order))
+  untagged-strong-site   every seq_cst / acq_rel / atomic_thread_fence site
+                         carries VCAS_ORD("tag") in the same statement
+  unknown-ord-tag        VCAS_ORD tag missing from memory_order_audit.toml
+  ord-tag-wrong-file     tag used in a file its manifest entry does not list
+  ord-tag-not-literal    VCAS_ORD argument is not a string literal
+  ord-without-strong-site VCAS_ORD annotation with no strong site around it
+  orphan-manifest-tag    manifest tag never used in the linted tree
+  manifest-file-unused   manifest entry lists a file that never uses the tag
+  protected-new          new of an EBR-retired/pooled type outside whitelist
+  unwhitelisted-delete   raw delete statement not in the reclamation whitelist
+  stale-delete-whitelist whitelist entry whose (file, stmt, count) no longer
+                         matches the tree
+  banned-volatile        volatile outside `asm volatile` / whitelist
+  banned-sleep           sleeping primitives in src/ hot paths
+
+Suppress a diagnostic with `// vcas-lint: allow(rule-id)` on the same line or
+on a comment line directly above.
+
+Usage:
+  tools/vcas_lint.py [options] PATH...
+  tools/vcas_lint.py --emit-doc docs/memory_model.md src
+  tools/vcas_lint.py --check-doc docs/memory_model.md src
+
+Options:
+  --config-dir DIR      config root (default: tools/lint next to this script)
+  --no-manifest-sync    skip the two-way manifest/whitelist completeness
+                        checks (used by the negative-fixture harness, which
+                        lints single files out of tree)
+  --list-strong         report every strong site and its tags, then exit 0
+"""
+
+import argparse
+import os
+import sys
+import tomllib
+
+# --- lexer -------------------------------------------------------------------
+
+MULTI_PUNCT = sorted(
+    ["<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+     "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+     "&=", "|=", "^=", "##"],
+    key=len, reverse=True)
+
+ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+ID_CONT = ID_START | set("0123456789")
+
+
+class Tok:
+    __slots__ = ("kind", "val", "line", "pp")
+
+    def __init__(self, kind, val, line, pp):
+        self.kind = kind    # 'id' | 'num' | 'str' | 'char' | 'punct'
+        self.val = val
+        self.line = line
+        self.pp = pp        # True if inside a preprocessor directive
+
+    def __repr__(self):
+        return f"{self.kind}:{self.val!r}@{self.line}"
+
+
+def lex(text):
+    """Returns (tokens, comments) where comments maps line -> comment text."""
+    toks = []
+    comments = {}
+    i, n, line = 0, len(text), 1
+    in_pp = False
+    line_has_token = False
+
+    def add_comment(ln, s):
+        comments[ln] = comments.get(ln, "") + s
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            if in_pp and (i == 0 or text[i - 1] != "\\"):
+                in_pp = False
+            line += 1
+            line_has_token = False
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            add_comment(line, text[i:j])
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            seg = text[i:j]
+            for k, part in enumerate(seg.split("\n")):
+                add_comment(line + k, part)
+            line += seg.count("\n")
+            i = j
+            continue
+        if c == "#" and not line_has_token:
+            in_pp = True
+            toks.append(Tok("punct", "#", line, True))
+            line_has_token = True
+            i += 1
+            continue
+        # Raw string literal: R"delim( ... )delim"
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = text.find("(", i + 2)
+            if j > 0:
+                delim = text[i + 2:j]
+                close = ")" + delim + '"'
+                k = text.find(close, j + 1)
+                k = n if k < 0 else k + len(close)
+                seg = text[i:k]
+                toks.append(Tok("str", seg, line, in_pp))
+                line += seg.count("\n")
+                line_has_token = True
+                i = k
+                continue
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            toks.append(Tok("str" if c == '"' else "char", text[i:j], line,
+                            in_pp))
+            line_has_token = True
+            i = j
+            continue
+        if c in ID_START:
+            j = i + 1
+            while j < n and text[j] in ID_CONT:
+                j += 1
+            toks.append(Tok("id", text[i:j], line, in_pp))
+            line_has_token = True
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j] in ID_CONT or text[j] in ".'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            toks.append(Tok("num", text[i:j], line, in_pp))
+            line_has_token = True
+            i = j
+            continue
+        for m in MULTI_PUNCT:
+            if text.startswith(m, i):
+                toks.append(Tok("punct", m, line, in_pp))
+                i += len(m)
+                break
+        else:
+            toks.append(Tok("punct", c, line, in_pp))
+            i += 1
+        line_has_token = True
+    return toks, comments
+
+
+def join_tokens(toks):
+    """Pretty-print a token slice as compact C++ (whitelist stmt keys)."""
+    out = []
+    for t in toks:
+        if out and (out[-1][-1] in ID_CONT and t.val[0] in ID_CONT):
+            out.append(" ")
+        out.append(t.val)
+        if t.val == ",":
+            out.append(" ")
+    return "".join(out).strip()
+
+
+# --- per-file analysis -------------------------------------------------------
+
+ATOMIC_METHODS = {
+    "load", "store", "exchange", "compare_exchange_weak",
+    "compare_exchange_strong", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "test_and_set",
+}
+STRONG_ORDERS = {"memory_order_seq_cst", "memory_order_acq_rel"}
+COMPOUND_ASSIGN = {"+=", "-=", "&=", "|=", "^=", "*=", "/=", "%=", "<<=",
+                   ">>="}
+SLEEP_IDS = {"sleep_for", "sleep_until", "usleep", "nanosleep", "sleep"}
+BOUNDARY = {";", "{", "}"}
+
+
+class FileReport:
+    def __init__(self, path):
+        self.path = path
+        self.diags = []          # (line, rule, msg)
+        self.ord_tags = []       # (tag, line)
+        self.deletes = {}        # stmt text -> [lines]
+        self.news = {}           # (type, stmt) -> [lines]
+        self.strong_sites = []   # (line, kind, tags)
+
+
+def match_paren_span(toks, i):
+    """toks[i] == '('; returns index one past the matching ')'."""
+    depth = 0
+    j = i
+    while j < len(toks):
+        v = toks[j].val
+        if toks[j].kind == "punct":
+            if v == "(":
+                depth += 1
+            elif v == ")":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+        j += 1
+    return len(toks)
+
+
+def collect_atomic_names(toks):
+    """Identifiers declared in this file as std::atomic<...> / atomic_flag.
+
+    Returns {name: set(decl token indices)} so declaration sites themselves
+    are exempt from the usage rules.
+    """
+    names = {}
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "id" and (t.val == "atomic" or t.val == "atomic_flag"
+                               or t.val.startswith("atomic_")):
+            j = i + 1
+            if t.val == "atomic":
+                if j < len(toks) and toks[j].val == "<":
+                    depth = 0
+                    while j < len(toks):
+                        if toks[j].val == "<":
+                            depth += 1
+                        elif toks[j].val == ">":
+                            depth -= 1
+                            if depth == 0:
+                                j += 1
+                                break
+                        elif toks[j].val == ">>":
+                            depth -= 2
+                            if depth <= 0:
+                                j += 1
+                                break
+                        j += 1
+                else:
+                    i += 1
+                    continue
+            # declarator list: id [, id]* terminated by ; = { ( [
+            while j < len(toks) and toks[j].kind == "id":
+                name_idx = j
+                names.setdefault(toks[j].val, set()).add(name_idx)
+                j += 1
+                # skip array extents / initializers up to a comma
+                depth = 0
+                while j < len(toks):
+                    v = toks[j].val
+                    if v in "([{" or v == "<":
+                        depth += 1
+                    elif v in ")]}" or v == ">":
+                        depth -= 1
+                    elif depth == 0 and v in {",", ";"}:
+                        break
+                    elif depth < 0:
+                        break
+                    j += 1
+                if j < len(toks) and toks[j].val == ",":
+                    j += 1
+                else:
+                    break
+            i = j
+        else:
+            i += 1
+    return names
+
+
+def stmt_window(toks, i):
+    """[lo, hi) token span of the statement-ish region around index i."""
+    lo = i
+    while lo > 0:
+        t = toks[lo - 1]
+        if t.kind == "punct" and t.val in BOUNDARY and not t.pp:
+            break
+        lo -= 1
+    hi = i
+    while hi < len(toks):
+        t = toks[hi]
+        if t.kind == "punct" and t.val in BOUNDARY and not t.pp:
+            hi += 1
+            break
+        hi += 1
+    return lo, hi
+
+
+def analyze_file(path, rel, text, cfg):
+    toks, comments = lex(text)
+    rep = FileReport(rel)
+    allowed = cfg.get("_allow_lines", {})  # filled below
+
+    def allow(line, rule):
+        for ln in (line, line - 1):
+            c = comments.get(ln, "")
+            if "vcas-lint:" in c and f"allow({rule})" in c.replace(" ", ""):
+                # only a standalone comment line may vouch for the next line
+                if ln == line or not line_has_code(ln):
+                    return True
+        return False
+
+    code_lines = {t.line for t in toks}
+
+    def line_has_code(ln):
+        return ln in code_lines
+
+    def diag(line, rule, msg):
+        if not allow(line, rule):
+            rep.diags.append((line, rule, msg))
+
+    # ---- VCAS_ORD annotations ----
+    ord_at = {}  # token index -> tag
+    for i, t in enumerate(toks):
+        if t.kind == "id" and t.val == "VCAS_ORD" and not t.pp:
+            if (i + 2 < len(toks) and toks[i + 1].val == "("
+                    and toks[i + 2].kind == "str"):
+                tag = toks[i + 2].val.strip('"')
+                ord_at[i] = tag
+                rep.ord_tags.append((tag, t.line))
+            else:
+                diag(t.line, "ord-tag-not-literal",
+                     "VCAS_ORD argument must be a string literal tag")
+
+    # ---- strong sites need a tag in the same statement ----
+    strong_idx = []
+    for i, t in enumerate(toks):
+        if t.pp or t.kind != "id":
+            continue
+        if t.val in STRONG_ORDERS or t.val == "atomic_thread_fence":
+            strong_idx.append(i)
+    covered_ord = set()
+    seen_windows = []
+    for i in strong_idx:
+        lo, hi = stmt_window(toks, i)
+        tags = [ord_at[j] for j in range(lo, hi) if j in ord_at]
+        for j in range(lo, hi):
+            if j in ord_at:
+                covered_ord.add(j)
+        kind = toks[i].val
+        rep.strong_sites.append((toks[i].line, kind, tags))
+        if (lo, hi) in seen_windows:
+            continue  # one diagnostic per statement, not per order token
+        seen_windows.append((lo, hi))
+        if not tags:
+            diag(toks[i].line, "untagged-strong-site",
+                 f"{kind} site has no VCAS_ORD(\"tag\") in its statement")
+        else:
+            manifest = cfg["manifest"]
+            for tag in tags:
+                if tag not in manifest:
+                    diag(toks[i].line, "unknown-ord-tag",
+                         f"tag \"{tag}\" not in memory_order_audit.toml")
+                elif rel not in manifest[tag].get("files", []):
+                    diag(toks[i].line, "ord-tag-wrong-file",
+                         f"tag \"{tag}\" does not list {rel} in its files")
+    for j, tag in ord_at.items():
+        if j not in covered_ord:
+            diag(toks[j].line, "ord-without-strong-site",
+                 f"VCAS_ORD(\"{tag}\") has no seq_cst/acq_rel/fence site in "
+                 "its statement")
+
+    # ---- explicit memory order on every atomic method call ----
+    for i, t in enumerate(toks):
+        if t.pp or t.kind != "id" or t.val not in ATOMIC_METHODS:
+            continue
+        if i == 0 or toks[i - 1].val not in {".", "->"}:
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].val != "(":
+            continue
+        end = match_paren_span(toks, i + 1)
+        has_order = any(
+            toks[j].kind == "id" and toks[j].val.startswith("memory_order")
+            for j in range(i + 1, end))
+        if not has_order:
+            diag(t.line, "explicit-order",
+                 f".{t.val}(...) must name an explicit std::memory_order")
+
+    # ---- operator / implicit-conversion use of declared atomics ----
+    #
+    # Lexer-level, so scope resolution is a naming-convention bargain:
+    # bare identifiers are checked only when they follow the `name_` class-
+    # member convention (bare `ts` / `cell` locals routinely shadow atomic
+    # struct members of the same name); unqualified struct members are
+    # covered at their qualified `obj->name` access sites instead.
+    atomics = collect_atomic_names(toks)
+    # Names that ALSO have a plausible plain declaration in this file
+    # (mirror/snapshot structs reuse their atomic counterpart's field names
+    # by design); qualified accesses to those are ambiguous, so they are
+    # exempt. Underapproximates, never false-positives.
+    plain_decls = set()
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.val not in atomics or t.pp:
+            continue
+        if i in atomics[t.val]:
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        if (prev and (prev.kind == "id" or prev.val in {"*", "&", ">"})
+                and nxt and nxt.val in {";", "=", "{", "[", ",", ")"}):
+            plain_decls.add(t.val)
+    for name, decl_idxs in atomics.items():
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.val != name or t.pp or i in decl_idxs:
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            qualified = prev is not None and prev.val in {".", "->"}
+            if prev and prev.val == "::":
+                continue
+            if not qualified and not name.endswith("_"):
+                continue  # indistinguishable from a shadowing local
+            if qualified and name in plain_decls:
+                continue  # a plain field of the same name exists in-file
+            if nxt and nxt.val in {".", "->", "[", "("}:
+                continue  # explicit method call / element access / ctor-init
+            if (nxt and nxt.val in {"++", "--"}) or \
+                    (not qualified and prev and prev.val in {"++", "--"}):
+                diag(t.line, "atomic-plain-op",
+                     f"++/-- on atomic '{name}' is an implicit seq_cst RMW; "
+                     "use fetch_add/fetch_sub with an explicit order")
+            elif nxt and nxt.val in COMPOUND_ASSIGN:
+                diag(t.line, "atomic-plain-op",
+                     f"compound assignment on atomic '{name}'; use an "
+                     "explicit fetch_* with a named order")
+            elif nxt and nxt.val == "=":
+                diag(t.line, "atomic-plain-op",
+                     f"plain assignment to atomic '{name}' is an implicit "
+                     "seq_cst store; use .store(v, order)")
+            elif (nxt and nxt.val in {"==", "!=", "&&", "||", "?"}) or \
+                 (not qualified and prev and prev.val == "!"):
+                diag(t.line, "atomic-implicit-read",
+                     f"implicit-conversion read of atomic '{name}'; use "
+                     ".load(order)")
+
+    # ---- reclamation: new / delete discipline ----
+    protected = set(cfg["reclaim"].get("protected_types", []))
+    for i, t in enumerate(toks):
+        if t.pp or t.kind != "id":
+            continue
+        if t.val == "delete":
+            if i > 0 and toks[i - 1].val == "=":
+                continue  # deleted special member
+            lo = i
+            hi = i
+            while hi < len(toks) and not (toks[hi].kind == "punct"
+                                          and toks[hi].val in BOUNDARY):
+                hi += 1
+            stmt = join_tokens(toks[lo:hi])
+            rep.deletes.setdefault(stmt, []).append(t.line)
+        elif t.val == "new":
+            j = i + 1
+            # type name: id (:: id)* < ... >?
+            ty = None
+            while j < len(toks) and toks[j].kind == "id":
+                ty = toks[j].val
+                j += 1
+                if j < len(toks) and toks[j].val == "::":
+                    j += 1
+                else:
+                    break
+            if ty is None:
+                continue
+            hi = j
+            if hi < len(toks) and toks[hi].val == "<":
+                depth = 0
+                while hi < len(toks):
+                    if toks[hi].val == "<":
+                        depth += 1
+                    elif toks[hi].val in {">", ">>"}:
+                        depth -= 1 if toks[hi].val == ">" else 2
+                        if depth <= 0:
+                            hi += 1
+                            break
+                    hi += 1
+            if hi < len(toks) and toks[hi].val in {"(", "{"}:
+                opener, closer = toks[hi].val, {"(": ")", "{": "}"}[
+                    toks[hi].val]
+                depth = 0
+                while hi < len(toks):
+                    if toks[hi].val == opener:
+                        depth += 1
+                    elif toks[hi].val == closer:
+                        depth -= 1
+                        if depth == 0:
+                            hi += 1
+                            break
+                    hi += 1
+            if ty in protected:
+                stmt = join_tokens(toks[i:hi])
+                rep.news.setdefault((ty, stmt), []).append(t.line)
+
+    # ---- volatile / sleeps ----
+    vol_ok = set(cfg["reclaim"].get("volatile_allowed_files", []))
+    sleep_ok = set(cfg["reclaim"].get("sleep_allowed_files", []))
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        if t.val in {"volatile", "__volatile__"} and rel not in vol_ok:
+            prev = toks[i - 1] if i > 0 else None
+            if prev and prev.val in {"asm", "__asm__", "__asm"}:
+                continue  # inline-asm clobber spelling, not a memory model
+            diag(t.line, "banned-volatile",
+                 "volatile is not a concurrency primitive; use std::atomic "
+                 "with an explicit order")
+        elif t.val in SLEEP_IDS and rel not in sleep_ok and not t.pp:
+            diag(t.line, "banned-sleep",
+                 f"{t.val} in src/ hot paths; block on a condition variable "
+                 "or yield in a bounded helping loop instead")
+
+    return rep
+
+
+# --- whole-tree checks -------------------------------------------------------
+
+def load_config(config_dir):
+    with open(os.path.join(config_dir, "memory_order_audit.toml"),
+              "rb") as f:
+        audit = tomllib.load(f)
+    with open(os.path.join(config_dir, "reclamation.toml"), "rb") as f:
+        reclaim = tomllib.load(f)
+    return {"manifest": audit.get("tags", {}), "reclaim": reclaim}
+
+
+def iter_source_files(paths):
+    exts = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+        else:
+            for root, dirs, files in os.walk(p):
+                dirs.sort()
+                for f in sorted(files):
+                    if os.path.splitext(f)[1] in exts:
+                        yield os.path.join(root, f)
+
+
+def relpath(p, repo_root):
+    rp = os.path.relpath(os.path.abspath(p), repo_root)
+    return rp.replace(os.sep, "/")
+
+
+def cross_checks(reports, cfg, diags):
+    manifest = cfg["manifest"]
+    # two-way tag resolution
+    used_by_tag = {}
+    for rep in reports:
+        for tag, _line in rep.ord_tags:
+            used_by_tag.setdefault(tag, set()).add(rep.path)
+    for tag, entry in manifest.items():
+        files = entry.get("files", [])
+        if tag not in used_by_tag:
+            diags.append(("memory_order_audit.toml", 0, "orphan-manifest-tag",
+                          f"tag \"{tag}\" is never used in the linted tree"))
+            continue
+        for f in files:
+            if f not in used_by_tag[tag]:
+                diags.append(("memory_order_audit.toml", 0,
+                              "manifest-file-unused",
+                              f"tag \"{tag}\" lists {f} but that file never "
+                              "uses it"))
+    # reclamation whitelist, exact two-way
+    wl = {}
+    for e in cfg["reclaim"].get("delete", []):
+        wl[(e["file"], e["stmt"])] = e
+    seen = {}
+    for rep in reports:
+        for stmt, lines in rep.deletes.items():
+            seen[(rep.path, stmt)] = lines
+    for (f, stmt), lines in sorted(seen.items()):
+        e = wl.get((f, stmt))
+        if e is None:
+            diags.append((f, lines[0], "unwhitelisted-delete",
+                          f"`{stmt}` not in reclamation.toml — every raw "
+                          "delete needs a whitelist entry with a reason "
+                          "(EBR-visible nodes must die via retire())"))
+        elif e.get("count", 1) != len(lines):
+            diags.append((f, lines[0], "stale-delete-whitelist",
+                          f"`{stmt}` occurs {len(lines)}x but whitelist says "
+                          f"{e.get('count', 1)}"))
+    for (f, stmt), e in wl.items():
+        if (f, stmt) not in seen:
+            diags.append(("reclamation.toml", 0, "stale-delete-whitelist",
+                          f"entry for {f}: `{stmt}` matches nothing"))
+    # protected-type new sites
+    nwl = {}
+    for e in cfg["reclaim"].get("new", []):
+        nwl[(e["file"], e["stmt"])] = e
+    nseen = {}
+    for rep in reports:
+        for (ty, stmt), lines in rep.news.items():
+            nseen[(rep.path, stmt)] = (ty, lines)
+    for (f, stmt), (ty, lines) in sorted(nseen.items()):
+        e = nwl.get((f, stmt))
+        if e is None:
+            diags.append((f, lines[0], "protected-new",
+                          f"`{stmt}`: {ty} is EBR-retired/pooled; allocate "
+                          "through the sanctioned factory or whitelist with "
+                          "a reason"))
+        elif e.get("count", 1) != len(lines):
+            diags.append((f, lines[0], "protected-new",
+                          f"`{stmt}` occurs {len(lines)}x but whitelist says "
+                          f"{e.get('count', 1)}"))
+    for (f, stmt), e in nwl.items():
+        if (f, stmt) not in nseen:
+            diags.append(("reclamation.toml", 0, "stale-delete-whitelist",
+                          f"new-entry for {f}: `{stmt}` matches nothing"))
+
+
+def per_file_checks(reports, cfg, diags, manifest_sync):
+    for rep in reports:
+        for line, rule, msg in rep.diags:
+            if not manifest_sync and rule in {"unknown-ord-tag",
+                                              "ord-tag-wrong-file"}:
+                continue
+            diags.append((rep.path, line, rule, msg))
+
+
+# --- doc generation ----------------------------------------------------------
+
+DOC_HEADER = """\
+# Memory-order audit
+
+<!-- GENERATED by tools/vcas_lint.py --emit-doc — do not hand-edit.
+     Regenerate with: python3 tools/vcas_lint.py --emit-doc docs/memory_model.md src -->
+
+The canonical record of every *strong* atomic site in `src/` — all
+`memory_order_seq_cst`, `memory_order_acq_rel`, and `atomic_thread_fence`
+uses — and the invariant each upholds. Every such site carries a
+`VCAS_ORD("tag")` annotation (`src/util/annotations.h`) naming an entry
+below; `tools/vcas_lint.py src` fails the build if a strong site is
+untagged, a tag is unknown, or an entry here goes unused (two-way sync).
+
+Relaxed and acquire/release sites are the default and are not tagged; the
+contract is that *strength above acq/rel must be justified in writing*.
+What "breaks if weakened" describes the concrete failure if the site were
+downgraded one level.
+
+"""
+
+
+def build_doc(reports, cfg):
+    manifest = cfg["manifest"]
+    counts = {}
+    for rep in reports:
+        for tag, _line in rep.ord_tags:
+            counts.setdefault(tag, {}).setdefault(rep.path, 0)
+            counts[tag][rep.path] += 1
+    strong_total = sum(len(r.strong_sites) for r in reports)
+    out = [DOC_HEADER]
+    out.append(f"**{strong_total} strong order tokens** across "
+               f"{sum(1 for r in reports if r.strong_sites)} files resolve "
+               f"to **{len(manifest)} audited invariants**.\n\n")
+    by_area = {}
+    for tag in sorted(manifest):
+        area = tag.split(".", 1)[0]
+        by_area.setdefault(area, []).append(tag)
+    for area in sorted(by_area):
+        out.append(f"## {area}\n\n")
+        for tag in by_area[area]:
+            e = manifest[tag]
+            out.append(f"### `{tag}`\n\n")
+            use = counts.get(tag, {})
+            for f in e.get("files", []):
+                out.append(f"- `{f}` — {use.get(f, 0)} annotation(s)\n")
+            out.append(f"\n**Invariant.** {e.get('invariant', '').strip()}\n\n")
+            out.append("**Breaks if weakened.** "
+                       f"{e.get('breaks_if_weakened', '').strip()}\n\n")
+    return "".join(out)
+
+
+# --- main --------------------------------------------------------------------
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="vcas_lint.py", add_help=True)
+    ap.add_argument("paths", nargs="+")
+    ap.add_argument("--config-dir", default=None)
+    ap.add_argument("--no-manifest-sync", action="store_true")
+    ap.add_argument("--list-strong", action="store_true")
+    ap.add_argument("--emit-doc", metavar="PATH")
+    ap.add_argument("--check-doc", metavar="PATH")
+    args = ap.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(script_dir)
+    config_dir = args.config_dir or os.path.join(script_dir, "lint")
+    cfg = load_config(config_dir)
+
+    reports = []
+    for p in iter_source_files(args.paths):
+        rel = relpath(p, repo_root)
+        with open(p, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        reports.append(analyze_file(p, rel, text, cfg))
+
+    if args.list_strong:
+        for rep in reports:
+            for line, kind, tags in rep.strong_sites:
+                print(f"{rep.path}:{line}: {kind} tags={tags}")
+        return 0
+
+    if args.emit_doc:
+        doc = build_doc(reports, cfg)
+        with open(args.emit_doc, "w", encoding="utf-8") as f:
+            f.write(doc)
+        print(f"wrote {args.emit_doc}")
+        return 0
+
+    diags = []
+    per_file_checks(reports, cfg, diags, not args.no_manifest_sync)
+    if not args.no_manifest_sync:
+        cross_checks(reports, cfg, diags)
+
+    if args.check_doc:
+        want = build_doc(reports, cfg)
+        try:
+            with open(args.check_doc, "r", encoding="utf-8") as f:
+                have = f.read()
+        except OSError:
+            have = ""
+        if want != have:
+            diags.append((args.check_doc, 0, "doc-out-of-sync",
+                          "regenerate with: python3 tools/vcas_lint.py "
+                          "--emit-doc docs/memory_model.md src"))
+
+    for f, line, rule, msg in sorted(diags):
+        print(f"{f}:{line}: error: [{rule}] {msg}")
+    if diags:
+        print(f"vcas_lint: {len(diags)} error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
