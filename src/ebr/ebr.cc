@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "inject/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/annotations.h"
@@ -66,6 +67,25 @@ struct ThreadState {
 std::atomic<std::uint64_t> g_epoch{0};
 Padded<ThreadState> g_threads[kMaxThreads];
 
+// Death declarations, one per slot: 0 = none, otherwise dead tenure
+// generation + 1 (see util/threading.h's tenure protocol). Written with
+// release by the dying thread AFTER its last limbo write, read with
+// acquire by reclaimers — that pairing is what publishes the dead thread's
+// plain-field state (limbo vectors, nesting) to whoever orphans it.
+Padded<std::atomic<std::uint64_t>> g_dead[kMaxThreads];
+
+// Stall blame: consecutive try_advance failures charged to one slot.
+// Heuristic telemetry (racy relaxed counters are fine): a real stalled
+// pin blames the same slot every scan until contained or resolved.
+std::atomic<int> g_blame_slot{-1};
+std::atomic<int> g_blame_count{0};
+std::atomic<int> g_stall_threshold{16};
+// Last value pushed into the ebr.stalled_slot gauge by THIS publisher
+// chain; publish_stalled's exchange-delta keeps the gauge's per-slot sum
+// equal to the newest published value even when publishers race.
+std::atomic<std::int64_t> g_published_stall{0};
+std::atomic<std::uint64_t> g_dead_reclaims{0};
+
 // Bags abandoned by exited threads; adopted under lock during scans. Not
 // epoch-sorted (threads die in any order), but the list stays short: every
 // scan frees all freeable sub-bags outright.
@@ -98,18 +118,110 @@ std::uint64_t min_reservation() {
   return min;
 }
 
+// Orphan slot `i`'s limbo and reset its per-thread EBR state so the next
+// tenant starts clean. Caller must have WON claim_tenure_end for the
+// slot's current tenure — that exclusivity (plus the dead-flag release/
+// acquire pairing for third-party reclaims) is what makes these plain-
+// field accesses race-free.
+void orphan_slot(int i) {
+  ThreadState& ts = g_threads[i].value;
+  if (!ts.limbo.empty()) {
+    util::MutexLock lock(g_orphan_mu);
+    for (SubBag& bag : ts.limbo) g_orphans.push_back(std::move(bag));
+    ts.limbo.clear();
+  }
+  ts.retire_count = 0;
+  ts.nesting = 0;
+  ts.reservation.store(kQuiescent, std::memory_order_release);
+}
+
+// Tenure-end race entry shared by the thread-exit hook and the dead-slot
+// reclaimer below: whoever wins cleans the slot and releases it; losers
+// must not touch it.
+void end_tenure(int slot, std::uint64_t gen) {
+  if (slot < 0) return;
+  if (!util::claim_tenure_end(slot, gen)) return;
+  orphan_slot(slot);
+  // Clear a death declaration from the tenure we just ended (the thread
+  // declared dead, then exited normally before any reclaimer acted), so
+  // the slot's next tenant starts without a stale flag.
+  std::uint64_t flag = gen + 1;
+  g_dead[slot].value.compare_exchange_strong(flag, 0,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed);
+  util::finish_tenure_end(slot);
+}
+
+// Reclaim the slot of a thread that declared itself dead: the tenure-
+// generation CAS is the safety argument — if the slot was already
+// released and recycled to a live tenant, the dead tenure's generation is
+// stale and the claim fails (we only clear the leftover flag).
+void reclaim_dead(int slot, std::uint64_t flag) {
+  const std::uint64_t gen = flag - 1;
+  if (util::claim_tenure_end(slot, gen)) {
+    orphan_slot(slot);
+    g_dead[slot].value.compare_exchange_strong(flag, 0,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed);
+    util::finish_tenure_end(slot);
+    g_dead_reclaims.fetch_add(1, std::memory_order_relaxed);
+    obs::m::ebr_dead_slot_reclaims.add();
+  } else {
+    g_dead[slot].value.compare_exchange_strong(flag, 0,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed);
+  }
+}
+
+// Mirror the blamed slot (+1; 0 = none) into the ebr.stalled_slot gauge.
+// Exchange-delta: each publisher adds (new - previous-published) to its
+// own gauge slot; the adds commute, the exchange chain linearizes, so the
+// gauge's sum always equals the newest published value.
+void publish_stalled(std::int64_t v) {
+  const std::int64_t prev =
+      g_published_stall.exchange(v, std::memory_order_relaxed);
+  if (prev != v) obs::m::ebr_stalled_slot.add(v - prev);
+}
+
+void note_stall(int slot) {
+  if (g_blame_slot.load(std::memory_order_relaxed) != slot) {
+    g_blame_slot.store(slot, std::memory_order_relaxed);
+    g_blame_count.store(1, std::memory_order_relaxed);
+    return;
+  }
+  const int c = g_blame_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (c == g_stall_threshold.load(std::memory_order_relaxed)) {
+    publish_stalled(slot + 1);
+  }
+}
+
+void clear_stall() {
+  g_blame_slot.store(-1, std::memory_order_relaxed);
+  g_blame_count.store(0, std::memory_order_relaxed);
+  if (g_published_stall.load(std::memory_order_relaxed) != 0) {
+    publish_stalled(0);
+  }
+}
+
 void try_advance() {
   const std::uint64_t e = g_epoch.load(std::memory_order_acquire);
   std::atomic_thread_fence(std::memory_order_seq_cst)
       VCAS_ORD("ebr.scan.fence");
   const int live = util::slot_high_water();
   for (int i = 0; i < live; ++i) {
+    // Containment first: a declared-dead slot is reclaimed whether or not
+    // it is the stall (a dead UNPINNED thread does not block the epoch,
+    // but its limbo would otherwise sit stranded until adopted).
+    const std::uint64_t flag = g_dead[i].value.load(std::memory_order_acquire);
+    if (flag != 0) reclaim_dead(i, flag);
     const std::uint64_t r =
         g_threads[i].value.reservation.load(std::memory_order_acquire);
     if (r != kQuiescent && r != e) {
       // A thread lags; cannot advance. This is the epoch-stall event the
       // limbo-depth telemetry pairs with: stalls * retire rate bounds the
-      // unfreeable backlog a preempted pin accumulates.
+      // unfreeable backlog a preempted pin accumulates. Blame tracking
+      // turns a streak against one slot into the ebr.stalled_slot report.
+      note_stall(i);
       obs::m::ebr_epoch_stalls.add();
       return;
     }
@@ -117,6 +229,7 @@ void try_advance() {
   std::uint64_t expected = e;
   g_epoch.compare_exchange_strong(expected, e + 1, std::memory_order_acq_rel)
       VCAS_ORD("ebr.epoch.advance");
+  clear_stall();
 }
 
 // Free every sub-bag retired at least two epochs before any live
@@ -163,6 +276,9 @@ std::size_t sweep(std::vector<SubBag>& bags, std::uint64_t safe_before,
 
 void scan(ThreadState& ts) {
   VCAS_TRACE_SPAN(obs::Ev::kEbrScan);
+  // Death here = a thread that dies between retiring and sweeping: its
+  // limbo is exactly what stall containment + orphan adoption must drain.
+  VCAS_FAILPOINT("ebr.scan");
   try_advance();
   const std::uint64_t safe_before = min_reservation();
   std::size_t freed = sweep(ts.limbo, safe_before, &ts.spare_bags);
@@ -175,23 +291,22 @@ void scan(ThreadState& ts) {
   if (freed > 0) util::bump_counter(ts.freed_objects, freed);
 }
 
-// Orphan the limbo bag when a thread exits mid-life so a recycled slot
-// starts clean.
+// End the thread's slot tenure on exit: orphan its limbo (so a recycled
+// slot starts clean) through the tenure-end claim, which arbitrates
+// against a stall reclaimer that may have already ended a declared-dead
+// tenure. The slot/gen pair is captured at arm time — the destructor must
+// not call thread_slot() (the SlotHandle may be mid-teardown ordering-wise
+// on some platforms, and a reclaimed slot must not be re-resolved).
 struct ExitHook {
-  ~ExitHook() {
-    ThreadState& ts = self();
-    if (!ts.limbo.empty()) {
-      util::MutexLock lock(g_orphan_mu);
-      for (SubBag& bag : ts.limbo) g_orphans.push_back(std::move(bag));
-      ts.limbo.clear();
-    }
-    ts.retire_count = 0;
-    ts.nesting = 0;
-    ts.reservation.store(kQuiescent, std::memory_order_release);
-  }
+  int slot;
+  std::uint64_t gen;
+  ~ExitHook() { end_tenure(slot, gen); }
 };
 
-void arm_exit_hook() { thread_local ExitHook hook; (void)hook; }
+void arm_exit_hook() {
+  thread_local ExitHook hook{util::thread_slot(), util::thread_slot_gen()};
+  (void)hook;
+}
 
 }  // namespace
 
@@ -269,6 +384,29 @@ std::size_t drain_for_tests() {
   }
   if (freed > 0) util::bump_counter(self().freed_objects, freed);
   return freed;
+}
+
+void declare_self_dead() {
+  const int slot = util::thread_slot();
+  const std::uint64_t gen = util::thread_slot_gen();
+  // Release: publishes every plain-field write this thread made to its
+  // ThreadState (limbo, nesting) to the reclaimer's acquire load of the
+  // flag. The caller makes no ebr/util calls after this returns.
+  g_dead[slot].value.store(gen + 1, std::memory_order_release);
+}
+
+int stalled_slot() {
+  return static_cast<int>(
+             g_published_stall.load(std::memory_order_relaxed)) -
+         1;
+}
+
+std::uint64_t dead_slot_reclaims() {
+  return g_dead_reclaims.load(std::memory_order_relaxed);
+}
+
+void set_stall_threshold_for_tests(int consecutive_failures) {
+  g_stall_threshold.store(consecutive_failures, std::memory_order_relaxed);
 }
 
 Stats stats() {

@@ -74,4 +74,34 @@ struct Stats {
 };
 Stats stats();
 
+// --- stall containment (fault-injection subsystem) --------------------------
+//
+// A thread that dies (or is abandoned by fault injection) while pinned
+// stalls the epoch forever — the classic EBR soft spot. Containment: the
+// dying thread declares itself dead FIRST; any later try_advance that sees
+// the declaration reclaims the slot through the tenure-generation protocol
+// in util/threading.h (so a recycled slot's new live tenant can never be
+// reclaimed by a stale declaration), orphans the dead thread's limbo, and
+// clears its reservation, after which the epoch advances and pending
+// retirals drain normally.
+
+// Declare the CALLING thread dead mid-protocol. Contract: the caller makes
+// no further vcas/ebr/util::thread_slot calls afterwards — its slot, pins,
+// and limbo now belong to the reclaimer (or to its own exit destructors,
+// whichever wins the tenure-end race; both are safe, and the thread remains
+// joinable).
+void declare_self_dead();
+
+// Slot id currently blamed for an epoch-stall streak past the containment
+// threshold, or -1. Works in every build config (unlike the mirrored
+// ebr.stalled_slot gauge, which needs VCAS_STATS).
+int stalled_slot();
+
+// Dead tenures reclaimed by try_advance since process start.
+std::uint64_t dead_slot_reclaims();
+
+// Consecutive try_advance failures blamed on one slot before it is
+// reported as stalled. Test hook; default 16.
+void set_stall_threshold_for_tests(int consecutive_failures);
+
 }  // namespace vcas::ebr

@@ -1,0 +1,218 @@
+// Failpoint site registry and actions. Compiled into vcas_core in every
+// build; the whole body is ifdef'd so a VCAS_INJECT=0 build contributes an
+// empty TU and the header's no-op macros/stubs are the entire feature.
+#include "inject/failpoint.h"
+
+#if VCAS_INJECT
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "ebr/ebr.h"
+
+namespace vcas::inject {
+namespace detail {
+
+// One interned failpoint site. Control-plane fields are written by arm()/
+// release() and read on the hit path; everything is independent atomics
+// because the hit path must stay lock-free (sites live inside lock-free
+// protocols) and the control plane is test orchestration, where a racy
+// re-arm is a test bug, not a memory-safety bug.
+struct Site {
+  char tag[64] = {};
+  std::atomic<Site*> next{nullptr};
+
+  std::atomic<bool> armed{false};
+  std::atomic<std::uint8_t> action{0};
+  std::atomic<std::uint64_t> fire_at{0};  // absolute hit index, trigger mode
+  std::atomic<std::uint64_t> every_n{0};
+  std::atomic<std::uint32_t> yields{64};
+  std::atomic<bool> one_shot{true};
+  std::atomic<bool> released{false};
+
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<std::int64_t> parked{0};
+};
+
+namespace {
+
+std::atomic<Site*> g_sites{nullptr};
+std::atomic<std::uint64_t> g_seed{0x9e3779b97f4a7c15ull};
+std::atomic<std::uint64_t> g_abandoned{0};
+
+Site* find(const char* tag) {
+  for (Site* s = g_sites.load(std::memory_order_acquire); s != nullptr;
+       s = s->next.load(std::memory_order_acquire)) {
+    if (std::strcmp(s->tag, tag) == 0) return s;
+  }
+  return nullptr;
+}
+
+// splitmix64 finalizer: the every_n schedule hashes (hit index ^ seed) so
+// firings are scattered but exactly reproducible for a fixed seed.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool should_fire(Site* s, std::uint64_t h) {
+  if (!s->armed.load(std::memory_order_acquire)) return false;
+  const std::uint64_t every = s->every_n.load(std::memory_order_relaxed);
+  if (every > 0) {
+    return mix(h ^ g_seed.load(std::memory_order_relaxed)) % every == 0;
+  }
+  return h == s->fire_at.load(std::memory_order_relaxed);
+}
+
+void park(Site* s) {
+  s->parked.fetch_add(1, std::memory_order_release);
+  while (!s->released.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  s->parked.fetch_sub(1, std::memory_order_release);
+}
+
+[[noreturn]] void abandon() {
+  g_abandoned.fetch_add(1, std::memory_order_release);
+  // Simulated death mid-protocol: hand the slot, pins, and limbo to EBR's
+  // stall containment, then never touch shared state again. The thread is
+  // expected to be detached; it spins on its own stack until process exit.
+  ebr::declare_self_dead();
+  for (;;) std::this_thread::yield();
+}
+
+// Common firing bookkeeping; the action itself runs in the caller.
+Action fire(Site* s) {
+  s->fired.fetch_add(1, std::memory_order_release);
+  const Action a =
+      static_cast<Action>(s->action.load(std::memory_order_relaxed));
+  if (s->every_n.load(std::memory_order_relaxed) == 0 &&
+      s->one_shot.load(std::memory_order_relaxed)) {
+    s->armed.store(false, std::memory_order_release);
+  }
+  return a;
+}
+
+void run_action(Site* s, Action a) {
+  switch (a) {
+    case Action::kPark:
+      park(s);
+      break;
+    case Action::kYieldStorm: {
+      const std::uint32_t n = s->yields.load(std::memory_order_relaxed);
+      for (std::uint32_t i = 0; i < n; ++i) std::this_thread::yield();
+      break;
+    }
+    case Action::kAbandon:
+      abandon();
+    case Action::kSkipOnce:  // only meaningful at _SKIP sites
+    case Action::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+void hit(Site* s) {
+  const std::uint64_t h = s->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (should_fire(s, h)) run_action(s, fire(s));
+}
+
+bool hit_skip(Site* s) {
+  const std::uint64_t h = s->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!should_fire(s, h)) return false;
+  const Action a = fire(s);
+  run_action(s, a);
+  return a == Action::kSkipOnce;
+}
+
+Site* intern(const char* tag) {
+  if (Site* s = find(tag)) return s;
+  Site* fresh = new Site;  // interned for the process lifetime, never freed
+  std::strncpy(fresh->tag, tag, sizeof(fresh->tag) - 1);
+  Site* head = g_sites.load(std::memory_order_acquire);
+  for (;;) {
+    fresh->next.store(head, std::memory_order_relaxed);
+    if (g_sites.compare_exchange_weak(head, fresh, std::memory_order_release,
+                                      std::memory_order_acquire)) {
+      return fresh;
+    }
+    // Lost the push: the winner may have interned this very tag.
+    if (Site* s = find(tag)) {
+      delete fresh;
+      return s;
+    }
+  }
+}
+
+}  // namespace detail
+
+void arm(const char* tag, const Spec& spec) {
+  detail::Site* s = detail::intern(tag);
+  s->released.store(false, std::memory_order_relaxed);
+  s->action.store(static_cast<std::uint8_t>(spec.action),
+                  std::memory_order_relaxed);
+  s->every_n.store(spec.every_n, std::memory_order_relaxed);
+  s->yields.store(spec.yields, std::memory_order_relaxed);
+  s->one_shot.store(spec.one_shot, std::memory_order_relaxed);
+  s->fire_at.store(s->hits.load(std::memory_order_relaxed) + spec.trigger,
+                   std::memory_order_relaxed);
+  s->armed.store(true, std::memory_order_release);
+}
+
+void disarm(const char* tag) {
+  if (detail::Site* s = detail::find(tag)) {
+    s->armed.store(false, std::memory_order_release);
+  }
+}
+
+void disarm_all() {
+  for (detail::Site* s = detail::g_sites.load(std::memory_order_acquire);
+       s != nullptr; s = s->next.load(std::memory_order_acquire)) {
+    s->armed.store(false, std::memory_order_release);
+  }
+}
+
+void release(const char* tag) {
+  if (detail::Site* s = detail::find(tag)) {
+    s->released.store(true, std::memory_order_release);
+  }
+}
+
+void release_all() {
+  for (detail::Site* s = detail::g_sites.load(std::memory_order_acquire);
+       s != nullptr; s = s->next.load(std::memory_order_acquire)) {
+    s->released.store(true, std::memory_order_release);
+  }
+}
+
+std::int64_t parked(const char* tag) {
+  detail::Site* s = detail::find(tag);
+  return s != nullptr ? s->parked.load(std::memory_order_acquire) : 0;
+}
+
+std::uint64_t hits(const char* tag) {
+  detail::Site* s = detail::find(tag);
+  return s != nullptr ? s->hits.load(std::memory_order_acquire) : 0;
+}
+
+std::uint64_t fired(const char* tag) {
+  detail::Site* s = detail::find(tag);
+  return s != nullptr ? s->fired.load(std::memory_order_acquire) : 0;
+}
+
+std::uint64_t abandoned() {
+  return detail::g_abandoned.load(std::memory_order_acquire);
+}
+
+void set_seed(std::uint64_t seed) {
+  detail::g_seed.store(seed, std::memory_order_relaxed);
+}
+
+}  // namespace vcas::inject
+
+#endif  // VCAS_INJECT

@@ -1,0 +1,146 @@
+// Fault-injection failpoints (compiled out by default).
+//
+// The store's lock-freedom claim is really a claim about HELPING: every
+// multi-step protocol (batch install -> stamp -> decide, cell GC's
+// seal -> unmap -> unlink, trim/coalesce, EBR scans) must tolerate a
+// thread disappearing between any two steps, because any other thread can
+// finish — or safely skip — the remainder. VCAS_FAILPOINT("tag") marks
+// exactly those between-steps points. With -DVCAS_INJECT=1 each expands to
+// a hit on a named site in a lock-free registry; tests arm a site with an
+// action and drive the schedule deterministically:
+//
+//   kPark        spin (yielding) until inject::release(tag) — the modern
+//                replacement for the old set_batch_pause_for_tests hook
+//   kYieldStorm  N sched yields, optionally on a seeded pseudo-random
+//                subset of hits (every_n) — reproducible scheduler noise
+//   kSkipOnce    VCAS_FAILPOINT_SKIP sites only: skip the guarded
+//                (skip-legal, maintenance-style) work once
+//   kAbandon     the thread declares itself dead to EBR and never runs
+//                again — simulated death mid-protocol; stall containment
+//                (ebr.cc) must reclaim its slot and pins
+//
+// With VCAS_INJECT off (the default) VCAS_FAILPOINT expands to nothing and
+// VCAS_FAILPOINT_SKIP to `false`; the control API below degrades to inline
+// no-ops so tests compile in both configurations. Tags are machine-checked
+// two-way against tools/lint/failpoints.toml, like VCAS_ORD tags.
+//
+// Placement rules: a parked/abandoned thread must only ever strand work
+// the protocol already treats as skippable or helpable — never anything
+// an OPERATION must wait on. Concretely: no site under a mutex; no site
+// under the version-list trimming_ try-lock (vcas.trim / vcas.coalesce sit
+// just before the acquire). Sites inside the janitor's shard claim
+// (store.gc.*, maint.janitor.cell) are the deliberate exception: dying
+// there permanently strands that ONE shard's maintenance claim, which the
+// skip-don't-wait design degrades to "kBusy forever" for that shard —
+// maintenance coverage shrinks, no operation ever blocks.
+#pragma once
+
+#ifndef VCAS_INJECT
+#define VCAS_INJECT 0
+#endif
+
+#include <cstdint>
+
+namespace vcas::inject {
+
+inline constexpr bool kInjectEnabled = VCAS_INJECT != 0;
+
+enum class Action : std::uint8_t {
+  kNone = 0,
+  kPark = 1,
+  kYieldStorm = 2,
+  kSkipOnce = 3,
+  kAbandon = 4,
+};
+
+struct Spec {
+  Action action = Action::kNone;
+  // Fire on the trigger-th hit AFTER arming (1-based). With a single
+  // instrumented writer this counts its protocol steps exactly — e.g.
+  // trigger=N on store.batch.install parks a writer after its Nth install.
+  std::uint64_t trigger = 1;
+  // When > 0: ignore `trigger` and fire on a seeded pseudo-random subset
+  // of hits, about one in every_n — deterministic for a fixed seed.
+  std::uint64_t every_n = 0;
+  std::uint32_t yields = 64;  // yield-storm length
+  bool one_shot = true;       // disarm at the first firing (trigger mode)
+};
+
+#if VCAS_INJECT
+
+namespace detail {
+struct Site;
+// Find-or-create the site for `tag` in the lock-free registry. Sites are
+// interned once and live for the process.
+Site* intern(const char* tag);
+void hit(Site* site);
+bool hit_skip(Site* site);
+}  // namespace detail
+
+// Control plane (tests). arm() resets the release latch; trigger counts
+// relative to the hit count at arm time.
+void arm(const char* tag, const Spec& spec);
+void disarm(const char* tag);
+void disarm_all();
+// Unblock kPark'd threads at one site / at every site.
+void release(const char* tag);
+void release_all();
+// Number of threads currently parked at the site.
+std::int64_t parked(const char* tag);
+// Total hits / firings at the site since process start.
+std::uint64_t hits(const char* tag);
+std::uint64_t fired(const char* tag);
+// Threads that took kAbandon anywhere, ever.
+std::uint64_t abandoned();
+// Seed for every_n schedules; fixed default, override per run (tests read
+// VCAS_INJECT_SEED). Set before arming.
+void set_seed(std::uint64_t seed);
+
+#else  // !VCAS_INJECT
+
+inline void arm(const char*, const Spec&) {}
+inline void disarm(const char*) {}
+inline void disarm_all() {}
+inline void release(const char*) {}
+inline void release_all() {}
+inline std::int64_t parked(const char*) { return 0; }
+inline std::uint64_t hits(const char*) { return 0; }
+inline std::uint64_t fired(const char*) { return 0; }
+inline std::uint64_t abandoned() { return 0; }
+inline void set_seed(std::uint64_t) {}
+
+#endif  // VCAS_INJECT
+
+}  // namespace vcas::inject
+
+#if VCAS_INJECT
+
+// Statement failpoint. The per-expansion function-local static makes the
+// steady-state cost of an un-armed site one relaxed fetch_add + one
+// acquire load after the first pass interns the tag.
+#define VCAS_FAILPOINT(tag)                                   \
+  do {                                                        \
+    static ::vcas::inject::detail::Site* const vcas_fp_site = \
+        ::vcas::inject::detail::intern(tag);                  \
+    ::vcas::inject::detail::hit(vcas_fp_site);                \
+  } while (false)
+
+// Expression failpoint for skip-legal work: true exactly when an armed
+// kSkipOnce fires, in which case the caller skips the guarded step (which
+// must be something the protocol already allows skipping — maintenance
+// passes, opportunistic helps).
+#define VCAS_FAILPOINT_SKIP(tag)                                \
+  ([]() -> bool {                                               \
+    static ::vcas::inject::detail::Site* const vcas_fp_site =   \
+        ::vcas::inject::detail::intern(tag);                    \
+    return ::vcas::inject::detail::hit_skip(vcas_fp_site);      \
+  }())
+
+#else  // !VCAS_INJECT
+
+#define VCAS_FAILPOINT(tag) \
+  do {                      \
+  } while (false)
+#define VCAS_FAILPOINT_SKIP(tag) false
+
+#endif  // VCAS_INJECT

@@ -46,6 +46,7 @@
 #include <cstdint>
 
 #include "ebr/ebr.h"
+#include "inject/failpoint.h"
 #include "maint/maintenance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,6 +95,11 @@ class CellJanitor {
     }
     std::size_t processed = 0;
     while (cell != nullptr && processed < max_cells) {
+      // Death mid-walk (under the shard claim, deliberately — see the
+      // placement note in inject/failpoint.h): this shard's maintenance
+      // goes kBusy-forever, every operation and every other shard's
+      // upkeep proceeds untouched.
+      VCAS_FAILPOINT("maint.janitor.cell");
       Cell* next = cell->next_all.load(std::memory_order_acquire);
       ++processed;
       obs::m::maint_cells_visited.add();

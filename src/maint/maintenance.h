@@ -25,7 +25,22 @@
 // its empty-queue check and its wait) costs at most one tick of latency,
 // never correctness. The only mutexes in the subsystem guard worker
 // sleep (condvar) and lifecycle (start/stop), which no data-path
-// operation ever touches.
+// operation ever touches. Both are util::Mutex, so their guarded state
+// (including the condvar predicate, via util::CondVar) sits inside
+// -Wthread-safety.
+//
+// Watchdog (fault-injection subsystem): each worker publishes a heartbeat
+// (shard, start time, a busy/idle sequence) around every pass, and every
+// worker cheaply checks its PEERS' beats each loop iteration. A task
+// running past the configured deadline (set_task_deadline; disabled by
+// default) fires once per stuck instance — counted in
+// obs::m::maint_watchdog_fired, traced as an instant event — and its
+// shard is re-enqueued so another worker covers the generation the stuck
+// one claimed. Requeues ride the normal generation-stamped dedup path, and
+// a shard whose claim never clears (a worker abandoned mid-pass under
+// fault injection) stops cycling through the queue after a bounded number
+// of consecutive kBusy requeues: maintenance coverage degrades for that
+// one shard, the pool and every operation stay live.
 //
 // The pool is deliberately store-agnostic: it schedules opaque per-shard
 // passes (a PassFn returning whether the shard's cursor wrapped);
@@ -37,18 +52,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "ebr/ebr.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
 
@@ -231,14 +245,19 @@ class MaintenancePool {
         std::memory_order_relaxed);
     last_tick_ns_.store(0, std::memory_order_relaxed);  // sweep immediately
     {
-      std::lock_guard<std::mutex> cv_lk(cv_mu_);
+      util::MutexLock cv_lk(cv_mu_);
       stop_ = false;
     }
     stopping_.store(false, std::memory_order_release);
     if (workers == 0) workers = 1;
+    // Heartbeats are (re)allocated before any worker exists and the spawn
+    // publishes them (thread creation happens-before the thread body), so
+    // the workers' lock-free peer scans need no further synchronization.
+    beats_ = std::make_unique<Beat[]>(workers);
+    beat_count_ = workers;
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(&beats_[i]); });
     }
   }
 
@@ -256,7 +275,7 @@ class MaintenancePool {
     if (workers_.empty()) return;
     stopping_.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> cv_lk(cv_mu_);
+      util::MutexLock cv_lk(cv_mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -294,6 +313,17 @@ class MaintenancePool {
     return s;
   }
 
+  // Watchdog deadline for one pass; zero (the default) disables the peer
+  // checks entirely. Takes effect on the next beat — safe to call while
+  // the pool runs. Pick a bound well above the expected per-task latency
+  // ceiling (the obs::m::maint_task_latency histogram is the empirical
+  // source): a fired watchdog means a WORKER is presumed gone, not that a
+  // pass was merely slow, and the recovery (re-enqueue for a peer) is
+  // harmless-but-wasted work when the blamed pass eventually finishes.
+  void set_task_deadline(std::chrono::nanoseconds deadline) {
+    task_deadline_ns_.store(deadline.count(), std::memory_order_relaxed);
+  }
+
  private:
   // Per-shard scheduling state. `queued` dedups (at most one task per
   // shard in the queue); the generation pair is what lets stale tasks
@@ -303,7 +333,34 @@ class MaintenancePool {
     std::atomic<std::uint64_t> enqueued_gen{0};
     std::atomic<std::uint64_t> done_gen{0};
     std::atomic<bool> queued{false};
+    // Consecutive kBusy requeues since the last completed pass. At the
+    // bound the task DROPS instead of cycling: a claim that never clears
+    // (abandoned worker) must not keep a ghost task orbiting the queue.
+    // Later hints/sweeps still probe the shard once each, so a merely
+    // slow holder loses nothing — the first completed pass resets this.
+    std::atomic<std::uint64_t> busy_requeues{0};
   };
+
+  // Consecutive kBusy requeues tolerated per shard before dropping.
+  static constexpr std::uint64_t kMaxBusyRequeues = 64;
+
+  // One worker's heartbeat, read lock-free by its peers. `seq` is odd
+  // exactly while a pass runs (shard/start_ns are published by the
+  // release bump into odd); `fired_seq` dedups the watchdog — at most one
+  // firing per odd seq value, claimed by CAS. Dedup needs atomicity only,
+  // so the CAS stays relaxed.
+  struct Beat {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> fired_seq{0};
+    std::atomic<std::size_t> shard{0};
+    std::atomic<std::int64_t> start_ns{0};
+  };
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 
   void enqueue(std::size_t shard, TaskKind kind) {
     Sched& s = sched_[shard];
@@ -334,7 +391,7 @@ class MaintenancePool {
     cv_.notify_one();
   }
 
-  void run_task(const MaintTask& task) {
+  void run_task(const MaintTask& task, Beat* self) {
     Sched& s = sched_[task.shard];
     s.queued.store(false, std::memory_order_release);
     const std::uint64_t gen = s.enqueued_gen.load(std::memory_order_acquire);
@@ -342,27 +399,37 @@ class MaintenancePool {
       obs::m::maint_tasks_dropped.add();
       return;
     }
-#if VCAS_STATS  // guard the clock reads themselves, not just the record
-    const auto t0 = std::chrono::steady_clock::now();
-#endif
+    // Heartbeat: shard/start first, then the release bump into odd — a
+    // peer that reads an odd seq (acquire) sees both. The deadline clock
+    // starts HERE, not at dequeue, so queue latency never counts against
+    // the pass.
+    const std::int64_t t0_ns = now_ns();
+    self->shard.store(task.shard, std::memory_order_relaxed);
+    self->start_ns.store(t0_ns, std::memory_order_relaxed);
+    self->seq.fetch_add(1, std::memory_order_release);
     const PassStatus status = pass_(task.shard);
+    self->seq.fetch_add(1, std::memory_order_release);  // even again: idle
     obs::m::maint_tasks_run.add();
-#if VCAS_STATS
     // One histogram record replaces the old total/CAS-max pair: sum and
-    // max fall out of the aggregation, percentiles come for free.
-    obs::m::maint_task_latency.record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count()));
-#endif
+    // max fall out of the aggregation, percentiles come for free. The
+    // clock reads now also feed the watchdog beat, so they are no longer
+    // VCAS_STATS-gated.
+    obs::m::maint_task_latency.record(
+        static_cast<std::uint64_t>(now_ns() - t0_ns));
     switch (status) {
       case PassStatus::kBusy:
         // Another pass holds the shard and may not have seen task.gen;
-        // requeue so the generation is eventually covered. The competing
-        // holder is making progress, so this cannot livelock — worst case
-        // the task cycles through the queue until the holder finishes.
-        std::this_thread::yield();
-        enqueue(task.shard, task.kind);
+        // requeue so the generation is eventually covered. A LIVE holder
+        // finishes and resets busy_requeues, so cycling is transient; a
+        // dead holder's shard hits kMaxBusyRequeues and the task drops
+        // (see the bound's comment on Sched).
+        if (s.busy_requeues.fetch_add(1, std::memory_order_relaxed) + 1 <
+            kMaxBusyRequeues) {
+          std::this_thread::yield();
+          enqueue(task.shard, task.kind);
+        } else {
+          obs::m::maint_tasks_dropped.add();
+        }
         return;
       case PassStatus::kMore:
         // Budget-bounded slice: schedule the continuation ourselves rather
@@ -372,6 +439,7 @@ class MaintenancePool {
       case PassStatus::kWrapped:
         break;
     }
+    s.busy_requeues.store(0, std::memory_order_relaxed);
     // Record coverage: monotone max (two passes can finish out of order
     // only across different claims, but stay safe regardless).
     std::uint64_t done = s.done_gen.load(std::memory_order_relaxed);
@@ -394,16 +462,55 @@ class MaintenancePool {
     }
   }
 
-  void worker_loop() {
+  // The watchdog's peer scan: fire once per stuck pass instance, requeue
+  // its shard for a live worker. One relaxed load when the deadline is
+  // unset, so it can run every loop iteration. A worker never checks
+  // ITSELF (it is provably not stuck while executing this), which also
+  // means a single-worker pool has no watchdog coverage — the stuck
+  // worker cannot scan, and there is no peer; deploy >= 2 workers when a
+  // deadline is set.
+  void check_peers(const Beat* self) {
+    const std::int64_t deadline =
+        task_deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline <= 0) return;
+    const std::int64_t now = now_ns();
+    for (std::size_t i = 0; i < beat_count_; ++i) {
+      Beat& b = beats_[i];
+      if (&b == self) continue;
+      const std::uint64_t seq = b.seq.load(std::memory_order_acquire);
+      if ((seq & 1) == 0) continue;  // idle, or finished since we looked
+      if (now - b.start_ns.load(std::memory_order_relaxed) < deadline) {
+        continue;
+      }
+      std::uint64_t fired = b.fired_seq.load(std::memory_order_relaxed);
+      if (fired == seq ||
+          !b.fired_seq.compare_exchange_strong(fired, seq,
+                                               std::memory_order_relaxed)) {
+        continue;  // another peer already claimed this stuck instance
+      }
+      const std::size_t shard = b.shard.load(std::memory_order_relaxed);
+      obs::m::maint_watchdog_fired.add();
+      obs::trace_instant(obs::Ev::kWatchdogFire,
+                         static_cast<std::uint32_t>(shard));
+      // Re-enqueue through the normal generation-stamped path: dedup'd
+      // against an already-queued task, dropped once covered, and bounded
+      // by the kBusy cap if the stuck worker still holds the shard claim.
+      obs::m::maint_watchdog_requeues.add();
+      enqueue(shard, TaskKind::kSweep);
+    }
+  }
+
+  void worker_loop(Beat* self) {
     for (;;) {
       // Checked every iteration, not just when idle: writers may keep
       // hinting (and continuations keep re-enqueueing) while stop() wants
       // the workers out, so "drain the queue first" would never return.
       if (stopping_.load(std::memory_order_acquire)) return;
+      check_peers(self);
       MaintTask task;
       if (queue_.pop(task)) {
         depth_.fetch_sub(1, std::memory_order_relaxed);
-        run_task(task);
+        run_task(task, self);
         continue;
       }
       maybe_tick();
@@ -413,11 +520,12 @@ class MaintenancePool {
       // coalesced runs, detached cells) and would otherwise sit on its
       // last sub-bags until the next burst.
       ebr::flush();
-      std::unique_lock<std::mutex> lk(cv_mu_);
+      util::MutexLock lk(cv_mu_);
       if (stop_) return;
       sleepers_.fetch_add(1, std::memory_order_release);
       const std::int64_t tick = tick_ns_.load(std::memory_order_relaxed);
-      cv_.wait_for(lk, std::chrono::nanoseconds(tick > 0 ? tick : 1000000));
+      cv_.wait_for(cv_mu_,
+                   std::chrono::nanoseconds(tick > 0 ? tick : 1000000));
       sleepers_.fetch_sub(1, std::memory_order_release);
       if (stop_) return;
     }
@@ -435,9 +543,18 @@ class MaintenancePool {
   mutable util::Mutex lifecycle_mu_;
   std::vector<std::thread> workers_ VCAS_GUARDED_BY(lifecycle_mu_);
 
-  std::mutex cv_mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;  // guarded by cv_mu_ (condvar predicate)
+  // Watchdog state. `beats_`/`beat_count_` are written only in start()
+  // (under lifecycle_mu_) before the workers that read them are spawned —
+  // thread creation happens-before the thread body, and stop() joins the
+  // readers before any re-start can write again — so the workers' scans
+  // are race-free WITHOUT holding the mutex; deliberately un-annotated.
+  std::unique_ptr<Beat[]> beats_;
+  std::size_t beat_count_ = 0;
+  std::atomic<std::int64_t> task_deadline_ns_{0};  // 0 = watchdog off
+
+  util::Mutex cv_mu_;
+  util::CondVar cv_;
+  bool stop_ VCAS_GUARDED_BY(cv_mu_) = false;  // condvar predicate
   std::atomic<bool> stopping_{false};  // lock-free mirror for the work loop
   std::atomic<std::int64_t> sleepers_{0};
 };

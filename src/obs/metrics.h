@@ -382,6 +382,12 @@ inline Histogram txn_validate_walk{"txn.validate_walk"};  // nodes per witness
 
 // ebr
 inline Counter ebr_epoch_stalls{"ebr.epoch_stalls"};
+// Slot id + 1 of the thread currently blamed for an epoch stall streak
+// past the containment threshold; 0 = no contained stall. Published with
+// the exchange-delta idiom (ebr.cc) so the per-slot sum reads as a single
+// last-written value.
+inline Gauge ebr_stalled_slot{"ebr.stalled_slot"};
+inline Counter ebr_dead_slot_reclaims{"ebr.dead_slot_reclaims"};
 
 // maintenance subsystem (replaces the former maint::Counters struct)
 inline Counter maint_tasks_run{"maint.tasks_run"};
@@ -394,6 +400,8 @@ inline Counter maint_versions_coalesced{"maint.versions_coalesced"};
 inline Counter maint_aborted_unlinked{"maint.aborted_unlinked"};
 inline Counter maint_cells_detached{"maint.cells_detached"};
 inline Histogram maint_task_latency{"maint.task_ns"};  // per-task ns
+inline Counter maint_watchdog_fired{"maint.watchdog_fired"};
+inline Counter maint_watchdog_requeues{"maint.watchdog_requeues"};
 
 }  // namespace m
 

@@ -40,12 +40,15 @@ enum class Ev : std::uint16_t {
   kJanitorPass,        // span: one janitor pass (arg = shard index)
   kTrimAll,            // span: store-wide synchronous trim
   kEbrScan,            // span: EBR reservation scan + limbo sweep
+  kWatchdogFire,       // instant: maintenance watchdog blamed a stuck worker
+                       //          (arg = shard index of the stuck task)
   kCount
 };
 
 inline constexpr const char* kEvNames[static_cast<int>(Ev::kCount)] = {
     "takeSnapshot", "applyBatch.install", "batch.drive",  "batch.help",
     "txn.validate", "janitor.pass",       "store.trimAll", "ebr.scan",
+    "maint.watchdog",
 };
 
 struct TraceRecord {

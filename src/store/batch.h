@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "inject/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/annotations.h"
@@ -127,6 +128,9 @@ struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
       obs::m::batch_drive_helper.add();
     }
     install_all();
+    // Death here = every record installed but no commit stamp yet: any
+    // reader/writer that meets an undecided record must drive the rest.
+    VCAS_FAILPOINT("batch.stamp");
     Timestamp c = commit_ts.load(std::memory_order_acquire);
     if (c == kTBD) {
       const Timestamp fresh = read_commit_clock();
@@ -142,6 +146,10 @@ struct BatchTicket : std::enable_shared_from_this<BatchTicket> {
     // wins the CAS below is the batch's fate, and both are safe — see the
     // soundness argument on TxnDescriptor::decide.
     const Decision verdict = decide(c);
+    // Death here = stamped, validated, but unpublished verdict: the batch
+    // stays helpable (stamped descriptors are legal help targets) and any
+    // helper's own verdict can win the decision CAS instead.
+    VCAS_FAILPOINT("batch.decide");
     Decision expected = Decision::kPending;
     if (decision.compare_exchange_strong(expected, verdict,
                                          std::memory_order_seq_cst)

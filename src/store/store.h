@@ -124,6 +124,7 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "inject/failpoint.h"
 #include "maint/janitor.h"
 #include "maint/maintenance.h"
 #include "obs/metrics.h"
@@ -420,6 +421,10 @@ class ShardedStore {
     }
 
     Decision decide(Timestamp c) override {
+      // Death here = a stamped transaction whose validator vanished: the
+      // descriptor stays a legal help target and any other validator's
+      // verdict decides it.
+      VCAS_FAILPOINT("store.txn.validate");
       ReadSet* reads = reads_.load(std::memory_order_acquire);
       if (reads == nullptr) return Decision::kAborted;  // decided elsewhere
       for (const ReadWitness& w : *reads) {
@@ -876,14 +881,7 @@ class ShardedStore {
   void enable_maintenance(std::size_t workers,
                           std::chrono::milliseconds tick) {
     util::MutexLock lk(maint_mu_);
-    if (!maint_pool_) {
-      maint_pool_ = std::make_unique<maint::MaintenancePool>(
-          shards_.size(), [this](std::size_t shard) {
-            return maint::CellJanitor<ShardedStore>::pass(
-                *this, shard,
-                cells_per_tick_.load(std::memory_order_relaxed));
-          });
-    }
+    ensure_maint_pool();
     maint_pool_->start(workers, tick);
     maint_hint_target_.store(maint_pool_.get(), std::memory_order_release);
   }
@@ -903,6 +901,16 @@ class ShardedStore {
     util::MutexLock lk(maint_mu_);
     maint_hint_target_.store(nullptr, std::memory_order_release);
     if (maint_pool_) maint_pool_->stop();
+  }
+
+  // Watchdog deadline for one janitor pass (see MaintenancePool's setter
+  // for calibration guidance); zero disables. Creates the pool if needed
+  // so the knob can be set before enable_maintenance and survive
+  // disable/enable cycles.
+  void set_maintenance_task_deadline(std::chrono::nanoseconds deadline) {
+    util::MutexLock lk(maint_mu_);
+    ensure_maint_pool();
+    maint_pool_->set_task_deadline(deadline);
   }
 
   // Compatibility shims (pre-ISSUE 5 API): background trimming is now a
@@ -1043,18 +1051,6 @@ class ShardedStore {
                             static_cast<double>(cells);
   }
 
-  // Test-only hook: invoked by the ORIGINAL writer inside applyBatch or a
-  // transaction's commit() after each of its installs (`installed` runs
-  // 1..total; installed == total fires just before the stamp/decide
-  // attempt). Helpers never invoke it. Set it before any concurrent use;
-  // the stalled-writer regression tests (batch_helping_test.cc) park a
-  // writer mid-batch with it, and txn_test.cc parks a transaction owner so
-  // a stranger decides its ABORT.
-  void set_batch_pause_for_tests(
-      std::function<void(std::size_t installed, std::size_t total)> hook) {
-    batch_pause_for_tests_ = std::move(hook);
-  }
-
   std::size_t shard_index(const K& key) const {
     // Finalizer mix (splitmix64): std::hash is identity for integers, which
     // would otherwise alias residue classes with user key patterns.
@@ -1118,15 +1114,24 @@ class ShardedStore {
     if (ts == kTBD || ts >= horizon) return false;
     // SEAL. Identity CAS: success proves the tombstone was still the head
     // — no writer interposed — and from here no writer ever installs into
-    // this cell (they observe the sentinel instead).
+    // this cell (they observe the sentinel instead). Death just before =
+    // nothing happened yet; the next janitor pass redoes the check.
+    VCAS_FAILPOINT("store.gc.seal");
     Record sentinel{};
     sentinel.detached = true;
     if (cell->rec.install_over(head, sentinel) == nullptr) return false;
+    // Death between seal and unmap: writers that meet the sentinel help
+    // erase the stale mapping themselves (install_one / put), so the key
+    // stays writable through a fresh cell even if this janitor dies here.
+    VCAS_FAILPOINT("store.gc.unmap");
     // UNMAP. Conditional on identity; false means a racing writer that
     // observed the seal already unmapped it (and by now may have inserted
     // a fresh cell this erase must not touch). Either way the mapping to
     // THIS cell is permanently gone — sealed cells are never re-inserted.
     shard.map.erase(cell->key, cell);
+    // Death between unmap and unlink strands one sealed, unmapped cell in
+    // the shard registry (bounded leak; later passes skip it as detached).
+    VCAS_FAILPOINT("store.gc.unlink");
     // UNLINK + RETIRE, as one EBR batch entry covering the cell and its
     // remaining versions (sentinel, tombstone, whatever trim left). The
     // deleter is the Cell destructor, which frees the chain through each
@@ -1221,24 +1226,25 @@ class ShardedStore {
     return planned;
   }
 
-  // Owner-side drive of a published descriptor: install in order (firing
-  // the test pause hook after each install), then help to the decision —
-  // the same idempotent machinery every helper runs, so a stall anywhere
-  // (the hook simulates one) leaves a batch that any reader or writer can
-  // finish, or a transaction that any of them can ABORT, without us. The
-  // raw list pointer stays valid across a concurrent help-driven decision
-  // (which retires it) because the caller's EBR pin predates the retire.
+  // Owner-side drive of a published descriptor: install in order, then
+  // help to the decision — the same idempotent machinery every helper
+  // runs, so a stall anywhere (the per-install failpoint injects one)
+  // leaves a batch that any reader or writer can finish, or a transaction
+  // that any of them can ABORT, without us. The raw list pointer stays
+  // valid across a concurrent help-driven decision (which retires it)
+  // because the caller's EBR pin predates the retire.
   Decision run_descriptor(BatchDescriptor& desc) {
     auto* list = desc.ops();
-    const std::size_t total = list->size();
-    std::size_t done = 0;
     {
       obs::TraceSpan span(obs::Ev::kApplyBatchInstall,
-                          static_cast<std::uint32_t>(total));
+                          static_cast<std::uint32_t>(list->size()));
       for (auto& op : *list) {
         desc.install_one(op);
-        ++done;
-        if (batch_pause_for_tests_) batch_pause_for_tests_(done, total);
+        // Owner-only, once per installed op (helpers run install_all, not
+        // this loop): the stalled-writer tests park/abandon the ORIGINAL
+        // writer here mid-batch — trigger=N stalls it right after its Nth
+        // install — and prove strangers finish or abort the batch.
+        VCAS_FAILPOINT("store.batch.install");
       }
     }
     return desc.help_decide(/*as_owner=*/true);
@@ -1464,14 +1470,22 @@ class ShardedStore {
 
   static constexpr std::uint32_t kHintChurn = 64;
 
+  // Lazily create the (stopped) pool so knobs like the watchdog deadline
+  // can be set before the first enable and survive disable/enable cycles.
+  void ensure_maint_pool() VCAS_REQUIRES(maint_mu_) {
+    if (maint_pool_) return;
+    maint_pool_ = std::make_unique<maint::MaintenancePool>(
+        shards_.size(), [this](std::size_t shard) {
+          return maint::CellJanitor<ShardedStore>::pass(
+              *this, shard, cells_per_tick_.load(std::memory_order_relaxed));
+        });
+  }
+
   Camera camera_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> coalesce_{true};
   std::atomic<std::uint32_t> coalesce_every_{8};
   std::atomic<bool> node_pooling_{true};
-
-  // Test-only (see set_batch_pause_for_tests). Empty in production.
-  std::function<void(std::size_t, std::size_t)> batch_pause_for_tests_;
 
   // Maintenance subsystem. The pool is created lazily (first enable) and
   // lives until the store dies — disable stops its workers but keeps the

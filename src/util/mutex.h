@@ -4,11 +4,16 @@
 // carries no capability attribute, hence the wrapper; under GCC (or any
 // compiler without the attributes) this is byte-for-byte a std::mutex.
 //
-// The condvar mutex in maint/maintenance.h stays a raw std::mutex: the
-// std::condition_variable wait API is welded to std::unique_lock
-// <std::mutex>, and its one guarded flag is documented in place.
+// CondVar rounds out the story: std::condition_variable's wait API is
+// welded to std::unique_lock<std::mutex>, which would force any condvar-
+// guarded state (maint/maintenance.h's stop flag) back onto a raw
+// std::mutex outside the analysis. condition_variable_any only needs
+// BasicLockable, which Mutex satisfies, so waiting through this wrapper
+// keeps the guarded fields inside -Wthread-safety.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #include "util/annotations.h"
@@ -27,6 +32,34 @@ class VCAS_CAPABILITY("mutex") Mutex {
 
  private:
   std::mutex mu_;
+};
+
+// Condition variable over util::Mutex (condition_variable_any, which takes
+// any BasicLockable). The wait entry points carry VCAS_REQUIRES(mu): the
+// analysis checks the caller holds the mutex, exactly as the runtime
+// contract demands; the internal unlock/relock inside the std wait is
+// opaque to the analysis, which matches reality (the lock IS held again
+// when the wait returns).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) VCAS_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      VCAS_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 // RAII guard, the annotated analogue of std::lock_guard<std::mutex>.

@@ -4,6 +4,19 @@
 // per-thread index into fixed-size shared arrays. A slot is claimed the
 // first time a thread touches the library and recycled when the thread
 // exits, so short-lived benchmark threads do not exhaust the table.
+//
+// Tenure generations. Each occupancy of a slot is a TENURE, numbered by a
+// per-slot generation counter that increments exactly once per tenure END.
+// Ending a tenure is a CAS race (claim_tenure_end) between everything that
+// may legitimately end it — the owning thread's exit destructors (EBR's
+// ExitHook, then SlotHandle as fallback) and, new with fault-injection, a
+// third party reclaiming the slot of a thread that declared itself dead
+// mid-protocol (ebr::try_advance's stall containment). Exactly one claimant
+// wins; it performs the slot's cleanup and then finish_tenure_end releases
+// the slot for reuse. The generation check is what makes third-party
+// reclamation safe against recycling: a reclaimer holding (slot, gen) from
+// a dead thread's last tenure can never end the NEXT tenant's tenure —
+// its CAS expects the old generation and fails.
 #pragma once
 
 #include <atomic>
@@ -28,6 +41,13 @@ inline std::atomic<bool>& slot_in_use(int i) {
   return slots[i].value;
 }
 
+// Per-slot tenure generation; see the header comment. Incremented exactly
+// once per tenure end, by claim_tenure_end's winning CAS.
+inline std::atomic<std::uint64_t>& slot_gen(int i) {
+  static Padded<std::atomic<std::uint64_t>> gens[kMaxThreads];
+  return gens[i].value;
+}
+
 // Highest slot index ever claimed, plus one. Lets the O(kMaxThreads) scans
 // (EBR reservations, camera announcements) touch only slots that have ever
 // been live instead of the full table — a process that peaks at 8 threads
@@ -37,8 +57,25 @@ inline std::atomic<int>& slot_high_water_atomic() {
   return hw;
 }
 
+// End-of-tenure arbitration (see header comment). The acq_rel CAS makes
+// the winner's subsequent cleanup of the slot's shared state (EBR limbo,
+// reservations) well-ordered against the NEXT tenant's first use: the next
+// claim happens only after finish_tenure_end's release store, which the
+// claiming CAS in SlotHandle acquires.
+inline bool claim_tenure_end_impl(int slot, std::uint64_t gen) {
+  std::uint64_t expected = gen;
+  return slot_gen(slot).compare_exchange_strong(expected, gen + 1,
+                                                std::memory_order_acq_rel)
+      VCAS_ORD("slot.tenure");
+}
+
+inline void finish_tenure_end_impl(int slot) {
+  slot_in_use(slot).store(false, std::memory_order_release);
+}
+
 struct SlotHandle {
   int id = -1;
+  std::uint64_t gen = 0;
   SlotHandle() {
     // Slots only free up when a claiming thread exits, so a full sweep
     // finding nothing means the table is (at least momentarily) exhausted.
@@ -54,6 +91,9 @@ struct SlotHandle {
                 expected, true, std::memory_order_acq_rel)
                 VCAS_ORD("slot.claim")) {
           id = i;
+          // This tenure's generation: stable until the tenure-end CAS, and
+          // the token every legitimate tenure-ender must present.
+          gen = slot_gen(i).load(std::memory_order_acquire);
           // seq_cst RMW: the bump must precede, in the seq_cst total order,
           // everything this thread later publishes through its slot
           // (announcements, epoch reservations). Scanners exploit that: a
@@ -81,7 +121,15 @@ struct SlotHandle {
     std::abort();
   }
   ~SlotHandle() {
-    if (id >= 0) slot_in_use(id).store(false, std::memory_order_release);
+    // Fallback tenure-ender: EBR's ExitHook (destroyed before this handle —
+    // thread_locals destruct in reverse construction order, and the hook is
+    // armed after the handle exists) normally wins the claim and releases
+    // the slot after orphaning the thread's limbo. This path only wins for
+    // threads that never armed the hook, or loses harmlessly when a stall
+    // reclaimer already ended a declared-dead tenure.
+    if (id >= 0 && claim_tenure_end_impl(id, gen)) {
+      finish_tenure_end_impl(id);
+    }
   }
 };
 
@@ -96,11 +144,37 @@ inline void bump_counter(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
   c.store(c.load(std::memory_order_relaxed) + by, std::memory_order_relaxed);
 }
 
+namespace detail {
+inline SlotHandle& slot_handle() {
+  thread_local SlotHandle handle;
+  return handle;
+}
+}  // namespace detail
+
 // Dense id in [0, kMaxThreads) for the calling thread, stable until exit.
 // Aborts (loudly) if the registry is exhausted — see SlotHandle.
-inline int thread_slot() {
-  thread_local detail::SlotHandle handle;
-  return handle.id;
+inline int thread_slot() { return detail::slot_handle().id; }
+
+// The calling thread's tenure generation for its own slot (see the tenure
+// protocol in the header comment). Constant for the thread's lifetime.
+inline std::uint64_t thread_slot_gen() { return detail::slot_handle().gen; }
+
+// Tenure-end arbitration for slot `slot`'s tenure `gen` — the third-party
+// entry point used by EBR's exit hook and its dead-thread stall reclaimer.
+// True means the caller now OWNS the end of that tenure: it must clean up
+// the slot's shared per-thread state and then call finish_tenure_end to
+// release the slot. False means some other claimant ended it (or the slot
+// already belongs to a later tenant); the caller must not touch the slot.
+inline bool claim_tenure_end(int slot, std::uint64_t gen) {
+  return detail::claim_tenure_end_impl(slot, gen);
+}
+
+inline void finish_tenure_end(int slot) { detail::finish_tenure_end_impl(slot); }
+
+// Current tenure generation of `slot` (racy snapshot; exact only for the
+// slot's own thread or a quiescent slot).
+inline std::uint64_t slot_tenure(int slot) {
+  return detail::slot_gen(slot).load(std::memory_order_acquire);
 }
 
 // Upper bound (exclusive) on every slot id ever handed out. Slot ids are

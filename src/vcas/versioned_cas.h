@@ -44,6 +44,7 @@
 #include <utility>
 
 #include "ebr/ebr.h"
+#include "inject/failpoint.h"
 #include "obs/metrics.h"
 #include "util/annotations.h"
 #include "util/slab_pool.h"
@@ -137,6 +138,10 @@ class VersionedCAS {
   // through the recycling pool, but only via ebr deleters, i.e. only after
   // every pin from the address's previous life has been released.
   VNode* install_over(VNode* expected, const T& new_v) {
+    // Death here = a writer that read the head but never published: the
+    // head is untouched and every other thread proceeds as if the install
+    // was never attempted.
+    VCAS_FAILPOINT("vcas.install");
     VNode* node = make_node(new_v, expected);
     VNode* e = expected;
     if (vhead_.compare_exchange_strong(e, node, std::memory_order_seq_cst)
@@ -282,6 +287,10 @@ class VersionedCAS {
   // the recycling pool).
   template <typename Pred>
   std::size_t try_coalesce_below(VNode* node, Pred&& droppable) {
+    // Before the trimming_ try-lock on purpose: death (or an injected
+    // skip) here only forgoes an optimization every pass may legally skip,
+    // and never strands the lock.
+    if (VCAS_FAILPOINT_SKIP("vcas.coalesce")) return 0;
     const Timestamp ts = node->ts.load(std::memory_order_acquire);
     assert(ts != kTBD && "coalesce before the installed node was stamped");
     VNode* below = node->nextv.load(std::memory_order_acquire);
@@ -501,6 +510,9 @@ class VersionedCAS {
   // min_active, and its visibility walk stops at or above the pivot.
   template <typename Pred>
   std::size_t trim_where(Timestamp min_active, Pred&& visible) {
+    // Same placement rule as vcas.coalesce: ahead of the trimming_
+    // try-lock, so an injected death leaves trim skippable-not-stuck.
+    if (VCAS_FAILPOINT_SKIP("vcas.trim")) return 0;
     bool expected = false;
     if (!trimming_.compare_exchange_strong(expected, true,
                                            std::memory_order_acquire)) {

@@ -2,23 +2,27 @@
 // readers or writers (the PR-2 progress bug, and the paper's headline
 // property restored on the write path).
 //
-// Every test parks a batch writer mid-batch through the store's test hook —
-// after some or all of its installs, always before its commit — and asserts
-// that concurrent point reads, snapshot queries, single-key writes,
-// conflicting batches, and the trimmer all complete while the writer
-// sleeps, by finishing the batch from its published descriptor. On the
-// pre-helping protocol every one of these spins until the writer wakes, so
-// these tests hang (and time out) there.
+// Every park test stalls a batch writer mid-batch through the
+// store.batch.install failpoint (src/inject/failpoint.h) — after some or
+// all of its installs, always before its commit — and asserts that
+// concurrent point reads, snapshot queries, single-key writes, conflicting
+// batches, and the trimmer all complete while the writer sleeps, by
+// finishing the batch from its published descriptor. On the pre-helping
+// protocol every one of these spins until the writer wakes, so these tests
+// hang (and time out) there. Parking needs a -DVCAS_INJECT=ON build (the
+// CI fault-injection job); the park tests skip in default builds, while
+// the contended soak runs everywhere and gains seeded yield-storm noise
+// when injection is compiled in.
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "inject/failpoint.h"
 #include "store/backend.h"
 #include "store/batch.h"
 #include "store/store.h"
@@ -29,10 +33,20 @@ namespace {
 using K = std::int64_t;
 using V = std::int64_t;
 
+constexpr char kInstallFp[] = "store.batch.install";
+
 template <typename Backend>
 class BatchHelpingTest : public ::testing::Test {
  public:
   using Store = vcas::store::ShardedStore<K, V, Backend>;
+
+ protected:
+  // Failpoint sites are process-global; never leak an armed site (or a
+  // stale release latch) into the next test.
+  void TearDown() override {
+    vcas::inject::disarm_all();
+    vcas::inject::release_all();
+  }
 };
 
 using Backends =
@@ -56,26 +70,30 @@ std::vector<K> distinct_shard_keys(const Store& store, std::size_t count) {
   return keys;
 }
 
-// Parks the FIRST batch that reaches `trigger` installs (one-shot, so
-// helpers' and later batches' applyBatch calls sail through), until
-// `release` is set. Returns through `parked` when the writer is asleep.
-template <typename Store>
-void arm_park(Store& store, std::size_t trigger, std::atomic<bool>& parked,
-              std::atomic<bool>& release, std::atomic<bool>& armed) {
-  store.set_batch_pause_for_tests(
-      [&, trigger](std::size_t installed, std::size_t total) {
-        const std::size_t at = trigger == 0 ? total : trigger;
-        if (installed == at && armed.exchange(false)) {
-          parked.store(true);
-          while (!release.load()) std::this_thread::yield();
-        }
-      });
+// Parks the FIRST batch writer that completes `trigger` installs after this
+// call (one-shot, so helpers' and later batches' applyBatch calls sail
+// through), until release(kInstallFp). The failpoint fires in the owner's
+// install loop only — helpers install through the descriptor, not
+// run_descriptor — so the trigger counts exactly the parked writer's steps,
+// like the deleted set_batch_pause_for_tests hook did.
+void arm_park(std::size_t trigger) {
+  vcas::inject::Spec spec;
+  spec.action = vcas::inject::Action::kPark;
+  spec.trigger = trigger;
+  vcas::inject::arm(kInstallFp, spec);
+}
+
+void wait_parked() {
+  while (vcas::inject::parked(kInstallFp) == 0) std::this_thread::yield();
 }
 
 // Writer parked AFTER every install, BEFORE its commit: snapshot queries on
 // the batch's keys must complete (helping the commit stamp into place) and
 // stay atomic; the batch becomes visible without the writer ever waking.
 TYPED_TEST(BatchHelpingTest, SnapshotReadsCommitParkedBatchAndStayAtomic) {
+  if (!vcas::inject::kInjectEnabled) {
+    GTEST_SKIP() << "park failpoints require -DVCAS_INJECT=ON";
+  }
   typename TestFixture::Store store(8);
   const std::vector<K> keys = distinct_shard_keys(store, 3);
   {
@@ -84,8 +102,7 @@ TYPED_TEST(BatchHelpingTest, SnapshotReadsCommitParkedBatchAndStayAtomic) {
     store.applyBatch(init);
   }
 
-  std::atomic<bool> parked{false}, release{false}, armed{true};
-  arm_park(store, 0, parked, release, armed);
+  arm_park(keys.size());
   std::thread writer([&] {
     typename TestFixture::Store::Batch b;
     b.put(keys[0], 100);
@@ -93,7 +110,7 @@ TYPED_TEST(BatchHelpingTest, SnapshotReadsCommitParkedBatchAndStayAtomic) {
     b.remove(keys[2]);
     store.applyBatch(b);
   });
-  while (!parked.load()) std::this_thread::yield();
+  wait_parked();
 
   // Point reads never block on (or help) an undecided batch: it simply has
   // not happened yet.
@@ -110,14 +127,14 @@ TYPED_TEST(BatchHelpingTest, SnapshotReadsCommitParkedBatchAndStayAtomic) {
 
   // That help committed the batch: the writer is still parked, yet the
   // batch is fully visible to everything.
-  ASSERT_TRUE(parked.load());
+  ASSERT_EQ(vcas::inject::parked(kInstallFp), 1);
   EXPECT_EQ(store.get(keys[0]), std::optional<V>(100));
   EXPECT_EQ(store.get(keys[1]), std::optional<V>(200));
   EXPECT_FALSE(store.get(keys[2]).has_value());
   EXPECT_EQ(store.size(), 2u);
   EXPECT_EQ(store.rangeQuery(keys.front(), keys.back()).size(), 2u);
 
-  release.store(true);
+  vcas::inject::release(kInstallFp);
   writer.join();
   // The woken writer's own commit pass must be a no-op.
   EXPECT_EQ(store.get(keys[0]), std::optional<V>(100));
@@ -131,6 +148,9 @@ TYPED_TEST(BatchHelpingTest, SnapshotReadsCommitParkedBatchAndStayAtomic) {
 // installs from the descriptor, then commit — the full helping path, not
 // just the commit CAS.
 TYPED_TEST(BatchHelpingTest, ReadersFinishRemainingInstallsOfParkedWriter) {
+  if (!vcas::inject::kInjectEnabled) {
+    GTEST_SKIP() << "park failpoints require -DVCAS_INJECT=ON";
+  }
   typename TestFixture::Store store(8);
   const std::vector<K> keys = distinct_shard_keys(store, 3);
   {
@@ -139,8 +159,7 @@ TYPED_TEST(BatchHelpingTest, ReadersFinishRemainingInstallsOfParkedWriter) {
     store.applyBatch(init);
   }
 
-  std::atomic<bool> parked{false}, release{false}, armed{true};
-  arm_park(store, 1, parked, release, armed);
+  arm_park(1);
   std::thread writer([&] {
     typename TestFixture::Store::Batch b;
     for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -148,7 +167,7 @@ TYPED_TEST(BatchHelpingTest, ReadersFinishRemainingInstallsOfParkedWriter) {
     }
     store.applyBatch(b);
   });
-  while (!parked.load()) std::this_thread::yield();
+  wait_parked();
 
   // Exactly one record is installed (in descriptor order — we do not know
   // which key). A multiGet over all three keys is guaranteed to hit it,
@@ -159,12 +178,12 @@ TYPED_TEST(BatchHelpingTest, ReadersFinishRemainingInstallsOfParkedWriter) {
 
   // The whole batch — including the ops the writer never got to — is now
   // committed and visible, with the writer still asleep.
-  ASSERT_TRUE(parked.load());
+  ASSERT_EQ(vcas::inject::parked(kInstallFp), 1);
   for (std::size_t i = 0; i < keys.size(); ++i) {
     EXPECT_EQ(store.get(keys[i]), std::optional<V>(100 + static_cast<V>(i)));
   }
 
-  release.store(true);
+  vcas::inject::release(kInstallFp);
   writer.join();
   for (std::size_t i = 0; i < keys.size(); ++i) {
     EXPECT_EQ(store.get(keys[i]), std::optional<V>(100 + static_cast<V>(i)));
@@ -175,6 +194,9 @@ TYPED_TEST(BatchHelpingTest, ReadersFinishRemainingInstallsOfParkedWriter) {
 // Single-key writes and a fully conflicting batch on the parked batch's
 // keys must complete while the writer sleeps, and linearize AFTER it.
 TYPED_TEST(BatchHelpingTest, WritersAndConflictingBatchesOvertakeParkedWriter) {
+  if (!vcas::inject::kInjectEnabled) {
+    GTEST_SKIP() << "park failpoints require -DVCAS_INJECT=ON";
+  }
   typename TestFixture::Store store(8);
   const std::vector<K> keys = distinct_shard_keys(store, 3);
   {
@@ -183,8 +205,7 @@ TYPED_TEST(BatchHelpingTest, WritersAndConflictingBatchesOvertakeParkedWriter) {
     store.applyBatch(init);
   }
 
-  std::atomic<bool> parked{false}, release{false}, armed{true};
-  arm_park(store, 0, parked, release, armed);
+  arm_park(keys.size());
   std::thread writer([&] {
     typename TestFixture::Store::Batch b;
     b.put(keys[0], 100);
@@ -192,7 +213,7 @@ TYPED_TEST(BatchHelpingTest, WritersAndConflictingBatchesOvertakeParkedWriter) {
     b.remove(keys[2]);
     store.applyBatch(b);
   });
-  while (!parked.load()) std::this_thread::yield();
+  wait_parked();
 
   // put() helps the parked batch to its commit, then installs over it:
   // keys[0] was present (value 100 once helped), so put reports an update.
@@ -212,12 +233,12 @@ TYPED_TEST(BatchHelpingTest, WritersAndConflictingBatchesOvertakeParkedWriter) {
     }
     store.applyBatch(b2);
   }
-  ASSERT_TRUE(parked.load());
+  ASSERT_EQ(vcas::inject::parked(kInstallFp), 1);
   for (std::size_t i = 0; i < keys.size(); ++i) {
     EXPECT_EQ(store.get(keys[i]), std::optional<V>(1000 + static_cast<V>(i)));
   }
 
-  release.store(true);
+  vcas::inject::release(kInstallFp);
   writer.join();
   for (std::size_t i = 0; i < keys.size(); ++i) {
     EXPECT_EQ(store.get(keys[i]), std::optional<V>(1000 + static_cast<V>(i)));
@@ -229,6 +250,9 @@ TYPED_TEST(BatchHelpingTest, WritersAndConflictingBatchesOvertakeParkedWriter) {
 // writer sleeps (help-then-check in its commit predicate), deciding the
 // batch along the way instead of waiting it out.
 TYPED_TEST(BatchHelpingTest, TrimAllDecidesParkedBatchAndCompletes) {
+  if (!vcas::inject::kInjectEnabled) {
+    GTEST_SKIP() << "park failpoints require -DVCAS_INJECT=ON";
+  }
   typename TestFixture::Store store(4);
   const std::vector<K> keys = distinct_shard_keys(store, 2);
   {
@@ -237,30 +261,31 @@ TYPED_TEST(BatchHelpingTest, TrimAllDecidesParkedBatchAndCompletes) {
     store.applyBatch(init);
   }
 
-  std::atomic<bool> parked{false}, release{false}, armed{true};
-  arm_park(store, 0, parked, release, armed);
+  arm_park(keys.size());
   std::thread writer([&] {
     typename TestFixture::Store::Batch b;
     for (K k : keys) b.put(k, 2);
     store.applyBatch(b);
   });
-  while (!parked.load()) std::this_thread::yield();
+  wait_parked();
 
   store.trim_all();  // must not hang; helps the batch to its commit
-  ASSERT_TRUE(parked.load());
+  ASSERT_EQ(vcas::inject::parked(kInstallFp), 1);
   for (K k : keys) EXPECT_EQ(store.get(k), std::optional<V>(2));
 
-  release.store(true);
+  vcas::inject::release(kInstallFp);
   writer.join();
   vcas::ebr::drain_for_tests();
 }
 
 // Contended soak with randomized stalls injected into every batch writer:
-// two writers batching over the same keys keep them equal while the hook
-// sleeps them at random points mid-batch; snapshot readers must always see
+// two writers batching over the same keys keep them equal while a seeded
+// yield-storm failpoint (roughly one install in 23) preempts them at
+// pseudo-random points mid-batch; snapshot readers must always see
 // all-equal values (atomicity) and identical answers on view re-reads
 // (stability), with everyone helping everyone. Exercises racing helpers on
-// the same descriptor under TSan.
+// the same descriptor under TSan. Runs in every build — without
+// VCAS_INJECT the arm is a no-op and this is a plain contention soak.
 TYPED_TEST(BatchHelpingTest, RandomMidBatchStallsStayAtomicUnderContention) {
   typename TestFixture::Store store(8);
   const std::vector<K> keys = distinct_shard_keys(store, 4);
@@ -270,13 +295,11 @@ TYPED_TEST(BatchHelpingTest, RandomMidBatchStallsStayAtomicUnderContention) {
     store.applyBatch(init);
   }
 
-  std::atomic<std::uint64_t> hook_calls{0};
-  store.set_batch_pause_for_tests([&](std::size_t, std::size_t) {
-    // Simulated preemption: roughly one install in 23 sleeps the writer.
-    if (hook_calls.fetch_add(1, std::memory_order_relaxed) % 23 == 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(300));
-    }
-  });
+  vcas::inject::Spec storm;
+  storm.action = vcas::inject::Action::kYieldStorm;
+  storm.every_n = 23;
+  storm.yields = 128;
+  vcas::inject::arm(kInstallFp, storm);
 
   std::atomic<bool> stop{false};
   std::atomic<bool> ok{true};

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "inject/failpoint.h"
 #include "store/store.h"
 #include "util/barrier.h"
 #include "vcas/camera.h"
@@ -262,19 +263,15 @@ TEST(StoreCoalescing, NeverFiresOnTicketedRecords) {
 // installs over it WITHOUT coalescing it — the descriptor's witnessed node
 // must stay in the chain. Runs under TSan in CI.
 TEST(StoreCoalescing, PendingBatchRecordSurvivesConcurrentPut) {
+  if (!vcas::inject::kInjectEnabled) {
+    GTEST_SKIP() << "park failpoints require -DVCAS_INJECT=ON";
+  }
   Store store(1);
   store.set_coalesce_every(1);  // eager: assert exact history shapes
-  std::atomic<bool> parked{false};
-  std::atomic<bool> release{false};
-  store.set_batch_pause_for_tests([&](std::size_t installed,
-                                      std::size_t total) {
-    if (installed == total) {
-      parked.store(true, std::memory_order_release);
-      while (!release.load(std::memory_order_acquire)) {
-        std::this_thread::yield();
-      }
-    }
-  });
+  vcas::inject::Spec spec;
+  spec.action = vcas::inject::Action::kPark;
+  spec.trigger = 2;  // batch of two: park after the LAST install
+  vcas::inject::arm("store.batch.install", spec);
 
   std::thread owner([&] {
     Batch b;
@@ -282,7 +279,9 @@ TEST(StoreCoalescing, PendingBatchRecordSurvivesConcurrentPut) {
     b.put(2, 20);
     store.applyBatch(b);  // parks after the last install, before deciding
   });
-  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+  while (vcas::inject::parked("store.batch.install") == 0) {
+    std::this_thread::yield();
+  }
 
   // The helper path: decides the stalled batch, installs over its (now
   // committed, still ticketed) record, and must leave that record chained.
@@ -292,35 +291,34 @@ TEST(StoreCoalescing, PendingBatchRecordSurvivesConcurrentPut) {
   // key 1: seed + batch record + put = 3; key 2: seed + batch record = 2.
   EXPECT_EQ(store.total_versions(), 5u);
 
-  release.store(true, std::memory_order_release);
+  vcas::inject::release("store.batch.install");
   owner.join();
-  store.set_batch_pause_for_tests({});
+  vcas::inject::disarm_all();
+  vcas::inject::release_all();
   vcas::ebr::drain_for_tests();
 }
 
 // Same regression for transactions: a parked owner's txn record is decided
 // by the helper and survives under the helper's own write.
 TEST(StoreCoalescing, TxnRecordSurvivesConcurrentPut) {
+  if (!vcas::inject::kInjectEnabled) {
+    GTEST_SKIP() << "park failpoints require -DVCAS_INJECT=ON";
+  }
   Store store(1);
   store.set_coalesce_every(1);  // eager: assert exact history shapes
-  std::atomic<bool> parked{false};
-  std::atomic<bool> release{false};
-  store.set_batch_pause_for_tests([&](std::size_t installed,
-                                      std::size_t total) {
-    if (installed == total) {
-      parked.store(true, std::memory_order_release);
-      while (!release.load(std::memory_order_acquire)) {
-        std::this_thread::yield();
-      }
-    }
-  });
+  vcas::inject::Spec spec;
+  spec.action = vcas::inject::Action::kPark;
+  spec.trigger = 1;  // single-write txn: park after its only install
+  vcas::inject::arm("store.batch.install", spec);
 
   std::thread owner([&] {
     auto txn = store.beginTransaction();
     txn.put(5, 50);
     txn.commit();  // parks after install, before stamp/decide
   });
-  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+  while (vcas::inject::parked("store.batch.install") == 0) {
+    std::this_thread::yield();
+  }
 
   store.put(5, 51);
   EXPECT_EQ(store.get(5), std::optional<std::int64_t>(51));
@@ -328,9 +326,10 @@ TEST(StoreCoalescing, TxnRecordSurvivesConcurrentPut) {
   // txn record + put.
   EXPECT_EQ(store.total_versions(), 3u);
 
-  release.store(true, std::memory_order_release);
+  vcas::inject::release("store.batch.install");
   owner.join();
-  store.set_batch_pause_for_tests({});
+  vcas::inject::disarm_all();
+  vcas::inject::release_all();
   vcas::ebr::drain_for_tests();
 }
 

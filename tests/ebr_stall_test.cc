@@ -1,0 +1,231 @@
+// EBR stall containment (fault-injection subsystem).
+//
+// A thread that dies while pinned is the classic EBR soft spot: its
+// reservation freezes the epoch and every retiral after it is stranded
+// forever. The containment contract under test: a thread that declares
+// itself dead (ebr::declare_self_dead — what inject's abandon action does
+// before killing a thread mid-protocol) is RECLAIMED by any later scan —
+// slot tenure ended through the generation CAS, limbo orphaned, reservation
+// cleared — after which the epoch advances and pending retirals drain.
+// Plus the telemetry half: a stall streak blames the pinned slot
+// (ebr::stalled_slot / the ebr.stalled_slot gauge) and clears on recovery.
+//
+// Everything here uses the plain ebr/util API — no failpoints — so the
+// whole file runs in EVERY build config, including the default
+// VCAS_INJECT=OFF tier-1 suite and the TSan CI jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "obs/metrics.h"
+#include "util/threading.h"
+
+namespace {
+
+// Spin until `cond` holds or a generous iteration bound trips; the bound
+// turns a containment bug into a test failure instead of a suite timeout.
+template <typename Cond>
+bool eventually(Cond cond) {
+  for (int i = 0; i < 200000; ++i) {
+    if (cond()) return true;
+    vcas::ebr::flush();  // every scan runs containment + orphan adoption
+    std::this_thread::yield();
+  }
+  return cond();
+}
+
+// A pinned thread declares itself dead and goes silent (alive, blocked,
+// but out of the protocol — exactly an abandoned thread's shape). Any
+// other thread's scan must reclaim its slot, un-stall the epoch, and
+// drain the garbage it retired while pinned. The thread stays joinable.
+TEST(EbrStallContainment, DeadPinnedSlotIsReclaimedAndEpochResumes) {
+  const std::uint64_t reclaims_before = vcas::ebr::dead_slot_reclaims();
+  std::atomic<bool> dead{false};
+  std::atomic<bool> quit{false};
+  std::thread victim([&] {
+    vcas::ebr::pin();
+    for (std::int64_t i = 0; i < 64; ++i) {
+      vcas::ebr::retire(new std::int64_t(i));
+    }
+    vcas::ebr::declare_self_dead();
+    dead.store(true, std::memory_order_release);
+    // Alive but makes no further vcas/ebr calls (the declare contract).
+    while (!quit.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  while (!dead.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  const std::uint64_t epoch_before = vcas::ebr::stats().epoch;
+  // Containment: a scan notices the declaration and ends the tenure.
+  EXPECT_TRUE(eventually(
+      [&] { return vcas::ebr::dead_slot_reclaims() > reclaims_before; }));
+  // The reclaimed slot no longer pins the epoch: it advances again.
+  EXPECT_TRUE(eventually(
+      [&] { return vcas::ebr::stats().epoch > epoch_before + 2; }));
+  // The dead thread's limbo was orphaned and drains through normal scans —
+  // the victim's 64 retirals do not sit stranded.
+  vcas::ebr::drain_for_tests();
+  EXPECT_LT(vcas::ebr::stats().pending, 64u);
+  if (vcas::obs::kStatsEnabled) {
+    EXPECT_GE(vcas::obs::m::ebr_dead_slot_reclaims.read(), 1u);
+  }
+
+  quit.store(true, std::memory_order_release);
+  victim.join();  // declared-dead threads remain joinable
+  vcas::ebr::drain_for_tests();
+}
+
+// The generation check is what makes third-party reclamation safe against
+// slot recycling: a claimant holding a DEAD tenure's generation can never
+// end the next tenant's tenure.
+TEST(EbrStallContainment, StaleTenureClaimCannotEndNextTenure) {
+  int slot = -1;
+  std::uint64_t gen = 0;
+  std::thread a([&] {
+    slot = vcas::util::thread_slot();
+    gen = vcas::util::thread_slot_gen();
+  });
+  a.join();
+  // a's exit ended its tenure: the slot's generation moved past `gen`.
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(vcas::util::slot_tenure(slot), gen + 1);
+  // A reclaimer still holding (slot, gen) from the dead tenure must lose.
+  EXPECT_FALSE(vcas::util::claim_tenure_end(slot, gen));
+
+  // Recycle the slot to a LIVE tenant and try again: the stale claim keeps
+  // losing — the new tenure is untouchable with the old token.
+  std::atomic<bool> claimed{false};
+  std::atomic<bool> quit{false};
+  int b_slot = -1;
+  std::uint64_t b_gen = 0;
+  std::thread b([&] {
+    b_slot = vcas::util::thread_slot();
+    b_gen = vcas::util::thread_slot_gen();
+    claimed.store(true, std::memory_order_release);
+    while (!quit.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  while (!claimed.load(std::memory_order_acquire)) std::this_thread::yield();
+  EXPECT_FALSE(vcas::util::claim_tenure_end(slot, gen));
+  if (b_slot == slot) {
+    // Lowest-free-first usually hands b the same slot: its tenure token is
+    // the bumped generation, proving the slot really was recycled under
+    // the failed stale claim.
+    EXPECT_GT(b_gen, gen);
+    EXPECT_EQ(vcas::util::slot_tenure(slot), b_gen);
+  }
+  quit.store(true, std::memory_order_release);
+  b.join();
+  vcas::ebr::drain_for_tests();
+}
+
+// A declared-dead thread that exits NORMALLY before any reclaimer acts:
+// its own exit hook wins the tenure race, the declaration is wiped, and
+// the slot's next tenant must not be reclaimed by the stale flag.
+TEST(EbrStallContainment, NormalExitClearsDeclarationForNextTenant) {
+  const std::uint64_t reclaims_before = vcas::ebr::dead_slot_reclaims();
+  std::thread victim([&] {
+    vcas::ebr::pin();
+    vcas::ebr::unpin();
+    vcas::ebr::declare_self_dead();
+  });
+  victim.join();  // exit hook ends the tenure and clears the flag
+
+  // A fresh thread (very likely recycling the slot) pins and works; scans
+  // must treat it as fully live — no third-party reclaim fires.
+  std::atomic<bool> working{false};
+  std::atomic<bool> quit{false};
+  std::thread tenant([&] {
+    vcas::ebr::Guard g;
+    vcas::ebr::retire(new std::int64_t(1));
+    working.store(true, std::memory_order_release);
+    while (!quit.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  while (!working.load(std::memory_order_acquire)) std::this_thread::yield();
+  for (int i = 0; i < 100; ++i) vcas::ebr::flush();
+  // The victim's own exit consumed its declaration: nothing was (or will
+  // be) third-party reclaimed, and the live tenant was never disturbed.
+  EXPECT_EQ(vcas::ebr::dead_slot_reclaims(), reclaims_before);
+  quit.store(true, std::memory_order_release);
+  tenant.join();
+  vcas::ebr::drain_for_tests();
+}
+
+// Pending-retiral bound under mass abandonment: many pinned threads retire
+// garbage and die declared; containment must reclaim every one and the
+// whole backlog must drain — nothing stays stranded.
+TEST(EbrStallContainment, PendingRetiralsDrainAfterMassAbandonment) {
+  constexpr int kVictims = 8;
+  constexpr std::int64_t kRetiresEach = 128;
+  const std::uint64_t reclaims_before = vcas::ebr::dead_slot_reclaims();
+  std::atomic<int> dead{0};
+  std::atomic<bool> quit{false};
+  std::vector<std::thread> victims;
+  for (int v = 0; v < kVictims; ++v) {
+    victims.emplace_back([&] {
+      vcas::ebr::pin();
+      for (std::int64_t i = 0; i < kRetiresEach; ++i) {
+        vcas::ebr::retire(new std::int64_t(i));
+      }
+      vcas::ebr::declare_self_dead();
+      dead.fetch_add(1, std::memory_order_release);
+      while (!quit.load(std::memory_order_acquire)) std::this_thread::yield();
+    });
+  }
+  while (dead.load(std::memory_order_acquire) < kVictims) {
+    std::this_thread::yield();
+  }
+  // Every dead tenure reclaimed, then the orphaned backlog drains below
+  // one victim's worth — the bound the abandonment matrix relies on.
+  EXPECT_TRUE(eventually([&] {
+    return vcas::ebr::dead_slot_reclaims() >= reclaims_before + kVictims;
+  }));
+  vcas::ebr::drain_for_tests();
+  EXPECT_LT(vcas::ebr::stats().pending,
+            static_cast<std::size_t>(kRetiresEach));
+  quit.store(true, std::memory_order_release);
+  for (std::thread& t : victims) t.join();
+  vcas::ebr::drain_for_tests();
+}
+
+// The telemetry half: a try_advance failure streak against one slot
+// crosses the threshold and surfaces the blamed slot; recovery (the pin
+// released, epoch advancing again) clears the report.
+TEST(EbrStallContainment, StallStreakBlamesSlotAndRecoveryClearsIt) {
+  vcas::ebr::set_stall_threshold_for_tests(3);
+  std::atomic<int> victim_slot{-1};
+  std::atomic<bool> unpin{false};
+  std::thread victim([&] {
+    vcas::ebr::pin();
+    victim_slot.store(vcas::util::thread_slot(), std::memory_order_release);
+    while (!unpin.load(std::memory_order_acquire)) std::this_thread::yield();
+    vcas::ebr::unpin();
+  });
+  while (victim_slot.load(std::memory_order_acquire) < 0) {
+    std::this_thread::yield();
+  }
+  // First scan may still advance once (the victim pinned the CURRENT
+  // epoch); every scan after that stalls on it, and the third consecutive
+  // failure publishes the blame.
+  for (int i = 0; i < 8; ++i) vcas::ebr::flush();
+  EXPECT_EQ(vcas::ebr::stalled_slot(), victim_slot.load());
+  if (vcas::obs::kStatsEnabled) {
+    EXPECT_EQ(vcas::obs::m::ebr_stalled_slot.read(),
+              static_cast<std::int64_t>(victim_slot.load()) + 1);
+  }
+
+  unpin.store(true, std::memory_order_release);
+  victim.join();
+  // Epoch advances again; the blame (and its gauge mirror) must clear.
+  vcas::ebr::flush();
+  EXPECT_EQ(vcas::ebr::stalled_slot(), -1);
+  if (vcas::obs::kStatsEnabled) {
+    EXPECT_EQ(vcas::obs::m::ebr_stalled_slot.read(), 0);
+  }
+  vcas::ebr::set_stall_threshold_for_tests(16);  // restore the default
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace

@@ -1,0 +1,354 @@
+// Thread-abandonment matrix (fault-injection subsystem tentpole).
+//
+// The acceptance claim under test: a thread abandoned at ANY failpoint —
+// killed mid-protocol via inject::Action::kAbandon, which declares it dead
+// to EBR and parks it forever — leaves a system in which every remaining
+// thread's operations complete, and EBR reclaims the dead thread's slot so
+// pending retirals stay bounded. The matrix sweeps every registered
+// failpoint site (tools/lint/failpoints.toml) across every store backend;
+// each site's on_death entry documents the recovery this file asserts.
+//
+// Victims run detached and never exit (simulated death, not std::thread
+// teardown), so each abandons leaves one yielding thread and its store
+// alive until process exit — deliberate leaks, which is why this binary is
+// exercised by the TSan fault-injection CI job and not an ASan/LSan one.
+//
+// The whole file needs -DVCAS_INJECT=ON; in default builds it compiles to
+// a single skip so the test target exists in every configuration.
+#include <gtest/gtest.h>
+
+#if VCAS_INJECT
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "inject/failpoint.h"
+#include "obs/metrics.h"
+#include "store/backend.h"
+#include "store/batch.h"
+#include "store/store.h"
+
+namespace {
+
+using K = std::int64_t;
+using V = std::int64_t;
+
+// Deterministic schedules: the CI matrix reruns this binary under several
+// fixed seeds; the seed feeds every every_n site's splitmix hash.
+const bool kSeedApplied = [] {
+  if (const char* s = std::getenv("VCAS_INJECT_SEED")) {
+    vcas::inject::set_seed(std::strtoull(s, nullptr, 10));
+  }
+  return true;
+}();
+
+template <typename Backend>
+class FaultInjectionTest : public ::testing::Test {
+ public:
+  using Store = vcas::store::ShardedStore<K, V, Backend>;
+
+ protected:
+  void TearDown() override {
+    vcas::inject::disarm_all();
+    vcas::inject::release_all();
+  }
+};
+
+using Backends =
+    ::testing::Types<vcas::store::ListBackend, vcas::store::BstBackend,
+                     vcas::store::ChromaticBackend>;
+TYPED_TEST_SUITE(FaultInjectionTest, Backends);
+
+template <typename Cond>
+bool within_deadline(Cond cond, std::chrono::seconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// Arm `site` to abandon its next visitor, run `victim` detached, and
+// return once (a) the abandonment happened and (b) EBR's stall containment
+// reclaimed the dead thread's slot — the precondition for every survivor
+// assertion that follows. The arm is one-shot, so survivors passing the
+// same site afterwards sail through.
+void abandon_at(const char* site, std::function<void()> victim) {
+  const std::uint64_t abandoned_before = vcas::inject::abandoned();
+  const std::uint64_t reclaims_before = vcas::ebr::dead_slot_reclaims();
+  vcas::inject::Spec spec;
+  spec.action = vcas::inject::Action::kAbandon;
+  spec.trigger = 1;
+  vcas::inject::arm(site, spec);
+  std::thread(std::move(victim)).detach();
+  ASSERT_TRUE(within_deadline(
+      [&] { return vcas::inject::abandoned() > abandoned_before; },
+      std::chrono::seconds(60)))
+      << site << ": victim never reached the armed site";
+  // Containment: any scan reclaims the declared-dead slot. Drive scans
+  // from here — the site already disarmed, so our own ebr.scan hits are
+  // inert even when that is the site under test.
+  ASSERT_TRUE(within_deadline(
+      [&] {
+        vcas::ebr::flush();
+        return vcas::ebr::dead_slot_reclaims() > reclaims_before;
+      },
+      std::chrono::seconds(60)))
+      << site << ": dead slot never reclaimed";
+}
+
+// Post-abandonment invariants common to every site: writes land, reads
+// answer, snapshots stay internally stable, and the EBR backlog drains
+// instead of growing without bound behind the dead thread.
+template <typename Store>
+void assert_survivors_live(Store& store) {
+  EXPECT_TRUE(store.put(9001, 1));
+  EXPECT_EQ(store.get(9001), std::optional<V>(1));
+  EXPECT_TRUE(store.remove(9001));
+  EXPECT_FALSE(store.get(9001).has_value());
+  auto view = store.snapshotAll();
+  const auto first = view.multiGet({1, 2, 9001});
+  EXPECT_EQ(view.multiGet({1, 2, 9001}), first);  // stable re-read
+  for (int i = 0; i < 4; ++i) vcas::ebr::flush();
+  const std::size_t pending = vcas::ebr::stats().pending;
+  EXPECT_LT(pending, 100000u) << "EBR backlog stranded behind dead thread";
+}
+
+// --- the batch/txn helping protocol ------------------------------------------
+
+// Sites on the cooperative write path. Dying between any two steps leaves
+// a published descriptor; the FIRST survivor that meets it finishes the
+// protocol, so the batch/txn still commits (batches validate trivially,
+// and the txn here has an untouched witness).
+TYPED_TEST(FaultInjectionTest, AbandonedWriterIsFinishedByHelpers) {
+  for (const char* site :
+       {"store.batch.install", "batch.stamp", "batch.decide",
+        "store.txn.validate"}) {
+    SCOPED_TRACE(site);
+    const bool txn_site = std::string_view(site) == "store.txn.validate";
+    auto store = std::make_shared<typename TestFixture::Store>(4);
+    store->put(1, 10);
+    store->put(2, 20);
+    abandon_at(site, [store, txn_site] {
+      if (txn_site) {
+        auto txn = store->beginTransaction();
+        EXPECT_EQ(txn.get(1), std::optional<V>(10));
+        txn.put(2, 777);
+        (void)txn.commit();  // dies validating; helpers decide
+      } else {
+        typename TestFixture::Store::Batch b;
+        b.put(1, 100);
+        b.put(2, 200);
+        store->applyBatch(b);  // dies mid-protocol
+      }
+    });
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // A snapshot read over the orphaned descriptor's keys helps it to its
+    // decision; afterwards the write is fully, atomically visible.
+    (void)store->multiGet({1, 2});
+    if (txn_site) {
+      EXPECT_EQ(store->get(1), std::optional<V>(10));
+      EXPECT_EQ(store->get(2), std::optional<V>(777));
+    } else {
+      EXPECT_EQ(store->get(1), std::optional<V>(100));
+      EXPECT_EQ(store->get(2), std::optional<V>(200));
+    }
+    // Later conflicting writers overtake the corpse's decided record.
+    EXPECT_FALSE(store->put(1, 1000));
+    EXPECT_EQ(store->get(1), std::optional<V>(1000));
+    assert_survivors_live(*store);
+  }
+}
+
+// --- cell GC / janitor -------------------------------------------------------
+
+// Sites inside the janitor's shard claim. Dying there permanently strands
+// ONE shard's claim — the documented degradation: that shard's maintenance
+// stops, every operation stays live, and the POOL's bounded-requeue path
+// keeps its workers from orbiting the dead claim forever. (The synchronous
+// maintain_all would busy-wait on the stranded claim by design, so the
+// containment story here is the pool's.)
+TYPED_TEST(FaultInjectionTest, AbandonedJanitorStrandsOnlyItsShard) {
+  for (const char* site : {"maint.janitor.cell", "store.gc.seal",
+                           "store.gc.unmap", "store.gc.unlink"}) {
+    SCOPED_TRACE(site);
+    auto store = std::make_shared<typename TestFixture::Store>(2);
+    // A reclaimable tombstone in every shard gives the janitor seal work
+    // wherever its walk starts.
+    for (K k = 0; k < 8; ++k) {
+      store->put(k, k);
+      store->remove(k);
+    }
+    store->put(1000, 1);
+    store->camera().takeSnapshot();  // age the tombstones below the horizon
+    abandon_at(site, [store] { store->maintain_all(); });
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Operations never touch the janitor claim: reads, writes, snapshots
+    // and helpers all stay live on BOTH shards, including keys whose cells
+    // the dead janitor may have half-detached (sealed cells re-resolve to
+    // fresh ones on write).
+    for (K k = 0; k < 8; ++k) {
+      EXPECT_FALSE(store->get(k).has_value());
+      EXPECT_TRUE(store->put(k, k + 100));
+      EXPECT_EQ(store->get(k), std::optional<V>(k + 100));
+    }
+    EXPECT_EQ(store->get(1000), std::optional<V>(1));
+
+    // The pool survives the stranded claim: workers hitting it take the
+    // bounded kBusy-requeue path (dropping once the cap trips) and keep
+    // serving the other shard; stop() joins cleanly.
+    store->enable_maintenance(2, std::chrono::milliseconds(1));
+    for (int i = 0; i < 20; ++i) {
+      store->camera().takeSnapshot();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    store->disable_maintenance();
+    assert_survivors_live(*store);
+  }
+}
+
+// --- the version-list write path ---------------------------------------------
+
+// vcas.install dies between version-node preparation steps of a plain
+// put; vcas.coalesce / vcas.trim are skip-legal maintenance sites just
+// BEFORE their try-lock, so a corpse there holds nothing.
+TYPED_TEST(FaultInjectionTest, AbandonedVersionListWalkerHoldsNothing) {
+  struct Case {
+    const char* site;
+    int mode;  // 0 = put, 1 = coalescing put churn, 2 = trim
+  };
+  for (const Case c : {Case{"vcas.install", 0}, Case{"vcas.coalesce", 1},
+                       Case{"vcas.trim", 2}}) {
+    SCOPED_TRACE(c.site);
+    auto store = std::make_shared<typename TestFixture::Store>(2);
+    store->put(1, 10);
+    store->put(2, 20);
+    if (c.mode == 1) store->set_coalesce_every(1);
+    if (c.mode == 2) {
+      for (V i = 0; i < 16; ++i) store->put(1, i);  // history to trim
+      store->camera().takeSnapshot();
+    }
+    abandon_at(c.site, [store, c] {
+      switch (c.mode) {
+        case 0:
+          store->put(1, 11);
+          break;
+        case 1:
+          for (V i = 0; i < 64; ++i) store->put(1, 100 + i);
+          break;
+        default:
+          store->trim_all();
+          break;
+      }
+    });
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // The same key stays fully writable/readable/trimmable for survivors.
+    store->put(1, 555);
+    EXPECT_EQ(store->get(1), std::optional<V>(555));
+    EXPECT_EQ(store->get(2), std::optional<V>(20));
+    store->camera().takeSnapshot();
+    store->trim_all();  // the trim/coalesce locks were never stranded
+    EXPECT_EQ(store->get(1), std::optional<V>(555));
+    assert_survivors_live(*store);
+  }
+}
+
+// --- EBR itself --------------------------------------------------------------
+
+// A thread dying inside the reclaimer's own scan: its limbo (it had just
+// retired a coalesced node) must be orphaned by containment and the epoch
+// must keep advancing for everyone else.
+TYPED_TEST(FaultInjectionTest, AbandonedScannerDoesNotStallTheEpoch) {
+  auto store = std::make_shared<typename TestFixture::Store>(2);
+  store->put(1, 10);
+  store->put(2, 20);
+  abandon_at("ebr.scan", [store] {
+    store->put(1, 11);           // own a slot + some limbo
+    (void)vcas::ebr::flush();    // dies entering the scan
+  });
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const std::uint64_t epoch_before = vcas::ebr::stats().epoch;
+  ASSERT_TRUE(within_deadline(
+      [&] {
+        vcas::ebr::flush();
+        return vcas::ebr::stats().epoch > epoch_before + 2;
+      },
+      std::chrono::seconds(60)));
+  assert_survivors_live(*store);
+}
+
+// --- seeded schedule noise ---------------------------------------------------
+
+// Yield-storms on a seeded pseudo-random subset of hits at every hot
+// helping site at once, under real contention: the linearizability
+// invariants must hold on every schedule the seed matrix produces.
+TYPED_TEST(FaultInjectionTest, SeededYieldStormsKeepBatchesAtomic) {
+  typename TestFixture::Store store(4);
+  const std::vector<K> keys = {0, 1, 2, 3};
+  {
+    typename TestFixture::Store::Batch init;
+    for (K k : keys) init.put(k, 0);
+    store.applyBatch(init);
+  }
+  for (const char* site :
+       {"store.batch.install", "batch.stamp", "batch.decide",
+        "vcas.install"}) {
+    vcas::inject::Spec storm;
+    storm.action = vcas::inject::Action::kYieldStorm;
+    storm.every_n = 13;
+    storm.yields = 96;
+    vcas::inject::arm(site, storm);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      for (V round = 1; !stop.load(std::memory_order_relaxed); ++round) {
+        typename TestFixture::Store::Batch b;
+        for (K k : keys) b.put(k, round * 2 + w);
+        store.applyBatch(b);
+      }
+    });
+  }
+  for (int i = 0; i < 400; ++i) {
+    auto view = store.snapshotAll();
+    const auto vals = view.multiGet(keys);
+    for (std::size_t j = 1; j < vals.size(); ++j) {
+      if (!vals[j].has_value() || *vals[j] != *vals[0]) ok = false;
+    }
+    if (view.multiGet(keys) != vals) ok = false;
+    if (i % 50 == 0) store.trim_all();
+  }
+  stop = true;
+  for (auto& th : writers) th.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(kSeedApplied);
+  vcas::ebr::drain_for_tests();
+}
+
+}  // namespace
+
+#else  // !VCAS_INJECT
+
+TEST(FaultInjectionTest, RequiresInjectBuild) {
+  GTEST_SKIP() << "abandonment matrix requires -DVCAS_INJECT=ON "
+                  "(CI: the fault-injection job)";
+}
+
+#endif  // VCAS_INJECT

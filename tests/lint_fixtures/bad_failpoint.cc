@@ -1,0 +1,15 @@
+// expect-lint: unknown-failpoint-tag failpoint-wrong-file
+// lint-mode: manifest
+//
+// Two failpoint manifest-resolution failures: a tag with no failpoints.toml
+// entry, and a registered tag used from a file its entry does not list.
+// The correctly registered fix.fp.tagged site pins the happy path.
+namespace fixture {
+
+inline void hits() {
+  VCAS_FAILPOINT("fix.fp.tagged");
+  VCAS_FAILPOINT("fix.fp.unregistered");
+  VCAS_FAILPOINT_SKIP("fix.fp.elsewhere");
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// expect-lint: failpoint-not-literal
+// lint-mode: standalone
+//
+// VCAS_FAILPOINT must take a string literal so the catalog is greppable
+// and the failpoints.toml cross-check can resolve it statically — same
+// bargain as VCAS_ORD tags.
+namespace fixture {
+
+constexpr const char* kTag = "fix.fp.indirect";
+
+inline void hit() {
+  VCAS_FAILPOINT(kTag);
+}
+
+}  // namespace fixture

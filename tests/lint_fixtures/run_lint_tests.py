@@ -41,6 +41,8 @@ CONFIG = os.path.join(HERE, "config")
 CONFIG_EXPECT = {
     "memory_order_audit.toml": {"orphan-manifest-tag", "manifest-file-unused"},
     "reclamation.toml": {"stale-delete-whitelist"},
+    "failpoints.toml": {"orphan-failpoint-tag",
+                        "failpoint-manifest-file-unused"},
 }
 
 DIAG_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): error: "

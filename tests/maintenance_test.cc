@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "ebr/ebr.h"
+#include "inject/failpoint.h"
+#include "maint/maintenance.h"
 #include "obs/metrics.h"
 #include "store/backend.h"
 #include "store/batch.h"
@@ -29,6 +31,14 @@ template <typename Backend>
 class MaintenanceTest : public ::testing::Test {
  public:
   using Store = vcas::store::ShardedStore<K, V, Backend>;
+
+ protected:
+  // Failpoint sites are process-global; never leak an armed site into the
+  // next test.
+  void TearDown() override {
+    vcas::inject::disarm_all();
+    vcas::inject::release_all();
+  }
 };
 
 using Backends =
@@ -118,9 +128,13 @@ TYPED_TEST(MaintenanceTest, ViewAboveTombstoneReadsThroughDetachedCell) {
 
 // A batch planned against a cell that GC seals before the install lands
 // must re-resolve to a fresh cell instead of resurrecting the sealed one
-// (= silently losing the write). The pause hook parks the owner after its
-// first install; maintenance seals the second op's cell in the window.
+// (= silently losing the write). The store.batch.install failpoint parks
+// the owner after its first install; maintenance seals the second op's
+// cell in the window.
 TYPED_TEST(MaintenanceTest, BatchInstallReResolvesCellSealedMidFlight) {
+  if (!vcas::inject::kInjectEnabled) {
+    GTEST_SKIP() << "park failpoints require -DVCAS_INJECT=ON";
+  }
   typename TestFixture::Store store(2);
   // Key B's cell exists, is absent-stable, and its seed has aged: sealable
   // the moment the janitor looks at it.
@@ -129,30 +143,25 @@ TYPED_TEST(MaintenanceTest, BatchInstallReResolvesCellSealedMidFlight) {
   store.put(200, 2);  // key A, a different cell
   store.camera().takeSnapshot();
 
-  std::atomic<bool> parked{false};
-  std::atomic<bool> release{false};
-  store.set_batch_pause_for_tests([&](std::size_t installed, std::size_t) {
-    if (installed == 1) {
-      parked.store(true, std::memory_order_release);
-      while (!release.load(std::memory_order_acquire)) {
-        std::this_thread::yield();
-      }
-    }
-  });
+  vcas::inject::Spec spec;
+  spec.action = vcas::inject::Action::kPark;
+  spec.trigger = 1;  // park after the FIRST install, before the second
+  vcas::inject::arm("store.batch.install", spec);
   std::thread owner([&] {
     typename TestFixture::Store::Batch b;
     b.put(100, 111);
     b.put(200, 222);
     store.applyBatch(b);
   });
-  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+  while (vcas::inject::parked("store.batch.install") == 0) {
+    std::this_thread::yield();
+  }
   // Owner sits between its two installs; seal whatever absent-stable
   // cells the horizon allows (at least one of the batch's two, whichever
   // was not installed yet — install order is registry/shard dependent).
   store.maintain_all();
-  release.store(true, std::memory_order_release);
+  vcas::inject::release("store.batch.install");
   owner.join();
-  store.set_batch_pause_for_tests(nullptr);
 
   EXPECT_EQ(store.get(100), std::optional<V>(111));
   EXPECT_EQ(store.get(200), std::optional<V>(222));
@@ -384,6 +393,89 @@ TYPED_TEST(MaintenanceTest, PoolRunsHintsAndSurvivesLifecycleCycling) {
   store.put(1, 1);
   store.disable_maintenance();
   EXPECT_EQ(store.get(1), std::optional<V>(1));
+  vcas::ebr::drain_for_tests();
+}
+
+// --- watchdog ---------------------------------------------------------------
+
+// A worker stuck in a pass past the deadline is blamed by a peer: the
+// watchdog fires exactly once for the stuck instance, re-enqueues the
+// shard, and a live worker covers it — all while the rest of the pool
+// keeps serving hints. Uses a raw MaintenancePool (no store, no
+// injection): the stuck pass is just a PassFn that blocks on a flag.
+TEST(MaintWatchdogTest, StuckWorkerIsBlamedOnceAndPeersStayLive) {
+  const std::uint64_t fired_before = vcas::obs::m::maint_watchdog_fired.read();
+  std::atomic<bool> block{true};
+  std::atomic<int> shard0_passes{0};
+  std::atomic<int> shard1_passes{0};
+  vcas::maint::MaintenancePool pool(2, [&](std::size_t shard) {
+    if (shard == 0) {
+      // Only the FIRST shard-0 pass sticks; the watchdog's requeue (and
+      // any sweep) must complete instantly so the pool stays 1-stuck.
+      if (shard0_passes.fetch_add(1) == 0) {
+        while (block.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+    } else {
+      shard1_passes.fetch_add(1);
+    }
+    return vcas::maint::PassStatus::kWrapped;
+  });
+  pool.set_task_deadline(std::chrono::milliseconds(20));
+  pool.start(2, std::chrono::milliseconds(1));
+  pool.hint(0);  // one worker walks in and never comes back
+
+  // The shard the stuck worker claimed gets covered by a peer (watchdog
+  // requeue, or the periodic sweep — either way the generation is not
+  // lost), and other shards keep being served throughout.
+  for (int spin = 0; spin < 5000 && shard0_passes.load() < 2; ++spin) {
+    pool.hint(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(shard0_passes.load(), 2);
+  EXPECT_GT(shard1_passes.load(), 0);
+  if (vcas::obs::kStatsEnabled) {
+    // The blame itself: at least one firing, observed via the registry.
+    for (int spin = 0;
+         spin < 5000 &&
+         vcas::obs::m::maint_watchdog_fired.read() == fired_before;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GT(vcas::obs::m::maint_watchdog_fired.read(), fired_before);
+    // Dedup: one firing per stuck instance, not one per peer-scan tick.
+    // Grace period long enough for thousands of scan iterations.
+    const std::uint64_t after_fire = vcas::obs::m::maint_watchdog_fired.read();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_EQ(vcas::obs::m::maint_watchdog_fired.read(), after_fire);
+    EXPECT_GE(vcas::obs::m::maint_watchdog_requeues.read(),
+              after_fire - fired_before);
+  }
+
+  block.store(false, std::memory_order_release);
+  pool.stop();
+  vcas::ebr::drain_for_tests();
+}
+
+// Deadline unset (the default): the peer scan is off and a slow pass is
+// never blamed — zero watchdog firings no matter how long it runs.
+TEST(MaintWatchdogTest, DisabledDeadlineNeverFires) {
+  const std::uint64_t fired_before = vcas::obs::m::maint_watchdog_fired.read();
+  std::atomic<bool> block{true};
+  std::atomic<bool> entered{false};
+  vcas::maint::MaintenancePool pool(1, [&](std::size_t) {
+    entered.store(true, std::memory_order_release);
+    while (block.load(std::memory_order_acquire)) std::this_thread::yield();
+    return vcas::maint::PassStatus::kWrapped;
+  });
+  pool.start(2, std::chrono::milliseconds(1));
+  pool.hint(0);
+  while (!entered.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(vcas::obs::m::maint_watchdog_fired.read(), fired_before);
+  block.store(false, std::memory_order_release);
+  pool.stop();
   vcas::ebr::drain_for_tests();
 }
 

@@ -2,7 +2,7 @@
 // target so each header lands in compile_commands.json and clang-tidy's
 // --header-filter sweep analyzes all of them (headers with no .cc of their
 // own would otherwise be invisible to the gate). Also proves every header
-// is self-contained under both VCAS_STATS configurations.
+// is self-contained under every VCAS_STATS / VCAS_INJECT configuration.
 #include "baselines/cow_tree.h"
 #include "baselines/epoch_bst.h"
 #include "ds/chromatic.h"
@@ -10,6 +10,7 @@
 #include "ds/harris_list.h"
 #include "ds/msqueue.h"
 #include "ebr/ebr.h"
+#include "inject/failpoint.h"
 #include "maint/janitor.h"
 #include "maint/maintenance.h"
 #include "obs/metrics.h"

@@ -24,6 +24,13 @@ repo's concurrency contract:
                          matches the tree
   banned-volatile        volatile outside `asm volatile` / whitelist
   banned-sleep           sleeping primitives in src/ hot paths
+  failpoint-not-literal  VCAS_FAILPOINT(_SKIP) argument is not a string literal
+  unknown-failpoint-tag  failpoint tag missing from failpoints.toml
+  failpoint-wrong-file   tag used in a file its manifest entry does not list
+  orphan-failpoint-tag   failpoints.toml tag never used in the linted tree
+  failpoint-manifest-file-unused
+                         failpoints.toml entry lists a file that never uses
+                         the tag
 
 Suppress a diagnostic with `// vcas-lint: allow(rule-id)` on the same line or
 on a comment line directly above.
@@ -32,6 +39,8 @@ Usage:
   tools/vcas_lint.py [options] PATH...
   tools/vcas_lint.py --emit-doc docs/memory_model.md src
   tools/vcas_lint.py --check-doc docs/memory_model.md src
+  tools/vcas_lint.py --emit-fp-doc docs/failpoints.md src
+  tools/vcas_lint.py --check-fp-doc docs/failpoints.md src
 
 Options:
   --config-dir DIR      config root (default: tools/lint next to this script)
@@ -191,6 +200,7 @@ STRONG_ORDERS = {"memory_order_seq_cst", "memory_order_acq_rel"}
 COMPOUND_ASSIGN = {"+=", "-=", "&=", "|=", "^=", "*=", "/=", "%=", "<<=",
                    ">>="}
 SLEEP_IDS = {"sleep_for", "sleep_until", "usleep", "nanosleep", "sleep"}
+FAILPOINT_IDS = {"VCAS_FAILPOINT", "VCAS_FAILPOINT_SKIP"}
 BOUNDARY = {";", "{", "}"}
 
 
@@ -199,6 +209,7 @@ class FileReport:
         self.path = path
         self.diags = []          # (line, rule, msg)
         self.ord_tags = []       # (tag, line)
+        self.fp_tags = []        # (tag, line, macro)
         self.deletes = {}        # stmt text -> [lines]
         self.news = {}           # (type, stmt) -> [lines]
         self.strong_sites = []   # (line, kind, tags)
@@ -335,6 +346,28 @@ def analyze_file(path, rel, text, cfg):
             else:
                 diag(t.line, "ord-tag-not-literal",
                      "VCAS_ORD argument must be a string literal tag")
+
+    # ---- failpoint sites (VCAS_FAILPOINT / VCAS_FAILPOINT_SKIP) ----
+    #
+    # pp tokens are skipped, which exempts the macro definitions in
+    # inject/failpoint.h themselves; expansion sites are ordinary code.
+    fp_manifest = cfg.get("failpoints", {})
+    for i, t in enumerate(toks):
+        if t.pp or t.kind != "id" or t.val not in FAILPOINT_IDS:
+            continue
+        if (i + 2 < len(toks) and toks[i + 1].val == "("
+                and toks[i + 2].kind == "str"):
+            tag = toks[i + 2].val.strip('"')
+            rep.fp_tags.append((tag, t.line, t.val))
+            if tag not in fp_manifest:
+                diag(t.line, "unknown-failpoint-tag",
+                     f"tag \"{tag}\" not in failpoints.toml")
+            elif rel not in fp_manifest[tag].get("files", []):
+                diag(t.line, "failpoint-wrong-file",
+                     f"tag \"{tag}\" does not list {rel} in its files")
+        else:
+            diag(t.line, "failpoint-not-literal",
+                 f"{t.val} argument must be a string literal tag")
 
     # ---- strong sites need a tag in the same statement ----
     strong_idx = []
@@ -533,7 +566,17 @@ def load_config(config_dir):
         audit = tomllib.load(f)
     with open(os.path.join(config_dir, "reclamation.toml"), "rb") as f:
         reclaim = tomllib.load(f)
-    return {"manifest": audit.get("tags", {}), "reclaim": reclaim}
+    # Tolerate a missing failpoints.toml (older fixture config dirs): the
+    # tree-wide run always has one, and an absent manifest simply means
+    # every failpoint tag is unknown — which a tree without failpoints
+    # vacuously satisfies.
+    fp = {}
+    fp_path = os.path.join(config_dir, "failpoints.toml")
+    if os.path.exists(fp_path):
+        with open(fp_path, "rb") as f:
+            fp = tomllib.load(f)
+    return {"manifest": audit.get("tags", {}), "reclaim": reclaim,
+            "failpoints": fp.get("tags", {})}
 
 
 def iter_source_files(paths):
@@ -571,6 +614,23 @@ def cross_checks(reports, cfg, diags):
             if f not in used_by_tag[tag]:
                 diags.append(("memory_order_audit.toml", 0,
                               "manifest-file-unused",
+                              f"tag \"{tag}\" lists {f} but that file never "
+                              "uses it"))
+    # two-way failpoint tag resolution (same shape as VCAS_ORD tags)
+    fp_used = {}
+    for rep in reports:
+        for tag, _line, _macro in rep.fp_tags:
+            fp_used.setdefault(tag, set()).add(rep.path)
+    for tag, entry in cfg.get("failpoints", {}).items():
+        files = entry.get("files", [])
+        if tag not in fp_used:
+            diags.append(("failpoints.toml", 0, "orphan-failpoint-tag",
+                          f"tag \"{tag}\" is never used in the linted tree"))
+            continue
+        for f in files:
+            if f not in fp_used[tag]:
+                diags.append(("failpoints.toml", 0,
+                              "failpoint-manifest-file-unused",
                               f"tag \"{tag}\" lists {f} but that file never "
                               "uses it"))
     # reclamation whitelist, exact two-way
@@ -625,7 +685,9 @@ def per_file_checks(reports, cfg, diags, manifest_sync):
     for rep in reports:
         for line, rule, msg in rep.diags:
             if not manifest_sync and rule in {"unknown-ord-tag",
-                                              "ord-tag-wrong-file"}:
+                                              "ord-tag-wrong-file",
+                                              "unknown-failpoint-tag",
+                                              "failpoint-wrong-file"}:
                 continue
             diags.append((rep.path, line, rule, msg))
 
@@ -683,6 +745,59 @@ def build_doc(reports, cfg):
     return "".join(out)
 
 
+FP_DOC_HEADER = """\
+# Failpoint catalog
+
+<!-- GENERATED by tools/vcas_lint.py --emit-fp-doc — do not hand-edit.
+     Regenerate with: python3 tools/vcas_lint.py --emit-fp-doc docs/failpoints.md src -->
+
+The canonical record of every fault-injection site in `src/` — all
+`VCAS_FAILPOINT("tag")` / `VCAS_FAILPOINT_SKIP("tag")` expansions
+(`src/inject/failpoint.h`, compiled out unless `-DVCAS_INJECT=ON`) — and
+the recovery argument each one rests on. Every site names an entry in
+`tools/lint/failpoints.toml`; `tools/vcas_lint.py src` fails the build if
+a site's tag is unknown or an entry here goes unused (two-way sync).
+
+A failpoint marks a between-steps point of a helping protocol where a
+thread may be parked, yield-stormed, or abandoned mid-flight. "If the
+thread dies here" is the containment story: who completes or safely
+forgoes the stranded work. Sites marked *skip* are `VCAS_FAILPOINT_SKIP`
+expressions guarding skip-legal maintenance steps.
+
+"""
+
+
+def build_fp_doc(reports, cfg):
+    manifest = cfg.get("failpoints", {})
+    counts = {}
+    for rep in reports:
+        for tag, _line, _macro in rep.fp_tags:
+            counts.setdefault(tag, {}).setdefault(rep.path, 0)
+            counts[tag][rep.path] += 1
+    site_total = sum(len(r.fp_tags) for r in reports)
+    out = [FP_DOC_HEADER]
+    out.append(f"**{site_total} failpoint sites** across "
+               f"{sum(1 for r in reports if r.fp_tags)} files resolve to "
+               f"**{len(manifest)} catalogued tags**.\n\n")
+    by_area = {}
+    for tag in sorted(manifest):
+        area = tag.split(".", 1)[0]
+        by_area.setdefault(area, []).append(tag)
+    for area in sorted(by_area):
+        out.append(f"## {area}\n\n")
+        for tag in by_area[area]:
+            e = manifest[tag]
+            kind = " *(skip)*" if e.get("kind") == "skip" else ""
+            out.append(f"### `{tag}`{kind}\n\n")
+            use = counts.get(tag, {})
+            for f in e.get("files", []):
+                out.append(f"- `{f}` — {use.get(f, 0)} site(s)\n")
+            out.append(f"\n**Where.** {e.get('where', '').strip()}\n\n")
+            out.append("**If the thread dies here.** "
+                       f"{e.get('on_death', '').strip()}\n\n")
+    return "".join(out)
+
+
 # --- main --------------------------------------------------------------------
 
 def main(argv):
@@ -693,6 +808,8 @@ def main(argv):
     ap.add_argument("--list-strong", action="store_true")
     ap.add_argument("--emit-doc", metavar="PATH")
     ap.add_argument("--check-doc", metavar="PATH")
+    ap.add_argument("--emit-fp-doc", metavar="PATH")
+    ap.add_argument("--check-fp-doc", metavar="PATH")
     args = ap.parse_args(argv)
 
     script_dir = os.path.dirname(os.path.abspath(__file__))
@@ -720,6 +837,13 @@ def main(argv):
         print(f"wrote {args.emit_doc}")
         return 0
 
+    if args.emit_fp_doc:
+        doc = build_fp_doc(reports, cfg)
+        with open(args.emit_fp_doc, "w", encoding="utf-8") as f:
+            f.write(doc)
+        print(f"wrote {args.emit_fp_doc}")
+        return 0
+
     diags = []
     per_file_checks(reports, cfg, diags, not args.no_manifest_sync)
     if not args.no_manifest_sync:
@@ -736,6 +860,18 @@ def main(argv):
             diags.append((args.check_doc, 0, "doc-out-of-sync",
                           "regenerate with: python3 tools/vcas_lint.py "
                           "--emit-doc docs/memory_model.md src"))
+
+    if args.check_fp_doc:
+        want = build_fp_doc(reports, cfg)
+        try:
+            with open(args.check_fp_doc, "r", encoding="utf-8") as f:
+                have = f.read()
+        except OSError:
+            have = ""
+        if want != have:
+            diags.append((args.check_fp_doc, 0, "doc-out-of-sync",
+                          "regenerate with: python3 tools/vcas_lint.py "
+                          "--emit-fp-doc docs/failpoints.md src"))
 
     for f, line, rule, msg in sorted(diags):
         print(f"{f}:{line}: error: [{rule}] {msg}")
