@@ -1,0 +1,287 @@
+// Snapshot-pin scaling (ISSUE 10): refcount-packed eras vs the old
+// announcement-slot protocol.
+//
+// Two protocols, same workload shapes:
+//
+//   era    the real Camera: pin = ONE unconditional fetch_add on the
+//          packed era word (wait-free, no retry loop), release bumps the
+//          era's inner count, min_active walks the O(live eras) chain.
+//   slots  a bench-local reimplementation of the pre-PR protocol the era
+//          rework replaced: every reader announces its handle in a padded
+//          per-thread slot with a seq_cst publish, re-validating against
+//          the clock (the retry loop — a reader can chase the clock
+//          arbitrarily long under write pressure), and min_active scans
+//          every slot up to the process's slot high water.
+//
+// Two measured shapes per thread count:
+//
+//   pin         back-to-back pin+snapshot / release pairs on all threads.
+//               The acceptance claims: era throughput scales with threads
+//               (disjoint cache-line fetch_adds roll up in hardware) and
+//               its retry counter is structurally ZERO — the bench exits
+//               nonzero if any era pin ever retried.
+//   min_active  one caller computing the horizon while one pin is held
+//               and the clock ticks. The era walk is O(live eras) —
+//               independent of how many threads EVER registered — while
+//               the slot scan pays O(slot high water), which only ever
+//               grows (scan_width in the JSON rows: it keeps the maximum
+//               thread count across the sweep; eras_live stays ~2).
+//
+// JSON rows (VCAS_BENCH_JSON=1): {proto, op:"pin", threads, mops,
+// pin_retries} and {proto, op:"min_active", threads, ops_per_sec,
+// scan_width | eras_live}.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "util/padded.h"
+#include "vcas/camera.h"
+
+namespace {
+
+using namespace vcas::bench;
+
+// --- the old protocol, reconstructed for comparison --------------------------
+
+// Faithful to the replaced design where it matters for cost: seq_cst slot
+// publish with clock re-validation (the retry loop), seq_cst slot scan to
+// the high water for the horizon. Slot indices are handed out per thread
+// per phase; high_water only ever grows, like the real slot registry's.
+class SlotCamera {
+ public:
+  std::int64_t pin_and_snapshot(int slot, std::uint64_t& retries) {
+    for (;;) {
+      const std::int64_t t = clock_.load(std::memory_order_seq_cst);
+      slots_[slot].value.store(t, std::memory_order_seq_cst);
+      if (clock_.load(std::memory_order_seq_cst) == t) {
+        // takeSnapshot parity: one CAS attempt to advance the clock.
+        std::int64_t cur = t;
+        clock_.compare_exchange_strong(cur, t + 1,
+                                       std::memory_order_seq_cst);
+        return t;
+      }
+      ++retries;  // the clock moved under the announcement: republish
+    }
+  }
+  void unpin(int slot) {
+    slots_[slot].value.store(-1, std::memory_order_seq_cst);
+  }
+  std::int64_t take_snapshot() {
+    std::int64_t cur = clock_.load(std::memory_order_seq_cst);
+    clock_.compare_exchange_strong(cur, cur + 1, std::memory_order_seq_cst);
+    return cur;
+  }
+  void raise_high_water(int slots) {
+    int hw = high_water_.load(std::memory_order_relaxed);
+    while (hw < slots &&
+           !high_water_.compare_exchange_weak(hw, slots,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  int high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  std::int64_t min_active() {
+    std::int64_t m = clock_.load(std::memory_order_seq_cst);
+    const int hw = high_water();
+    for (int i = 0; i < hw; ++i) {
+      const std::int64_t v = slots_[i].value.load(std::memory_order_seq_cst);
+      if (v >= 0 && v < m) m = v;
+    }
+    return m;
+  }
+
+ private:
+  std::atomic<std::int64_t> clock_{0};
+  std::atomic<int> high_water_{0};
+  vcas::util::Padded<std::atomic<std::int64_t>> slots_[vcas::util::kMaxThreads] = {};
+};
+
+struct PinResult {
+  double mops = 0;
+  std::uint64_t retries = 0;
+};
+
+// T threads run back-to-back pin+snapshot / release pairs for run_ms.
+template <typename PinPair>
+PinResult run_pin_phase(int threads, int run_ms, PinPair&& per_thread) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  vcas::util::Padded<std::uint64_t> ops[vcas::util::kMaxThreads] = {};
+  vcas::util::Padded<std::uint64_t> retries[vcas::util::kMaxThreads] = {};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t n = 0;
+      std::uint64_t r = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        per_thread(t, r);
+        ++n;
+      }
+      ops[t].value = n;
+      retries[t].value = r;
+    });
+  }
+  vcas::util::Timer timer;
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double secs = timer.elapsed_seconds();
+
+  PinResult res;
+  std::uint64_t total = 0;
+  for (int t = 0; t < threads; ++t) {
+    total += ops[t].value;
+    res.retries += retries[t].value;
+  }
+  res.mops = static_cast<double>(total) / secs / 1e6;
+  return res;
+}
+
+// One caller computes the horizon in a loop while a ticker advances the
+// clock (so the era chain actually rolls and sweeps underneath).
+template <typename MinActive, typename Tick>
+double run_min_active_phase(int run_ms, MinActive&& min_active, Tick&& tick) {
+  std::atomic<bool> stop{false};
+  std::thread ticker([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      tick();
+      std::this_thread::yield();
+    }
+  });
+  std::uint64_t calls = 0;
+  vcas::util::Timer timer;
+  while (timer.elapsed_seconds() * 1e3 < run_ms) {
+    for (int i = 0; i < 64; ++i) min_active();
+    calls += 64;
+  }
+  const double secs = timer.elapsed_seconds();
+  stop.store(true, std::memory_order_release);
+  ticker.join();
+  return static_cast<double>(calls) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg = config_from_env();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      cfg.run_ms = 20;
+      cfg.reps = 1;
+      cfg.threads = {2};
+    }
+  }
+  JsonReport report("snapshot_scaling");
+  std::printf("== Snapshot pins: refcount-packed eras vs announcement slots "
+              "==\n");
+  std::printf("era = wait-free fetch_add pin + O(live eras) horizon; slots = "
+              "seq_cst announce/validate retry loop + O(slot high water) "
+              "scan\n\n");
+  std::printf("%-6s %8s %14s %13s %18s %12s\n", "proto", "threads",
+              "pin Mops/s", "pin retries", "min_active ops/s", "scan cost");
+
+  vcas::Camera era_cam;          // one instance each, shared across the
+  SlotCamera slot_cam;           // sweep like a long-lived process
+  std::uint64_t era_retries_total = 0;
+
+  for (int threads : cfg.threads) {
+    // --- era ---
+    PinResult era_pin{};
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      const PinResult r = run_pin_phase(
+          threads, cfg.run_ms, [&](int, std::uint64_t&) {
+            vcas::Camera::PinnedSnapshot ps = era_cam.pin_and_snapshot();
+            era_cam.unpin(ps.pin);
+          });
+      era_pin.mops += r.mops / cfg.reps;
+      era_pin.retries += r.retries;  // structurally zero: no retry path
+    }
+    era_retries_total += era_pin.retries;
+    double era_scan = 0;
+    {
+      vcas::Camera::PinnedSnapshot held = era_cam.pin_and_snapshot();
+      era_scan = run_min_active_phase(
+          cfg.run_ms, [&] { (void)era_cam.min_active(); },
+          [&] { era_cam.takeSnapshot(); });
+      era_cam.unpin(held.pin);
+    }
+    const long long eras_live = era_cam.eras_live();
+    std::printf("%-6s %8d %14.3f %13llu %18.0f %9lld eras\n", "era", threads,
+                era_pin.mops,
+                static_cast<unsigned long long>(era_pin.retries), era_scan,
+                eras_live);
+    JsonRow era_row;
+    era_row.field("proto", "era")
+        .field("op", "pin")
+        .field("threads", static_cast<long long>(threads))
+        .field("mops", era_pin.mops)
+        .field("pin_retries", static_cast<long long>(era_pin.retries));
+    report.add(era_row);
+    JsonRow era_scan_row;
+    era_scan_row.field("proto", "era")
+        .field("op", "min_active")
+        .field("threads", static_cast<long long>(threads))
+        .field("ops_per_sec", era_scan)
+        .field("eras_live", eras_live);
+    report.add(era_scan_row);
+
+    // --- slots ---
+    slot_cam.raise_high_water(threads);
+    PinResult slot_pin{};
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      const PinResult r = run_pin_phase(
+          threads, cfg.run_ms, [&](int slot, std::uint64_t& retries) {
+            (void)slot_cam.pin_and_snapshot(slot, retries);
+            slot_cam.unpin(slot);
+          });
+      slot_pin.mops += r.mops / cfg.reps;
+      slot_pin.retries += r.retries;
+    }
+    double slot_scan = 0;
+    {
+      std::uint64_t r = 0;
+      (void)slot_cam.pin_and_snapshot(0, r);  // one held announcement
+      slot_scan = run_min_active_phase(
+          cfg.run_ms, [&] { (void)slot_cam.min_active(); },
+          [&] { (void)slot_cam.take_snapshot(); });
+      slot_cam.unpin(0);
+    }
+    std::printf("%-6s %8d %14.3f %13llu %18.0f %9d slots\n", "slots",
+                threads, slot_pin.mops,
+                static_cast<unsigned long long>(slot_pin.retries), slot_scan,
+                slot_cam.high_water());
+    JsonRow slot_row;
+    slot_row.field("proto", "slots")
+        .field("op", "pin")
+        .field("threads", static_cast<long long>(threads))
+        .field("mops", slot_pin.mops)
+        .field("pin_retries", static_cast<long long>(slot_pin.retries));
+    report.add(slot_row);
+    JsonRow slot_scan_row;
+    slot_scan_row.field("proto", "slots")
+        .field("op", "min_active")
+        .field("threads", static_cast<long long>(threads))
+        .field("ops_per_sec", slot_scan)
+        .field("scan_width", static_cast<long long>(slot_cam.high_water()));
+    report.add(slot_scan_row);
+  }
+  vcas::ebr::drain_for_tests();
+
+  if (era_retries_total != 0) {
+    std::fprintf(stderr,
+                 "FAIL: era pin retried %llu times — the pin path must be "
+                 "a single unconditional fetch_add\n",
+                 static_cast<unsigned long long>(era_retries_total));
+    return 1;
+  }
+  std::printf("\nera pin retries: 0 (wait-free pin path held)\n");
+  return 0;
+}

@@ -4,11 +4,11 @@
 // experiments (Figures 2j/2k) compare VcasBST against.
 //
 // Mechanism: a global range-query clock (reused from vcas::Camera, which
-// also provides the announcement table). Every leaf carries an insert
+// also provides the era-pinned GC horizon). Every leaf carries an insert
 // timestamp (itime) and a delete timestamp (dtime), stamped right after
 // the linearizing child CAS; readers help stamp (the same TBD/helping idea
 // as initTS) so the structure stays lock-free. A range query
-//   1. announces and takes a timestamp ts,
+//   1. pins the current era and takes a timestamp ts,
 //   2. traverses the live tree collecting in-range leaves visible at ts
 //      (itime <= ts < dtime),
 //   3. scans per-thread limbo lists of recently deleted leaves — value
@@ -222,7 +222,8 @@ class EpochBST {
   // Atomic range query: Arbel-Raviv & Brown's tree-traversal + limbo-scan.
   std::vector<std::pair<K, V>> range(const K& lo, const K& hi) {
     ebr::Guard g;
-    const Timestamp ts = clock_.announce_and_snapshot();
+    Camera::PinnedSnapshot snap = clock_.pin_and_snapshot();
+    const Timestamp ts = snap.ts;
     std::set<K> seen;
     std::vector<std::pair<K, V>> out;
     collect_rec(root_, lo, hi, ts, seen, out);
@@ -238,7 +239,7 @@ class EpochBST {
         if (seen.insert(rec.key).second) out.emplace_back(rec.key, rec.value);
       }
     }
-    clock_.clear_announcement();
+    clock_.unpin(snap.pin);
     std::sort(out.begin(), out.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     return out;

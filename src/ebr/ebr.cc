@@ -92,6 +92,27 @@ std::atomic<std::uint64_t> g_dead_reclaims{0};
 util::Mutex g_orphan_mu;
 std::vector<SubBag> g_orphans VCAS_GUARDED_BY(g_orphan_mu);
 
+// Dead-slot hooks (ebr.h): run under g_hook_mu so unregister is a barrier.
+struct DeadHook {
+  void* ctx;
+  DeadSlotHook fn;
+};
+util::Mutex g_hook_mu;
+std::vector<DeadHook> g_hooks VCAS_GUARDED_BY(g_hook_mu);
+// Reentrancy latch: hook bodies must not re-enter dead-slot reclamation
+// (they would self-deadlock on g_hook_mu). With the latch set, a nested
+// try_advance simply defers the other dead slot to any later scan.
+thread_local bool t_in_dead_hooks = false;
+
+void run_dead_slot_hooks(int slot) {
+  t_in_dead_hooks = true;
+  {
+    util::MutexLock lock(g_hook_mu);
+    for (const DeadHook& h : g_hooks) h.fn(h.ctx, slot);
+  }
+  t_in_dead_hooks = false;
+}
+
 ThreadState& self() { return g_threads[util::thread_slot()].value; }
 
 // Smallest epoch any pinned thread may still be reading in. Scans only
@@ -146,9 +167,15 @@ void end_tenure(int slot, std::uint64_t gen) {
   // declared dead, then exited normally before any reclaimer acted), so
   // the slot's next tenant starts without a stale flag.
   std::uint64_t flag = gen + 1;
-  g_dead[slot].value.compare_exchange_strong(flag, 0,
-                                             std::memory_order_release,
-                                             std::memory_order_relaxed);
+  if (g_dead[slot].value.compare_exchange_strong(flag, 0,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+    // The tenure died declared-dead and we (its own exit destructors) beat
+    // the containment reclaimer to the claim: the dead tenure's external
+    // per-slot state (e.g. abandoned snapshot pins) still needs draining,
+    // and it must happen before finish_tenure_end releases the slot.
+    run_dead_slot_hooks(slot);
+  }
   util::finish_tenure_end(slot);
 }
 
@@ -157,12 +184,18 @@ void end_tenure(int slot, std::uint64_t gen) {
 // released and recycled to a live tenant, the dead tenure's generation is
 // stale and the claim fails (we only clear the leftover flag).
 void reclaim_dead(int slot, std::uint64_t flag) {
+  // A dead-slot hook body reached a nested try_advance: defer this slot
+  // to a later scan rather than deadlock on the hook registry mutex.
+  if (t_in_dead_hooks) return;
   const std::uint64_t gen = flag - 1;
   if (util::claim_tenure_end(slot, gen)) {
     orphan_slot(slot);
     g_dead[slot].value.compare_exchange_strong(flag, 0,
                                                std::memory_order_release,
                                                std::memory_order_relaxed);
+    // Hooks run BEFORE finish_tenure_end: the slot must not be re-tenanted
+    // while a hook is still reading the dead tenure's per-slot state.
+    run_dead_slot_hooks(slot);
     util::finish_tenure_end(slot);
     g_dead_reclaims.fetch_add(1, std::memory_order_relaxed);
     obs::m::ebr_dead_slot_reclaims.add();
@@ -407,6 +440,20 @@ std::uint64_t dead_slot_reclaims() {
 
 void set_stall_threshold_for_tests(int consecutive_failures) {
   g_stall_threshold.store(consecutive_failures, std::memory_order_relaxed);
+}
+
+void register_dead_slot_hook(void* ctx, DeadSlotHook fn) {
+  util::MutexLock lock(g_hook_mu);
+  g_hooks.push_back(DeadHook{ctx, fn});
+}
+
+void unregister_dead_slot_hook(void* ctx) {
+  util::MutexLock lock(g_hook_mu);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < g_hooks.size(); ++i) {
+    if (g_hooks[i].ctx != ctx) g_hooks[keep++] = g_hooks[i];
+  }
+  g_hooks.resize(keep);
 }
 
 Stats stats() {

@@ -104,4 +104,21 @@ std::uint64_t dead_slot_reclaims();
 // reported as stalled. Test hook; default 16.
 void set_stall_threshold_for_tests(int consecutive_failures);
 
+// --- dead-slot hooks ---------------------------------------------------------
+//
+// Subsystems that keep per-slot state OUTSIDE ebr (e.g. the camera's
+// snapshot-pin ledger) register a hook; when a declared-dead slot's tenure
+// end is claimed — by containment's reclaim or by the dead thread's own
+// exit destructors — every registered hook runs exactly once for that
+// slot: after the slot's EBR state was orphaned, and strictly before the
+// slot is released for reuse, so a hook may read the dead tenure's plain
+// per-slot state race-free. Hooks execute under the registry mutex (which
+// is what makes unregister a barrier: once it returns, no hook with that
+// ctx can be running or run again). Hooks must therefore be cheap and
+// reentrancy-free: no EBR calls, no locks an EBR path can hold, no
+// failpoints.
+using DeadSlotHook = void (*)(void* ctx, int slot);
+void register_dead_slot_hook(void* ctx, DeadSlotHook fn);
+void unregister_dead_slot_hook(void* ctx);
+
 }  // namespace vcas::ebr

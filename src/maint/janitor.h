@@ -79,6 +79,9 @@ class CellJanitor {
     ebr::Guard g;
     VCAS_TRACE_SPAN(obs::Ev::kJanitorPass,
                     static_cast<std::uint32_t>(shard_idx));
+    // O(live eras) since the era-pin rework — cheap enough to refresh per
+    // task rather than amortize across a whole shard cycle, so the trim
+    // horizon tracks pin releases closely.
     const Timestamp horizon = store.camera_.min_active();
     // Resume in O(1): the previous pass parked the next unprocessed cell
     // AND its registry predecessor (unlinks need the predecessor, and

@@ -368,6 +368,15 @@ inline Counter guards_taken{"camera.guards_taken"};
 inline Gauge guards_active{"camera.guards_active"};
 inline Histogram min_active_lag{"camera.min_active_lag"};  // clock ticks
 
+// era-pinned snapshot protocol (replaced the announcement slot scan)
+inline Counter pin_fastpath{"camera.pin_fastpath"};
+// Pins that had to retry: structurally zero — the pin path is ONE
+// unconditional fetch_add with no loop. The meter exists so
+// bench_snapshot_scaling can assert wait-freedom stayed true.
+inline Counter pin_retries{"camera.pin_retries"};
+inline Counter era_rolls{"camera.era_rolls"};
+inline Gauge eras_live{"camera.eras_live"};
+
 // vcas version chains
 inline Histogram chain_length{"vcas.chain_length"};    // sampled by janitor
 inline Histogram coalesce_run{"vcas.coalesce_run"};    // run sizes unlinked

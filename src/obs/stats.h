@@ -3,7 +3,7 @@
 // obs::collect() reads the process-wide registry (aggregate-on-read over
 // the per-thread slots) into a plain-value StatsSnapshot;
 // ShardedStore::stats() adds the fields only a store instance knows
-// (clock, min_active lag, announcement occupancy, maintenance queue
+// (clock, min_active lag, live-pin occupancy, maintenance queue
 // depth). The snapshot is coherent the way the registry is coherent:
 // each field is an atomic aggregate taken at one instant, monotone
 // across calls, exact once writers quiesce.
@@ -27,7 +27,7 @@ struct StatsSnapshot {
   std::uint64_t clock = 0;           // store-live
   std::uint64_t min_active = 0;      // store-live
   std::uint64_t min_active_lag_now = 0;  // store-live: clock - min_active
-  int announced_slots = 0;           // store-live: occupied announcement slots
+  int live_pins = 0;                 // store-live: outstanding snapshot pins
 
   // vcas version chains
   HistogramSnapshot chain_length;
@@ -172,7 +172,7 @@ inline std::string StatsSnapshot::to_json() const {
   json_u64(o, "clock", clock);
   json_u64(o, "min_active", min_active);
   json_u64(o, "min_active_lag_now", min_active_lag_now);
-  o += "\"announced_slots\":" + std::to_string(announced_slots) + ",";
+  o += "\"live_pins\":" + std::to_string(live_pins) + ",";
   json_hist(o, "chain_length", chain_length);
   json_hist(o, "coalesce_run", coalesce_run);
   json_hist(o, "trim_run", trim_run);
@@ -214,7 +214,7 @@ inline std::string StatsSnapshot::to_text() const {
   o += "clock=" + std::to_string(clock) +
        " min_active=" + std::to_string(min_active) +
        " lag=" + std::to_string(min_active_lag_now) +
-       " announced_slots=" + std::to_string(announced_slots) + '\n';
+       " live_pins=" + std::to_string(live_pins) + '\n';
   text_hist(o, "min_active_lag(ticks)", min_active_lag);
   o += "== vcas ==\n";
   text_hist(o, "chain_length", chain_length);

@@ -79,7 +79,7 @@
 // StoreView) are never broken by any of it.
 //
 // Cell GC protocol: a cell whose head is a PLAIN tombstone install-stamped
-// below min_active() is absent at every announced (and every future)
+// below min_active() is absent at every pinned (and every future)
 // handle, so the janitor may remove it entirely: (1) SEAL — install_over a
 // DETACHED sentinel record on the head; the install's identity CAS is the
 // linearization point, and a racing writer that loses it re-reads the head
@@ -479,9 +479,9 @@ class ShardedStore {
         // witness; one created after it is stamped above c (stamp-phase
         // postcondition) and cannot conflict; no mapping at all means the
         // key is absent now AND was absent at h (a sealed head implies an
-        // aged tombstone at every announced handle), which the
+        // aged tombstone at every pinned handle), which the
         // absent==absent rule accepts. The chase terminates: a fresh cell
-        // cannot itself be sealed while we stay announced — all its
+        // cannot itself be sealed while we stay pinned — all its
         // records are stamped above our handle, which bounds min_active.
         while (node->val.detached) {
           Cell* fresh = this->store_->find_cell(w.key);
@@ -700,7 +700,7 @@ class ShardedStore {
   // witnessed; writes buffer until commit() validates-and-installs them as
   // one conditional batch (all-or-nothing, ABORTED if any read key changed
   // since the snapshot). Single-threaded use; scope tightly — the
-  // transaction announces its snapshot, pinning version GC, until commit.
+  // transaction era-pins its snapshot, holding back version GC, until commit.
   Txn beginTransaction() { return Txn(*this); }
 
   // Run `fn(txn)` under beginTransaction/commit with abort-retry until a
@@ -852,7 +852,7 @@ class ShardedStore {
   // record only qualifies as the trim pivot once its commit stamp is
   // decided and below the horizon; a DETACHED sentinel never pivots (the
   // tombstone below it must stay readable at old handles). Safe
-  // concurrently with announced readers and with the maintenance pool
+  // concurrently with pinned readers and with the maintenance pool
   // (per-cell try-locks serialize); returns versions detached. Kept for
   // deterministic tests and quiesce points — production reclamation runs
   // through the pool.
@@ -975,7 +975,7 @@ class ShardedStore {
   // Full observability snapshot (ISSUE 6): every registry meter —
   // snapshot lifetime, chain shape, helping/decide traffic, EBR, the
   // maintenance subsystem, trace accounting — plus this store's live
-  // state (clock, horizon lag, announcement occupancy, queue depth).
+  // state (clock, horizon lag, live-pin occupancy, queue depth).
   // One call, then .to_text() / .to_json() for the dump.
   obs::StatsSnapshot stats() const {
     obs::StatsSnapshot s = obs::collect();
@@ -986,7 +986,7 @@ class ShardedStore {
     s.clock = static_cast<std::uint64_t>(clock);
     s.min_active = static_cast<std::uint64_t>(horizon);
     s.min_active_lag_now = static_cast<std::uint64_t>(clock - horizon);
-    s.announced_slots = camera_.announced_slots();
+    s.live_pins = camera_.live_pins();
     {
       util::MutexLock lk(maint_mu_);
       if (maint_pool_) s.maint_queue_depth = maint_pool_->queue_depth();

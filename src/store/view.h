@@ -3,7 +3,7 @@
 // ShardedStore::snapshotAll() returns a StoreView: one SnapshotGuard-backed
 // handle under which any number of reads — point gets, multi-gets, merged
 // ranges, size — observe the SAME instant across every shard. The guard
-// announces the handle, so version-list trimming (ShardedStore::trim_all /
+// era-pins the handle, so version-list trimming (ShardedStore::trim_all /
 // the background trimmer) never reclaims a version the view can still
 // reach, and pins an epoch so structurally unlinked nodes stay readable.
 //
@@ -16,8 +16,8 @@
 // CAS) but hold a trim pin for their lifetime: a long-lived one makes
 // every version written after it un-trimmable. Scope them tightly.
 //
-// Nested views on one thread are safe: the camera's announcement slot is
-// reference-counted, so an inner view never un-pins an outer one.
+// Nested views on one thread are safe: each view holds its own era pin,
+// so an inner view's release never un-pins an outer one.
 #pragma once
 
 #include <cassert>
@@ -67,7 +67,7 @@ class StoreView {
 
  private:
   Store& store_;
-  SnapshotGuard snap_;  // EBR pin + announced handle, for the whole lifetime
+  SnapshotGuard snap_;  // EBR pin + era-pinned handle, for the whole lifetime
 };
 
 // An optimistic read-modify-write transaction on a ShardedStore (created
@@ -159,7 +159,7 @@ class Transaction {
     finished_ = true;
     const std::optional<Timestamp> result =
         store_->commit_transaction(handle_, writes_, reads_);
-    snap_.reset();  // release the announced handle + EBR pin
+    snap_.reset();  // release the era-pinned handle + EBR pin
     return result;
   }
 

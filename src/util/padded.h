@@ -1,7 +1,7 @@
 // Cache-line padding helpers.
 //
 // Per-thread slots that live in shared arrays (epoch reservations, snapshot
-// announcements, throughput counters) must not share cache lines, or the
+// era pins, throughput counters) must not share cache lines, or the
 // coherence traffic from one thread's writes slows every other thread's
 // reads. `Padded<T>` rounds a value up to one cache line.
 #pragma once

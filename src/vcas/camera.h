@@ -5,27 +5,73 @@
 // bump it; if the CAS fails another takeSnapshot already bumped it, so the
 // handle is valid either way. This is what makes snapshots constant-time.
 //
-// Beyond the paper's minimal interface, the camera carries a per-thread
-// announcement table so a garbage collector can compute the oldest snapshot
-// any in-flight query might still read (used by version-list trimming; see
-// versioned_cas.h). Announcing is optional — the paper's algorithm is the
-// takeSnapshot/current pair alone.
+// Beyond the paper's minimal interface, the camera lets a garbage collector
+// compute the oldest snapshot any in-flight query might still read (used by
+// version-list trimming; see versioned_cas.h). Pinning is optional — the
+// paper's algorithm is the takeSnapshot/current pair alone.
+//
+// --- Snapshot pinning: refcount-packed eras (ROADMAP item 1) ---------------
+//
+// Clock time is chopped into ERAS. The camera's era word packs a 16-bit
+// outer (acquire) count above a 48-bit pointer to the current Era record
+// (vcas/era.h). The protocol:
+//
+//   pin       ONE unconditional seq_cst fetch_add of 2^48 on the era word.
+//             Wait-free, no retry loop, no per-thread slot: the returned
+//             word names the pinned era and bumps its outer count in the
+//             same atomic step, so the era cannot be retired while the
+//             bump is unbalanced. The handle is read AFTER the pin, and
+//             the pinned era's `lower` was read from the clock BEFORE the
+//             era was published, so lower <= handle always: an era with a
+//             nonzero gap bounds every handle pinned under it.
+//
+//   unpin     fetch_add(1) on the pinned era's own sync word (the inner
+//             count). If that made a CLOSED era balanced, this releaser —
+//             exactly one observes the transition, because the final count
+//             is frozen at close and inner rises monotonically toward it —
+//             sweeps the era chain and EBR-retires the record.
+//
+//   roll      Piggybacked on takeSnapshot every kEraRollTicks clock ticks:
+//             allocate a fresh Era stamped with the current clock, link it
+//             behind the current one, then EXCHANGE the era word to point
+//             at it. The exchange's return value carries the old era's
+//             final outer count, which the roller publishes into the old
+//             era's sync word together with the closed bit. Rolling is
+//             serialized by a try-lock; losing simply defers to the next
+//             snapshotter past the pacing threshold.
+//
+//   horizon   min_active() walks the short unretired-era chain — O(live
+//             eras), typically one or two — instead of the old
+//             O(slot_high_water) announcement scan. A closed era counts
+//             iff its frozen gap is nonzero; the current era's gap is
+//             sampled with a double-check (details at min_active) so the
+//             result is exact when the camera is idle and merely
+//             conservative under churn.
+//
+// Nested guards need no per-thread depth array anymore: each guard is an
+// independent pin, and the oldest era stays live until its own releases
+// balance. Abandoned pins are drained by the EBR dead-slot containment
+// path (PR 8) through a per-slot pin ledger, so a corpse cannot stall the
+// horizon forever; see drain_dead_pins.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
+#include "ebr/ebr.h"
+#include "inject/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/annotations.h"
 #include "util/padded.h"
 #include "util/threading.h"
+#include "vcas/era.h"
 
 namespace vcas {
-
-using Timestamp = std::int64_t;
 
 // Sentinel for VNodes whose timestamp has not been decided yet ("TBD" in
 // the paper). Must compare less than every valid timestamp so that a
@@ -34,14 +80,58 @@ using Timestamp = std::int64_t;
 // bugs loud.
 inline constexpr Timestamp kTBD = std::numeric_limits<Timestamp>::min();
 
-// Announcement slot value meaning "no active snapshot on this thread".
+// "No active snapshot" sentinel (kept for callers that need an identity
+// element when folding over handles; the announcement table that once
+// stored it per slot is gone).
 inline constexpr Timestamp kNoSnapshot = std::numeric_limits<Timestamp>::max();
+
+// Era roll cadence in clock ticks. Small enough that an era's `lower`
+// tracks the clock closely (a pinned era only holds trimming back by up to
+// one cadence below the pin's actual handle), large enough that rolls —
+// one allocation plus one exchange — are rare against the snapshot rate.
+inline constexpr Timestamp kEraRollTicks = 64;
 
 class Camera {
  public:
+  // Token for one pin. Move-free value type: pass it back to unpin().
+  class Pin {
+   public:
+    Pin() = default;
+    explicit operator bool() const { return era_ != nullptr; }
+
+   private:
+    friend class Camera;
+    Era* era_ = nullptr;
+  };
+
+  struct PinnedSnapshot {
+    Pin pin;
+    Timestamp ts = 0;
+  };
+
   Camera() {
-    for (auto& a : announce_) a.value.store(kNoSnapshot, std::memory_order_relaxed);
-    for (auto& d : announce_depth_) d.value = 0;
+    Era* e = make_era(0);
+    head_.store(e, std::memory_order_relaxed);
+    era_word_.store(era_pack(e, 0), std::memory_order_release);
+    obs::m::eras_live.add(1);
+    ebr::register_dead_slot_hook(this, &Camera::dead_slot_hook);
+  }
+
+  ~Camera() {
+    // Unregister first: after this returns no dead-slot drain can touch
+    // our ledgers or eras (hooks run under the registry mutex).
+    ebr::unregister_dead_slot_hook(this);
+    // Teardown is quiescent by contract (no pins, no concurrent rolls);
+    // whatever the sweeps have not yet handed to EBR is freed here.
+    int n = 0;
+    Era* e = head_.load(std::memory_order_relaxed);
+    while (e != nullptr) {
+      Era* const next = e->next.load(std::memory_order_relaxed);
+      delete e;
+      ++n;
+      e = next;
+    }
+    obs::m::eras_live.add(-n);
   }
 
   Camera(const Camera&) = delete;
@@ -70,6 +160,12 @@ class Camera {
     obs::m::snapshots_taken.add();
     obs::trace_instant(obs::Ev::kTakeSnapshot,
                        static_cast<std::uint32_t>(ts));
+    // Era roll-forward rides on the snapshot path: the clock word stays
+    // hot-path-only (one load, one CAS) and pin traffic lives on the era
+    // word a cache line away.
+    if (ts - last_roll_.load(std::memory_order_relaxed) >= kEraRollTicks) {
+      maybe_roll();
+    }
     return ts;
   }
 
@@ -80,98 +176,341 @@ class Camera {
 
   std::atomic<Timestamp>& counter() { return timestamp_; }
 
-  // --- announcement support (GC extension) ---
+  // --- snapshot pinning (GC extension) ---
 
-  // Publish intent to snapshot, then take one. The announced value is a
-  // lower bound on the handle actually used, which is all min_active()
-  // needs: announcing low only makes trimming more conservative.
-  //
-  // The announcement slot is reference-counted per thread: nested
-  // announce/clear pairs on one thread keep the OUTERMOST (oldest)
-  // announcement published, so min_active() never rises past a pin an
-  // enclosing query still relies on. This makes nested SnapshotGuard use
-  // safe even with version-list trimming enabled (previously a documented
-  // silent hazard: the inner guard overwrote the outer pin).
-  Timestamp announce_and_snapshot() {
-    const int slot = util::thread_slot();
-    if (announce_depth_[slot].value++ == 0) {
-      announce_[slot].value.store(timestamp_.load(std::memory_order_seq_cst),
-                                  std::memory_order_seq_cst)
-          VCAS_ORD("cam.announce.publish");
-    }
-    return takeSnapshot();
+  // Wait-free pin: one unconditional fetch_add, never a retry. The seq_cst
+  // RMW both joins the current era (pointer bits) and publishes the join
+  // (count bits) in a single step — the reason a min_active that read our
+  // era's gap as zero must, by the seq_cst order S, have loaded the clock
+  // before we did, making its horizon <= our coming handle. The outer
+  // count wraps mod 2^16 through the word's natural carry-out; balance
+  // math is mod-2^16 gaps throughout (vcas/era.h).
+  Pin pin() {
+    const std::uint64_t w =
+        era_word_.fetch_add(kEraPinIncrement, std::memory_order_seq_cst)
+            VCAS_ORD("cam.era.pin");
+    Pin p;
+    p.era_ = era_ptr(w);
+    ledger_add(p.era_);
+    obs::m::pin_fastpath.add();
+    return p;
   }
 
-  void clear_announcement() {
-    const int slot = util::thread_slot();
-    assert(announce_depth_[slot].value > 0 &&
-           "clear_announcement without a matching announce_and_snapshot");
-    if (--announce_depth_[slot].value == 0) {
-      announce_[slot].value.store(kNoSnapshot, std::memory_order_release);
-    }
+  // Release a pin. If this balanced a closed era, the caller retires it.
+  void unpin(Pin& p) {
+    assert(p.era_ != nullptr && "unpin without a matching pin");
+    Era* const e = p.era_;
+    p.era_ = nullptr;
+    ledger_remove(e);
+    release_era(e, 1);
   }
 
-  // Oldest snapshot any announced query may still be reading. Every version
+  // Pin, then take the snapshot the pin protects. The pinned era's lower
+  // bound was read from the clock before the era was published, so
+  // lower <= ts: min_active can never rise past a handle returned here
+  // while its pin is held.
+  PinnedSnapshot pin_and_snapshot() {
+    PinnedSnapshot ps;
+    ps.pin = pin();
+    ps.ts = takeSnapshot();
+    return ps;
+  }
+
+  // Oldest snapshot any pinned query may still be reading. Every version
   // with timestamp strictly below this — except the newest such version per
   // object — is unreachable by all current and future readSnapshots.
   //
-  // Scan cost (audited for ISSUE 4): only slots that have ever been claimed
-  // are visited (util::slot_high_water), and the per-slot loads are acquire
-  // behind ONE seq_cst fence instead of kMaxThreads seq_cst loads. Safety
-  // argument, recorded because trimming against a too-high horizon would
-  // free versions a live reader still needs:
-  //   * A slot above the high-water mark has never been claimed, so its
-  //     announcement is the initial kNoSnapshot — skipping it reads the
-  //     same value. A first-time claimant bumps the mark with a seq_cst RMW
-  //     before its first announcement; if this scan's mark load (seq_cst)
-  //     missed the bump, the bump — and therefore the claimant's later
-  //     announcement store and later takeSnapshot clock read — follows this
-  //     scan's earlier clock load in the seq_cst order S, so the missed
-  //     reader's handle is >= our clock read >= the returned horizon.
-  //   * For a visited slot, the announcer's store is seq_cst and the fence
-  //     below is seq_cst, so they are ordered in S. Store before fence:
-  //     the acquire load after the fence must observe it ([atomics.order]:
-  //     a load that follows a seq_cst fence cannot read a value overwritten
-  //     before an S-earlier store). Fence before store: the announcer's
-  //     takeSnapshot clock read follows the fence — hence our clock load —
-  //     in S, and same-location seq_cst reads are monotone along S, so its
-  //     handle is >= our clock read >= the horizon. Either way no announced
-  //     reader's handle is below the returned value.
+  // Cost: O(live eras) — the unretired chain, typically one or two nodes —
+  // independent of thread count and slot_high_water(). Safety argument,
+  // recorded because trimming against a too-high horizon would free
+  // versions a live reader still needs:
+  //   * Closed eras: the final outer count is frozen, so gap != 0 is an
+  //     exact statement that a pin is outstanding; its handle is >= the
+  //     era's lower, which we include.
+  //   * The current era needs care: with only a sampled outer count, a
+  //     concurrent pin+unpin pair (pin AFTER our era-word load, release
+  //     BEFORE our sync load) could alias an OLDER outstanding pin to
+  //     gap 0. The double-check below closes that hole: we re-load the era
+  //     word after the sync read, and if it is unchanged — same era, same
+  //     outer count — then no pin landed in the window, so every release
+  //     the sync read saw belongs to a pin our outer sample already
+  //     counted, and the gap is exact. If the word moved we retry, and
+  //     after a few failures fall back to conservatively including both
+  //     observed eras' lower bounds (safe: lower only under-estimates).
+  //   * A pin whose RMW follows our final era-word load in the seq_cst
+  //     order S also follows our clock load (program order within S), so
+  //     its takeSnapshot handle is >= our clock value >= the returned
+  //     horizon — exactly the old announcement-scan argument, now carried
+  //     by the RMWs themselves with no standalone fence.
   Timestamp min_active() const {
-    Timestamp min = timestamp_.load(std::memory_order_seq_cst)
-        VCAS_ORD("cam.minactive.scan");
-    std::atomic_thread_fence(std::memory_order_seq_cst)
-        VCAS_ORD("cam.minactive.scan");
-    const int live = util::slot_high_water();
-    for (int i = 0; i < live; ++i) {
-      const Timestamp t = announce_[i].value.load(std::memory_order_acquire);
-      if (t < min) min = t;
+    // Era records are EBR-retired; the chain walk may cross a node that a
+    // concurrent sweep already unlinked.
+    ebr::Guard g;
+    const Timestamp clock =
+        timestamp_.load(std::memory_order_seq_cst) VCAS_ORD("cam.minactive.scan");
+    Timestamp min = clock;
+    std::uint64_t w =
+        era_word_.load(std::memory_order_seq_cst) VCAS_ORD("cam.minactive.scan");
+    for (int attempt = 0;; ++attempt) {
+      Era* const cur = era_ptr(w);
+      const std::uint64_t sync = cur->sync.load(std::memory_order_acquire);
+      const std::uint64_t w2 = era_word_.load(std::memory_order_seq_cst)
+          VCAS_ORD("cam.minactive.scan");
+      if (w2 == w) {
+        if (era_gap(era_outer(w), sync) != 0 && cur->lower < min) {
+          min = cur->lower;
+        }
+        break;
+      }
+      w = w2;
+      if (attempt == 2) {
+        // Pin/roll churn: give up on exactness, stay conservative.
+        if (cur->lower < min) min = cur->lower;
+        if (era_ptr(w)->lower < min) min = era_ptr(w)->lower;
+        break;
+      }
+    }
+    Era* const stop = era_ptr(w);
+    for (Era* e = head_.load(std::memory_order_acquire);
+         e != nullptr && e != stop;
+         e = e->next.load(std::memory_order_acquire)) {
+      const std::uint64_t sync = e->sync.load(std::memory_order_acquire);
+      // Not-closed mid-roll eras are counted conservatively; closed eras
+      // count iff their frozen gap says a pin is still out.
+      if (!era_closed(sync) || era_gap(era_final(sync), sync) != 0) {
+        if (e->lower < min) min = e->lower;
+      }
     }
     // Telemetry: how far the trim horizon lags the clock, in ticks. `min`
     // starts at the clock load and only decreases, so the lag is >= 0.
-    VCAS_OBS(obs::m::min_active_lag.record(static_cast<std::uint64_t>(
-        timestamp_.load(std::memory_order_relaxed) - min)));
+    VCAS_OBS(obs::m::min_active_lag.record(
+        static_cast<std::uint64_t>(clock - min)));
     return min;
   }
 
-  // Occupied announcement slots right now (queries currently holding a
-  // published snapshot pin). Racy-by-design telemetry read.
-  int announced_slots() const {
-    int n = 0;
-    const int live = util::slot_high_water();
-    for (int i = 0; i < live; ++i) {
-      if (announce_[i].value.load(std::memory_order_relaxed) != kNoSnapshot) {
-        ++n;
+  // Outstanding snapshot pins across all live eras — the replacement for
+  // the old announced-slot occupancy in StatsSnapshot. Racy-by-design
+  // telemetry read; exact once pinners quiesce.
+  int live_pins() const {
+    ebr::Guard g;
+    const std::uint64_t w = era_word_.load(std::memory_order_acquire);
+    int pins = 0;
+    for (Era* e = head_.load(std::memory_order_acquire); e != nullptr;
+         e = e->next.load(std::memory_order_acquire)) {
+      const std::uint64_t sync = e->sync.load(std::memory_order_acquire);
+      if (e == era_ptr(w)) {
+        pins += era_gap(era_outer(w), sync);
+        break;
       }
+      if (era_closed(sync)) pins += era_gap(era_final(sync), sync);
+    }
+    return pins;
+  }
+
+  // Unretired era records (the chain min_active walks). Test/debug aid;
+  // exact when quiescent.
+  int eras_live() const {
+    ebr::Guard g;
+    int n = 0;
+    for (Era* e = head_.load(std::memory_order_acquire); e != nullptr;
+         e = e->next.load(std::memory_order_acquire)) {
+      ++n;
     }
     return n;
   }
 
  private:
+  // The only place an Era is allocated (reclamation manifest: factory).
+  static Era* make_era(Timestamp lower) {
+    Era* e = new Era;
+    e->lower = lower;
+    return e;
+  }
+
+  bool try_lock_chain() {
+    bool expected = false;
+    return chain_lock_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)
+        VCAS_ORD("cam.era.roll");
+  }
+
+  // Roll the camera onto a fresh era, close the old one, and sweep.
+  // Serialized by the chain try-lock; a loser just returns — any later
+  // takeSnapshot past the pacing threshold rolls instead. NOTHING that can
+  // park (failpoints) or re-enter EBR runs while the lock is held, so a
+  // dead lock-holder is impossible by construction and the lock needs no
+  // recovery path.
+  void maybe_roll() {
+    // Failpoint sits BEFORE the try-lock on purpose (placement rule:
+    // no site under a lock). A victim abandoned here has simply not
+    // rolled; its own pins are drained by dead-slot containment.
+    VCAS_FAILPOINT("cam.era.roll");
+    if (!try_lock_chain()) return;
+    Era* const cur = era_ptr(era_word_.load(std::memory_order_acquire));
+    const Timestamp now = current();
+    // Re-check pacing under the lock against the CURRENT era's open time:
+    // a racing snapshotter may have rolled between our pacing check and
+    // the lock acquisition.
+    if (now - cur->lower >= kEraRollTicks) {
+      Era* const fresh = make_era(now);
+      // Link BEFORE the exchange: a min_active walk that observed the new
+      // era word must find `fresh` reachable from the chain.
+      cur->next.store(fresh, std::memory_order_release);
+      const std::uint64_t old =
+          era_word_.exchange(era_pack(fresh, 0), std::memory_order_seq_cst)
+              VCAS_ORD("cam.era.roll");
+      // `old` carries cur's final outer count — no pin can land on cur
+      // after the exchange — so the close publishes an immutable balance
+      // target together with the closed bit, in one RMW.
+      cur->sync.fetch_add(era_close_delta(era_outer(old)),
+                          std::memory_order_acq_rel)
+          VCAS_ORD("cam.era.close");
+      last_roll_.store(now, std::memory_order_relaxed);
+      obs::m::era_rolls.add();
+      obs::m::eras_live.add(1);
+    }
+    sweep_chain_then_unlock();
+  }
+
+  // Release `count` pins on era `e` (the slow half of unpin, shared with
+  // the dead-slot drain's bookkeeping — though the drain itself bumps sync
+  // directly; see drain_dead_pins for why).
+  void release_era(Era* e, std::uint64_t count) {
+    const std::uint64_t sync =
+        e->sync.fetch_add(count, std::memory_order_acq_rel)
+            VCAS_ORD("cam.era.release") +
+        count;
+    if (era_balanced(sync)) {
+      // We balanced a closed era: the final count is frozen and inner
+      // rises monotonically toward it, so exactly one releaser observes
+      // this transition — it owns the retirement.
+      VCAS_FAILPOINT("cam.era.retire");
+      if (try_lock_chain()) sweep_chain_then_unlock();
+      // try-lock miss: the balanced sync word is durable state; whoever
+      // holds the lock next (roll or another balancer) sweeps the node.
+    }
+  }
+
+  // Caller holds chain_lock_. Unlinks every closed+balanced era — head or
+  // middle — then releases the lock, and only THEN hands the unlinked
+  // records to EBR: retirement can scan (and scans carry a failpoint), so
+  // it must never run under the lock.
+  void sweep_chain_then_unlock() {
+    Era* const cur = era_ptr(era_word_.load(std::memory_order_acquire));
+    Era* reclaimed[8];  // per-pass cap; a later sweep continues the rest
+    int n = 0;
+    Era* prev = nullptr;
+    Era* e = head_.load(std::memory_order_relaxed);
+    while (e != cur && e != nullptr &&
+           n < static_cast<int>(sizeof(reclaimed) / sizeof(reclaimed[0]))) {
+      Era* const next = e->next.load(std::memory_order_relaxed);
+      if (era_balanced(e->sync.load(std::memory_order_acquire))) {
+        if (prev == nullptr) {
+          head_.store(next, std::memory_order_release);
+        } else {
+          prev->next.store(next, std::memory_order_release);
+        }
+        // e->next stays intact: in-flight walkers cross the node.
+        reclaimed[n++] = e;
+      } else {
+        prev = e;
+      }
+      e = next;
+    }
+    chain_lock_.store(false, std::memory_order_release);
+    if (n > 0) {
+      obs::m::eras_live.add(-n);
+      for (int i = 0; i < n; ++i) ebr::retire(reclaimed[i]);
+    }
+  }
+
+  // --- pin ledger: dead-slot containment for abandoned pins ---
+  //
+  // Plain (non-atomic) per-slot records of the pins the slot's tenant
+  // currently holds. Owner-only writes; the one foreign reader is the EBR
+  // dead-slot hook, which runs strictly after the dead tenant's last write
+  // (declare_self_dead's release store + the tenure-end claim) and
+  // strictly before the slot can be re-tenanted — the same
+  // publish-by-tenure idiom the EBR limbo bags use.
+
+  static constexpr int kPinLedgerCap = 16;
+
+  struct LedgerEntry {
+    Era* era = nullptr;
+    std::uint32_t count = 0;
+  };
+  struct PinLedger {
+    LedgerEntry entries[kPinLedgerCap];
+  };
+
+  void ledger_add(Era* e) {
+    PinLedger& led = ledger_[util::thread_slot()].value;
+    LedgerEntry* free_entry = nullptr;
+    for (auto& entry : led.entries) {
+      if (entry.era == e && entry.count > 0) {
+        ++entry.count;
+        return;
+      }
+      if (entry.count == 0 && free_entry == nullptr) free_entry = &entry;
+    }
+    if (free_entry == nullptr) {
+      // One thread holding pins on >16 distinct eras means guards are
+      // leaking across ~16 roll cadences — a bug worth dying loudly for.
+      std::fprintf(stderr,
+                   "vcas: pin ledger overflow (pins on > %d eras)\n",
+                   kPinLedgerCap);
+      std::abort();
+    }
+    free_entry->era = e;
+    free_entry->count = 1;
+  }
+
+  void ledger_remove(Era* e) {
+    PinLedger& led = ledger_[util::thread_slot()].value;
+    for (auto& entry : led.entries) {
+      if (entry.era == e && entry.count > 0) {
+        if (--entry.count == 0) entry.era = nullptr;
+        return;
+      }
+    }
+    assert(false && "unpin of an era this thread holds no pin on");
+  }
+
+  static void dead_slot_hook(void* ctx, int slot) {
+    static_cast<Camera*>(ctx)->drain_dead_pins(slot);
+  }
+
+  // Runs on whatever thread won the dead slot's tenure end (ebr.cc stall
+  // containment, PR 8). Drains the corpse's outstanding pins so the
+  // horizon un-sticks: the bare inner bumps are all recovery needs —
+  // min_active skips a balanced era whether or not it is still linked.
+  // Deliberately NO sweep, NO retire, NO locks here: this runs under the
+  // hook registry mutex, and an EBR scan (with its failpoint) must never
+  // execute there. The next chain-lock holder reclaims the node memory.
+  void drain_dead_pins(int slot) {
+    PinLedger& led = ledger_[slot].value;
+    for (auto& entry : led.entries) {
+      if (entry.count == 0) continue;
+      // The era cannot have been retired: the dead tenant's pins kept its
+      // gap nonzero until this very bump.
+      entry.era->sync.fetch_add(entry.count, std::memory_order_acq_rel)
+          VCAS_ORD("cam.era.release");
+      entry.era = nullptr;
+      entry.count = 0;
+    }
+  }
+
+  // Clock line: every takeSnapshot hits it; last_roll_ shares it on
+  // purpose (read each snapshot, written once per roll by a snapshotter
+  // that owns the line anyway).
   alignas(util::kCacheLine) std::atomic<Timestamp> timestamp_{0};
-  util::Padded<std::atomic<Timestamp>> announce_[util::kMaxThreads];
-  // Nesting depth of announcements; only ever touched by the owning thread.
-  util::Padded<int> announce_depth_[util::kMaxThreads];
+  std::atomic<Timestamp> last_roll_{0};
+  // Pin traffic gets its own line so pins never contend with the clock.
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> era_word_{0};
+  // Chain bookkeeping (rolls, sweeps, horizon walks) off the hot lines.
+  alignas(util::kCacheLine) std::atomic<Era*> head_{nullptr};
+  std::atomic<bool> chain_lock_{false};
+  util::Padded<PinLedger> ledger_[util::kMaxThreads];
 };
 
 }  // namespace vcas

@@ -1,0 +1,117 @@
+// Refcount-packed snapshot eras (ROADMAP item 1, atomsnap-style pinning).
+//
+// One Era represents a window of clock time during which snapshot pins
+// accumulate on a single 64-bit word: the camera's era word packs a 16-bit
+// outer (acquire) count into the UPPER bits of a 48-bit pointer to the
+// current Era record. A reader pins with ONE unconditional fetch_add of
+// 2^48 — the returned word carries both the Era pointer and the acquire
+// count the pin joined, atomically, so there is no window in which a
+// freshly pinned era can be mistaken for reclaimable. Releases bump the
+// era's own inner count; once an era is CLOSED (a roll captured its final
+// outer count into the sync word) the releaser that balances
+// outer == inner hands the record to EBR. See vcas/camera.h for the
+// protocol; this header is the record layout and the packing arithmetic.
+//
+// The two documented pitfalls of this packing, both guarded by tests
+// (camera_test.cc):
+//   * 48-bit addresses: x86-64 / aarch64 Linux user pointers fit in 48
+//     bits today; the static_assert plus the runtime check in era_pack
+//     make a 57-bit-address future (LA57 with a high heap) fail loudly
+//     instead of silently corrupting the outer count.
+//   * uint16 wraparound: the outer count wraps mod 2^16 through the
+//     fetch_add's natural carry out of the 64-bit word. Balance
+//     arithmetic therefore only ever compares mod-2^16 GAPS, never
+//     totals — sound because the outstanding gap is bounded by
+//     kMaxThreads * nesting depth, far below 2^16, while the running
+//     totals may wrap freely.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace vcas {
+
+using Timestamp = std::int64_t;
+
+struct Era {
+  // Clock value loaded immediately before this era was published: a lower
+  // bound on the handle of every snapshot pinned under it (the clock is
+  // monotone and a pinner loads its handle only after its pin landed).
+  Timestamp lower = 0;
+  // [final_outer:16 | closed:1 | inner:47]. inner counts releases; final
+  // and the closed bit are published together, once, by the roll that
+  // ended the era (era_close_delta). 47 bits of inner cannot carry into
+  // the closed bit within any realistic process lifetime.
+  std::atomic<std::uint64_t> sync{0};
+  // Toward newer eras (the oldest-first chain hanging off Camera::head_).
+  // Unlinking keeps a retired node's next intact so an in-flight
+  // min_active walk crosses it instead of dead-ending.
+  std::atomic<Era*> next{nullptr};
+};
+
+// --- era-word packing: [outer:16 | Era*:48] ----------------------------------
+
+inline constexpr int kEraCountShift = 48;
+inline constexpr std::uint64_t kEraPinIncrement = std::uint64_t{1}
+                                                  << kEraCountShift;
+inline constexpr std::uint64_t kEraPtrMask = kEraPinIncrement - 1;
+
+static_assert(sizeof(void*) == 8, "era-word packing needs 64-bit pointers");
+
+inline std::uint64_t era_pack(Era* e, std::uint16_t outer) {
+  const auto bits = reinterpret_cast<std::uintptr_t>(e);
+  assert((bits & ~kEraPtrMask) == 0 &&
+         "Era allocated above 2^48: the era-word packing assumes 48-bit "
+         "user-space addresses (see the header comment)");
+  return (std::uint64_t{outer} << kEraCountShift) | bits;
+}
+
+inline Era* era_ptr(std::uint64_t word) {
+  return reinterpret_cast<Era*>(word & kEraPtrMask);
+}
+
+inline std::uint16_t era_outer(std::uint64_t word) {
+  return static_cast<std::uint16_t>(word >> kEraCountShift);
+}
+
+// --- sync-word packing: [final_outer:16 | closed:1 | inner:47] ---------------
+
+inline constexpr std::uint64_t kEraClosedBit = std::uint64_t{1} << 47;
+inline constexpr std::uint64_t kEraInnerMask = kEraClosedBit - 1;
+
+inline bool era_closed(std::uint64_t sync) {
+  return (sync & kEraClosedBit) != 0;
+}
+
+inline std::uint64_t era_inner(std::uint64_t sync) {
+  return sync & kEraInnerMask;
+}
+
+inline std::uint16_t era_final(std::uint64_t sync) {
+  return static_cast<std::uint16_t>(sync >> kEraCountShift);
+}
+
+// The constant a roll adds to sync: publishes the final outer count and
+// the closed bit in one RMW, so a releaser either sees neither or both.
+inline std::uint64_t era_close_delta(std::uint16_t final_outer) {
+  return (std::uint64_t{final_outer} << kEraCountShift) | kEraClosedBit;
+}
+
+// Outstanding pins = acquires - releases, computed mod 2^16 (wraparound
+// note above). Exact whenever `outer` is the era's authoritative count:
+// the frozen final of a closed era, or a current-era sample validated by
+// the double-check in Camera::min_active.
+inline std::uint16_t era_gap(std::uint16_t outer, std::uint64_t sync) {
+  return static_cast<std::uint16_t>(
+      outer - static_cast<std::uint16_t>(era_inner(sync)));
+}
+
+// A closed era whose releases balanced its final acquire count: no pin on
+// it can exist, its lower bound no longer constrains the horizon, and the
+// record may be unlinked and EBR-retired.
+inline bool era_balanced(std::uint64_t sync) {
+  return era_closed(sync) && era_gap(era_final(sync), sync) == 0;
+}
+
+}  // namespace vcas

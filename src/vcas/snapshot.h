@@ -4,9 +4,14 @@
 // sequential read-only algorithm over readSnapshot() reads. SnapshotGuard
 // bundles the three things every such query needs:
 //   1. an EBR pin, so nodes unlinked mid-query stay readable,
-//   2. an announced takeSnapshot, so version-list trimming (the GC
+//   2. an era-pinned takeSnapshot, so version-list trimming (the GC
 //      extension) never reclaims versions this query can still reach,
 //   3. the handle itself.
+//
+// Nested guards on one thread are independent era pins (no per-thread
+// depth bookkeeping): the outer guard's era stays unbalanced — and the
+// horizon bounded by it — until the outer guard itself is destroyed,
+// regardless of how many inner guards come and go.
 #pragma once
 
 #include "ebr/ebr.h"
@@ -18,25 +23,25 @@ namespace vcas {
 class SnapshotGuard {
  public:
   explicit SnapshotGuard(Camera& camera)
-      : camera_(camera), ts_(camera.announce_and_snapshot()) {
+      : camera_(camera), pinned_(camera.pin_and_snapshot()) {
     obs::m::guards_taken.add();
     obs::m::guards_active.add(1);
   }
 
   ~SnapshotGuard() {
-    camera_.clear_announcement();
+    camera_.unpin(pinned_.pin);
     obs::m::guards_active.add(-1);
   }
 
   SnapshotGuard(const SnapshotGuard&) = delete;
   SnapshotGuard& operator=(const SnapshotGuard&) = delete;
 
-  Timestamp ts() const { return ts_; }
+  Timestamp ts() const { return pinned_.ts; }
 
  private:
   ebr::Guard ebr_;  // pinned for the guard's full lifetime
   Camera& camera_;
-  Timestamp ts_;
+  Camera::PinnedSnapshot pinned_;
 };
 
 }  // namespace vcas

@@ -15,7 +15,7 @@
 // system, ISSUE 4):
 //
 //   * Version-list trimming. Old versions below the camera's min_active()
-//     announcement can never be read again, so they may be detached and
+//     pin horizon can never be read again, so they may be detached and
 //     EBR-retired (see trim()). The detached suffix is retired as ONE limbo
 //     entry (ebr::retire_batch) whose deleter walks the dead run — not one
 //     entry per version.
@@ -183,7 +183,7 @@ class VersionedCAS {
   // with coalescing, by the number of DISTINCT timestamps above ts.
   // Precondition: ts came from the associated camera's takeSnapshot, taken
   // after this object was constructed; with trimming or coalescing enabled
-  // the snapshot must be announced (SnapshotGuard does both).
+  // the snapshot must be era-pinned (SnapshotGuard does both).
   //
   // Memory-order note: the head load stays seq_cst for the same reason as
   // vRead's — a node stamped <= ts must be found by this walk, and the
@@ -335,7 +335,7 @@ class VersionedCAS {
   // Maintenance-side coalescing (ISSUE 5): collapse equal-stamp runs
   // ANYWHERE in the chain, including above the trim horizon, off the write
   // path. try_coalesce_below only fires at the head (the writer that just
-  // installed); history pinned by a long-lived announced view sits above
+  // installed); history pinned by a long-lived era-pinned view sits above
   // min_active() where trim cannot legally touch it, yet equal-stamped
   // runs inside it are just as unobservable. This walk unlinks, for every
   // maximal run of CONSECUTIVE versions with equal stamps, every node
@@ -490,10 +490,10 @@ class VersionedCAS {
     return n;
   }
 
-  // Detach every version no announced snapshot can still read: keep the
+  // Detach every version no pinned snapshot can still read: keep the
   // newest version with ts <= min_active (the "pivot" — any current or
-  // future readSnapshot stops at or before it, because every announced
-  // reader's handle is >= its announcement >= min_active) and EBR-retire
+  // future readSnapshot stops at or before it, because every pinned
+  // reader's handle is >= its era's lower bound >= min_active) and EBR-retire
   // the rest. One trimmer per object at a time (non-blocking try-lock) so
   // the suffix is retired exactly once. Callers must hold an ebr::Guard.
   // Returns the number of versions detached.
@@ -506,7 +506,7 @@ class VersionedCAS {
   // handle h >= min_active, which the caller guarantees by passing a
   // predicate monotone in h evaluated at h = min_active (e.g. "batch commit
   // stamp decided and <= min_active"). Versions below such a pivot are
-  // unreachable by any announced reader: every reader's handle is >=
+  // unreachable by any pinned reader: every reader's handle is >=
   // min_active, and its visibility walk stops at or above the pivot.
   template <typename Pred>
   std::size_t trim_where(Timestamp min_active, Pred&& visible) {

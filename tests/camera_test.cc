@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "ebr/ebr.h"
 #include "util/barrier.h"
 #include "vcas/camera.h"
+#include "vcas/era.h"
 #include "vcas/snapshot.h"
 
 namespace {
 
 using vcas::Camera;
+using vcas::Era;
 using vcas::Timestamp;
 
 TEST(Camera, HandlesAreMonotonicNonDecreasing) {
@@ -27,6 +31,7 @@ TEST(Camera, HandlesAreMonotonicNonDecreasing) {
 TEST(Camera, SoloSnapshotsIncrementByOne) {
   Camera cam;
   // With no contention the CAS always succeeds, so handles are 0,1,2,...
+  // (era rolls piggyback on the path but never touch the clock).
   for (Timestamp expect = 0; expect < 100; ++expect) {
     EXPECT_EQ(cam.takeSnapshot(), expect);
   }
@@ -61,23 +66,23 @@ TEST(Camera, ConcurrentSnapshotsNeverExceedOneIncrementEach) {
   EXPECT_EQ(*std::max_element(maxima.begin(), maxima.end()) + 1, final);
 }
 
-TEST(Camera, MinActiveTracksAnnouncements) {
+TEST(Camera, MinActiveTracksPins) {
   Camera cam;
   for (int i = 0; i < 10; ++i) cam.takeSnapshot();
-  EXPECT_EQ(cam.min_active(), cam.current());  // nothing announced
+  EXPECT_EQ(cam.min_active(), cam.current());  // nothing pinned
 
-  Timestamp t = cam.announce_and_snapshot();
-  EXPECT_GE(t, 10);
-  EXPECT_LE(cam.min_active(), t);
+  Camera::PinnedSnapshot ps = cam.pin_and_snapshot();
+  EXPECT_GE(ps.ts, 10);
+  EXPECT_LE(cam.min_active(), ps.ts);
   for (int i = 0; i < 10; ++i) cam.takeSnapshot();
-  EXPECT_LE(cam.min_active(), t);  // pinned by our announcement
-  cam.clear_announcement();
+  EXPECT_LE(cam.min_active(), ps.ts);  // held down by our pin
+  cam.unpin(ps.pin);
   EXPECT_EQ(cam.min_active(), cam.current());
 }
 
-TEST(Camera, AnnouncedHandleIsAtLeastAnnouncement) {
-  // Safety property trimming relies on: the handle a query actually uses is
-  // >= the value it announced.
+TEST(Camera, PinnedHandleIsAtLeastEraLowerBound) {
+  // Safety property trimming relies on: the handle a query actually uses
+  // is >= the lower bound its pinned era contributes to min_active.
   Camera cam;
   constexpr int kThreads = 6;
   std::atomic<bool> ok{true};
@@ -87,18 +92,85 @@ TEST(Camera, AnnouncedHandleIsAtLeastAnnouncement) {
     threads.emplace_back([&] {
       barrier.arrive_and_wait();
       for (int i = 0; i < 3000; ++i) {
-        Timestamp announced_floor = cam.current();
-        Timestamp handle = cam.announce_and_snapshot();
-        if (handle < announced_floor) ok = false;
-        cam.clear_announcement();
+        Timestamp floor = cam.current();
+        Camera::PinnedSnapshot ps = cam.pin_and_snapshot();
+        if (ps.ts < floor) ok = false;
+        cam.unpin(ps.pin);
       }
     });
   }
   for (auto& th : threads) th.join();
   EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
 }
 
-TEST(SnapshotGuard, ClearsAnnouncementOnDestruction) {
+TEST(Camera, ErasRollAndBalancedErasRetire) {
+  Camera cam;
+  EXPECT_EQ(cam.eras_live(), 1);
+  // 300 ticks crosses the roll cadence several times; every closed era is
+  // balanced immediately (no pins), so sweeps keep the chain short.
+  for (int i = 0; i < 300; ++i) cam.takeSnapshot();
+  EXPECT_GE(cam.current(), 300);
+  EXPECT_LE(cam.eras_live(), 2);
+  EXPECT_EQ(cam.min_active(), cam.current());
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(Camera, PinHoldsItsEraAcrossRolls) {
+  Camera cam;
+  Camera::PinnedSnapshot ps = cam.pin_and_snapshot();
+  for (int i = 0; i < 300; ++i) cam.takeSnapshot();
+  // The pinned era closed long ago but cannot retire: its gap is nonzero,
+  // and min_active stays bounded by the pin.
+  EXPECT_LE(cam.min_active(), ps.ts);
+  EXPECT_GE(cam.eras_live(), 2);
+  cam.unpin(ps.pin);  // balances the closed era -> releaser retires it
+  EXPECT_EQ(cam.min_active(), cam.current());
+  for (int i = 0; i < 300; ++i) cam.takeSnapshot();
+  EXPECT_LE(cam.eras_live(), 2);
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(Camera, EraWordPackRoundTrip) {
+  // Pitfall guard #1 (vcas/era.h): the 48-bit address assumption. A real
+  // heap pointer must survive the pack/unpack round trip at every outer
+  // count, including the extremes.
+  Era* e = new Era;
+  for (std::uint32_t outer : {0u, 1u, 0x7FFFu, 0x8000u, 0xFFFFu}) {
+    const std::uint64_t w = vcas::era_pack(e, static_cast<std::uint16_t>(outer));
+    EXPECT_EQ(vcas::era_ptr(w), e);
+    EXPECT_EQ(vcas::era_outer(w), outer);
+  }
+  // The pin increment's carry out of the count field must wrap the outer
+  // count without disturbing the pointer bits.
+  std::atomic<std::uint64_t> word{vcas::era_pack(e, 0xFFFF)};
+  word.fetch_add(vcas::kEraPinIncrement);
+  EXPECT_EQ(vcas::era_outer(word.load()), 0);
+  EXPECT_EQ(vcas::era_ptr(word.load()), e);
+  delete e;
+}
+
+TEST(Camera, OuterInnerGapSurvivesUint16Wraparound) {
+  // Pitfall guard #2 (vcas/era.h): sustained acquire/release traffic on
+  // ONE era wraps the 16-bit outer count (no takeSnapshot here, so the
+  // era never rolls). 70000 > 2^16 pin/unpin pairs later, the mod-2^16
+  // gap arithmetic must still read the era as unpinned...
+  Camera cam;
+  for (int i = 0; i < 70000; ++i) {
+    Camera::Pin p = cam.pin();
+    cam.unpin(p);
+  }
+  EXPECT_EQ(cam.min_active(), cam.current());
+  // ...and as pinned again the moment one more pin lands past the wrap.
+  Camera::Pin p = cam.pin();
+  const Timestamp t = cam.takeSnapshot();
+  EXPECT_LE(cam.min_active(), t);
+  cam.unpin(p);
+  EXPECT_EQ(cam.min_active(), cam.current());
+  vcas::ebr::drain_for_tests();
+}
+
+TEST(SnapshotGuard, ReleasesPinOnDestruction) {
   Camera cam;
   cam.takeSnapshot();
   {
@@ -133,6 +205,7 @@ TEST(Camera, HandleIsAlwaysStrictlyBelowClockAfterReturn) {
   }
   for (auto& th : threads) th.join();
   EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
 }
 
 TEST(SnapshotGuard, NestedGuardsOnSameThreadKeepOldestPin) {
@@ -141,15 +214,17 @@ TEST(SnapshotGuard, NestedGuardsOnSameThreadKeepOldestPin) {
   Timestamp outer_ts = outer.ts();
   for (int i = 0; i < 5; ++i) cam.takeSnapshot();
   {
-    // The announcement slot is reference-counted: the inner guard must NOT
-    // overwrite the outer pin, so min_active stays at or below the outer
-    // handle for the outer guard's whole lifetime — nested snapshots are
-    // safe even with version-list trimming running concurrently.
+    // Nested guards are independent era pins (no depth array): the inner
+    // guard cannot overwrite the outer pin, so min_active stays at or
+    // below the outer handle for the outer guard's whole lifetime —
+    // nested snapshots are safe even with version-list trimming running
+    // concurrently.
     vcas::SnapshotGuard inner(cam);
     EXPECT_GE(inner.ts(), outer_ts);
     EXPECT_LE(cam.min_active(), outer_ts);
   }
-  // Inner destruction keeps the outer pin (depth 2 -> 1, no clear).
+  // Inner destruction releases only the inner pin; the outer era's gap
+  // stays nonzero.
   EXPECT_LE(cam.min_active(), outer_ts);
 }
 
@@ -163,10 +238,13 @@ TEST(SnapshotGuard, PinReleasedOnlyWhenOutermostGuardDies) {
       vcas::SnapshotGuard inner(cam);
       (void)inner;
     }
-    for (int i = 0; i < 10; ++i) cam.takeSnapshot();
+    // Drive the clock across several roll cadences: the outer pin's era
+    // closes but must survive every sweep.
+    for (int i = 0; i < 300; ++i) cam.takeSnapshot();
     EXPECT_LE(cam.min_active(), outer_ts);
   }
   EXPECT_EQ(cam.min_active(), cam.current());
+  vcas::ebr::drain_for_tests();
 }
 
 }  // namespace

@@ -36,6 +36,7 @@
 #include "store/backend.h"
 #include "store/batch.h"
 #include "store/store.h"
+#include "vcas/camera.h"
 
 namespace {
 
@@ -289,6 +290,72 @@ TYPED_TEST(FaultInjectionTest, AbandonedScannerDoesNotStallTheEpoch) {
       },
       std::chrono::seconds(60)));
   assert_survivors_live(*store);
+}
+
+// --- era pins (camera) -------------------------------------------------------
+
+// A thread abandoned while HOLDING an era pin is the nastiest camera death:
+// the pin holds min_active at its era's lower bound, so without containment
+// trim/GC would stall forever. The dead-slot hook must drain the corpse's
+// ledger when EBR reclaims its slot, after which the horizon catches back
+// up to the clock. Two flavors:
+//   cam.era.roll   — dies inside maybe_roll (before the chain try-lock)
+//                    with a pin on the CURRENT era; the roll simply does
+//                    not happen and a later takeSnapshot rolls instead.
+//   cam.era.retire — dies in release_era right after balancing a closed
+//                    era (sync word durable, sweep never ran) while still
+//                    holding a SECOND pin; the next sweep retires the
+//                    balanced era, containment drains the held pin.
+TYPED_TEST(FaultInjectionTest, AbandonedPinnerNeverStallsTheHorizon) {
+  for (const char* site : {"cam.era.roll", "cam.era.retire"}) {
+    SCOPED_TRACE(site);
+    const bool retire_site = std::string_view(site) == "cam.era.retire";
+    auto store = std::make_shared<typename TestFixture::Store>(2);
+    store->put(1, 10);
+    store->put(2, 20);
+    abandon_at(site, [store, retire_site] {
+      auto& cam = store->camera();
+      if (retire_site) {
+        vcas::Camera::PinnedSnapshot first = cam.pin_and_snapshot();
+        // Cross the roll cadence so first's era closes with gap 1...
+        for (int i = 0; i < 200; ++i) cam.takeSnapshot();
+        vcas::Camera::Pin second = cam.pin();
+        (void)second;
+        cam.unpin(first.pin);  // balances the closed era -> dies retiring it
+      } else {
+        vcas::Camera::PinnedSnapshot ps = cam.pin_and_snapshot();
+        (void)ps;
+        // Dies at the first roll attempt, pin still held.
+        for (int i = 0; i < 200; ++i) cam.takeSnapshot();
+      }
+    });
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // abandon_at returned => the dead slot was reclaimed => the dead-slot
+    // hook drained the corpse's pins. The horizon must now catch the clock
+    // (a roll or two may be needed to sweep the orphaned balanced era).
+    auto& cam = store->camera();
+    ASSERT_TRUE(within_deadline(
+        [&] {
+          cam.takeSnapshot();
+          return cam.min_active() == cam.current();
+        },
+        std::chrono::seconds(60)))
+        << site << ": horizon stuck behind the abandoned pin";
+
+    // The chain does not leak the corpse's eras: sustained ticking sweeps
+    // everything back down to the steady-state chain length.
+    for (int i = 0; i < 300; ++i) cam.takeSnapshot();
+    EXPECT_LE(cam.eras_live(), 2);
+    EXPECT_EQ(cam.live_pins(), 0);
+
+    // Trim actually proceeds past where the dead pin sat.
+    for (V i = 0; i < 16; ++i) store->put(1, 100 + i);
+    store->camera().takeSnapshot();
+    store->trim_all();
+    EXPECT_EQ(store->get(1), std::optional<V>(115));
+    assert_survivors_live(*store);
+  }
 }
 
 // --- seeded schedule noise ---------------------------------------------------

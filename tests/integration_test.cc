@@ -86,29 +86,32 @@ TEST(Integration, AllStructuresOneCamera) {
   }
   std::atomic<bool> stop{false};
   std::atomic<bool> ok{true};
-  std::vector<std::thread> updaters;
-  updaters.emplace_back([&] {  // bst: remove+reinsert (size 63..64)
+  // Fixed array, not vector<thread>: GCC 12's -Warray-bounds false-fires
+  // on the vector<thread> realloc path at -O2 once enough of the store
+  // inlines into this TU.
+  std::thread updaters[4];
+  updaters[0] = std::thread([&] {  // bst: remove+reinsert (size 63..64)
     vcas::util::Xoshiro256 rng(11);
     while (!stop.load(std::memory_order_relaxed)) {
       const K k = static_cast<K>(rng.next_in(64));
       if (bst.remove(k)) bst.insert(k, k);
     }
   });
-  updaters.emplace_back([&] {  // ct: same
+  updaters[1] = std::thread([&] {  // ct: same
     vcas::util::Xoshiro256 rng(12);
     while (!stop.load(std::memory_order_relaxed)) {
       const K k = static_cast<K>(rng.next_in(64));
       if (ct.remove(k)) ct.insert(k, k);
     }
   });
-  updaters.emplace_back([&] {  // list: same
+  updaters[2] = std::thread([&] {  // list: same
     vcas::util::Xoshiro256 rng(13);
     while (!stop.load(std::memory_order_relaxed)) {
       const K k = static_cast<K>(rng.next_in(64));
       if (list.remove(k)) list.insert(k, k);
     }
   });
-  updaters.emplace_back([&] {  // queue: rotate (size stays 64)
+  updaters[3] = std::thread([&] {  // queue: rotate (size stays 64)
     while (!stop.load(std::memory_order_relaxed)) {
       auto v = queue.dequeue();
       if (v.has_value()) queue.enqueue(*v);

@@ -111,8 +111,13 @@ TYPED_TEST(MaintenanceTest, ViewAboveTombstoneReadsThroughDetachedCell) {
   store.put(1, 10);
   store.put(2, 20);
   store.remove(1);
-  store.camera().takeSnapshot();
-  auto view = store.snapshotAll();  // handle above the tombstone
+  // Horizon precision is one era-roll cadence: cross a roll so the view
+  // pins a fresh era whose lower bound sits above the tombstone's stamp
+  // (a same-era view would conservatively hold the horizon at era open).
+  for (int i = 0; i < 2 * vcas::kEraRollTicks; ++i) {
+    store.camera().takeSnapshot();
+  }
+  auto view = store.snapshotAll();  // handle (and era) above the tombstone
   store.maintain_all();             // GC runs while the view is live
   EXPECT_EQ(store.total_cells(), 1u);
   EXPECT_FALSE(view.get(1).has_value());
@@ -177,7 +182,12 @@ TYPED_TEST(MaintenanceTest, SealedWitnessCellStillDetectsConflicts) {
   typename TestFixture::Store store(2);
   store.put(1, 10);
   store.remove(1);
-  store.camera().takeSnapshot();  // age the tombstone below the horizon
+  // Age the tombstone below the horizon: the transaction's pin bounds the
+  // horizon at its era's open, so cross a roll cadence to put that bound
+  // above the tombstone's stamp.
+  for (int i = 0; i < 2 * vcas::kEraRollTicks; ++i) {
+    store.camera().takeSnapshot();
+  }
   {
     auto txn = store.beginTransaction();
     EXPECT_FALSE(txn.get(1).has_value());  // witness absent via the old cell
@@ -191,7 +201,9 @@ TYPED_TEST(MaintenanceTest, SealedWitnessCellStillDetectsConflicts) {
   EXPECT_EQ(store.get(1), std::optional<V>(99));
   // Same shape with NO intervening write commits (absent == absent).
   store.remove(1);
-  store.camera().takeSnapshot();
+  for (int i = 0; i < 2 * vcas::kEraRollTicks; ++i) {
+    store.camera().takeSnapshot();
+  }
   {
     auto txn = store.beginTransaction();
     EXPECT_FALSE(txn.get(1).has_value());

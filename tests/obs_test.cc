@@ -292,7 +292,7 @@ TEST(ObsStats, StoreStatsEndToEnd) {
   EXPECT_GE(after.clock, before.clock);
   EXPECT_LE(after.min_active, after.clock);
   EXPECT_EQ(after.min_active_lag_now, after.clock - after.min_active);
-  EXPECT_EQ(after.announced_slots, 0);  // no view is live any more
+  EXPECT_EQ(after.live_pins, 0);  // no view is live any more
 
   const std::string json = after.to_json();
   EXPECT_EQ(json.front(), '{');
@@ -328,7 +328,7 @@ TEST(ObsStats, CoherentUnderConcurrentWriters) {
     const obs::StatsSnapshot s = store.stats();
     EXPECT_LE(s.min_active, s.clock);
     EXPECT_EQ(s.min_active_lag_now, s.clock - s.min_active);
-    EXPECT_GE(s.announced_slots, 0);
+    EXPECT_GE(s.live_pins, 0);
     EXPECT_GE(s.snapshots_taken, last_snapshots);  // monotone across calls
     last_snapshots = s.snapshots_taken;
     EXPECT_FALSE(s.to_json().empty());

@@ -130,6 +130,65 @@ TEST(SharedCamera, TreeToTreeTransfer) {
   vcas::ebr::drain_for_tests();
 }
 
+// Nested-pin semantics on a shared camera (ported from the old per-thread
+// depth-array tests): every guard is an independent era pin now, so an
+// inner guard's release must never lift the horizon past an enclosing
+// guard's handle, no matter which structure either guard is reading.
+TEST(SharedCamera, NestedPinsKeepOldestHorizonAcrossStructures) {
+  vcas::Camera camera;
+  vcas::ds::VcasBST<K, K> tree(&camera);
+  vcas::ds::VcasHarrisList<K, K> list(&camera);
+  for (K i = 0; i < 32; ++i) {
+    ASSERT_TRUE(tree.insert(i, i));
+    ASSERT_TRUE(list.insert(i, i));
+  }
+  vcas::SnapshotGuard outer(camera);
+  const auto outer_ts = outer.ts();
+  for (K i = 0; i < 32; ++i) ASSERT_TRUE(tree.insert(100 + i, i));
+  {
+    vcas::SnapshotGuard inner(camera);
+    EXPECT_GE(inner.ts(), outer_ts);
+    EXPECT_LE(camera.min_active(), outer_ts);
+    // The outer handle still reads the pre-insert world, the inner one the
+    // post-insert world, from the same thread at the same moment.
+    EXPECT_EQ(tree.range_at(outer_ts, 0, 199).size(), 32u);
+    EXPECT_EQ(tree.range_at(inner.ts(), 0, 199).size(), 64u);
+  }
+  // Inner release kept the outer pin: min_active is still bounded and the
+  // outer handle still reads consistently.
+  EXPECT_LE(camera.min_active(), outer_ts);
+  EXPECT_EQ(list.range_at(outer_ts, 0, 99).size(), 32u);
+  vcas::ebr::drain_for_tests();
+}
+
+// The concurrent version of the hazard the depth arrays used to guard:
+// one thread holds a long-lived outer pin while other threads churn
+// short-lived pins (and the clock rolls eras underneath). The horizon must
+// never rise past the outer handle until the outer guard dies.
+TEST(SharedCamera, NestedPinChurnNeverLiftsHorizonPastOuter) {
+  vcas::Camera camera;
+  vcas::ds::VcasBST<K, K> tree(&camera);
+  ASSERT_TRUE(tree.insert(1, 1));
+  vcas::SnapshotGuard outer(camera);
+  const auto outer_ts = outer.ts();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::thread churner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      vcas::SnapshotGuard inner(camera);
+      (void)inner;
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    camera.takeSnapshot();  // crosses many era-roll cadences
+    if (camera.min_active() > outer_ts) ok = false;
+  }
+  stop = true;
+  churner.join();
+  EXPECT_TRUE(ok.load());
+  vcas::ebr::drain_for_tests();
+}
+
 // Control experiment: WITHOUT a shared handle (two separate snapshots) the
 // invariant is routinely violated — demonstrating that the shared camera is
 // what buys cross-structure atomicity, not luck.

@@ -29,6 +29,7 @@
 #include "util/threading.h"
 #include "util/timing.h"
 #include "vcas/camera.h"
+#include "vcas/era.h"
 #include "vcas/snapshot.h"
 #include "vcas/versioned_cas.h"
 #include "vcas/versioned_ptr.h"
